@@ -1,0 +1,149 @@
+#include "bench/bench_util.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "workload/profile.hh"
+
+namespace emc::bench
+{
+
+std::uint64_t
+defaultUops()
+{
+    return targetUopsFromEnv(20000);
+}
+
+SystemConfig
+quadConfig(PrefetchConfig pf, bool emc)
+{
+    SystemConfig cfg;
+    cfg.prefetch = pf;
+    cfg.emc_enabled = emc;
+    cfg.target_uops = defaultUops();
+    cfg.warmup_uops = defaultUops() / 2;
+    return cfg;
+}
+
+SystemConfig
+eightConfig(PrefetchConfig pf, bool emc, bool dual_mc)
+{
+    SystemConfig cfg;
+    cfg.scaleToEightCores(dual_mc);
+    cfg.prefetch = pf;
+    cfg.emc_enabled = emc;
+    cfg.target_uops = defaultUops();
+    cfg.warmup_uops = defaultUops() / 2;
+    return cfg;
+}
+
+StatDump
+run(const SystemConfig &cfg, const std::vector<std::string> &benchmarks)
+{
+    System sys(cfg, benchmarks);
+    sys.run();
+    return sys.dump();
+}
+
+double
+relPerf(const StatDump &d, const StatDump &base, unsigned cores)
+{
+    double log_sum = 0;
+    for (unsigned i = 0; i < cores; ++i) {
+        const std::string key = "core" + std::to_string(i) + ".ipc";
+        const double a = d.get(key);
+        const double b = base.get(key);
+        if (a > 0 && b > 0)
+            log_sum += std::log(a / b);
+    }
+    return std::exp(log_sum / cores);
+}
+
+void
+banner(const std::string &item, const std::string &what,
+       const std::string &paper_says)
+{
+    std::printf("================================================================\n");
+    std::printf("%s — %s\n", item.c_str(), what.c_str());
+    if (!paper_says.empty())
+        std::printf("paper: %s\n", paper_says.c_str());
+    std::printf("uops/core: %llu (set EMC_SIM_UOPS to lengthen)\n",
+                static_cast<unsigned long long>(defaultUops()));
+    std::printf("================================================================\n");
+}
+
+void
+note(const std::string &text)
+{
+    std::printf("%s\n", text.c_str());
+}
+
+std::vector<std::string>
+homo(const std::string &name)
+{
+    return {name, name, name, name};
+}
+
+void
+barChart(const std::vector<std::pair<std::string, double>> &rows,
+         const std::string &unit, unsigned width)
+{
+    double max = 0;
+    for (const auto &[label, v] : rows)
+        max = std::max(max, v);
+    if (max <= 0)
+        max = 1;
+    for (const auto &[label, v] : rows) {
+        const unsigned n = static_cast<unsigned>(
+            width * (v / max) + 0.5);
+        std::printf("  %-14s |", label.c_str());
+        for (unsigned i = 0; i < n; ++i)
+            std::printf("#");
+        std::printf("%*s %.2f%s\n", static_cast<int>(width - n + 1),
+                    "", v, unit.c_str());
+    }
+}
+
+void
+groupedChart(const std::vector<std::string> &series,
+             const std::vector<std::pair<std::string,
+                                         std::vector<double>>> &rows,
+             unsigned width)
+{
+    static const char glyphs[] = {'#', '=', '+', ':', '.'};
+    double max = 0;
+    for (const auto &[label, vs] : rows) {
+        for (double v : vs)
+            max = std::max(max, v);
+    }
+    if (max <= 0)
+        max = 1;
+    std::printf("  legend:");
+    for (std::size_t s = 0; s < series.size(); ++s)
+        std::printf("  %c %s", glyphs[s % sizeof(glyphs)],
+                    series[s].c_str());
+    std::printf("\n");
+    for (const auto &[label, vs] : rows) {
+        for (std::size_t s = 0; s < vs.size(); ++s) {
+            const unsigned n = static_cast<unsigned>(
+                width * (vs[s] / max) + 0.5);
+            std::printf("  %-8s %c |", s == 0 ? label.c_str() : "",
+                        glyphs[s % sizeof(glyphs)]);
+            for (unsigned i = 0; i < n; ++i)
+                std::printf("%c", glyphs[s % sizeof(glyphs)]);
+            std::printf("%*s %.3f\n", static_cast<int>(width - n + 1),
+                        "", vs[s]);
+        }
+    }
+}
+
+std::vector<std::string>
+eightCoreMix(std::size_t h_index)
+{
+    const auto &mix = quadWorkloads().at(h_index);
+    std::vector<std::string> out = mix;
+    out.insert(out.end(), mix.begin(), mix.end());
+    return out;
+}
+
+} // namespace emc::bench

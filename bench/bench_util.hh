@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction benches: one binary per
+ * table/figure, each printing the same rows/series the paper reports
+ * alongside the paper's own numbers where the paper states them.
+ *
+ * Run lengths default to quick settings; set EMC_SIM_UOPS to lengthen
+ * (e.g. EMC_SIM_UOPS=120000 for tighter statistics).
+ */
+
+#ifndef EMC_BENCH_BENCH_UTIL_HH
+#define EMC_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace emc::bench
+{
+
+/** Default per-core uop target for bench runs (env-overridable). */
+std::uint64_t defaultUops();
+
+/** Build a Table 1 quad-core config. */
+SystemConfig quadConfig(PrefetchConfig pf = PrefetchConfig::kNone,
+                        bool emc = false);
+
+/** Build a Table 1 eight-core config (single or dual MC). */
+SystemConfig eightConfig(PrefetchConfig pf, bool emc, bool dual_mc);
+
+/** Run a system to completion and collect its stats. */
+StatDump run(const SystemConfig &cfg,
+             const std::vector<std::string> &benchmarks);
+
+/**
+ * Performance metric used throughout the benches: geometric mean over
+ * cores of per-core IPC normalized to the same core in @p base.
+ * 1.0 means "same as baseline".
+ */
+double relPerf(const StatDump &d, const StatDump &base, unsigned cores);
+
+/** Print the standard bench banner. */
+void banner(const std::string &item, const std::string &what,
+            const std::string &paper_says);
+
+/** Print a labelled measured-vs-paper line. */
+void note(const std::string &text);
+
+/** Four copies of one benchmark (homogeneous quad workloads). */
+std::vector<std::string> homo(const std::string &name);
+
+/** The H-i mix duplicated to eight cores (paper Section 5). */
+std::vector<std::string> eightCoreMix(std::size_t h_index);
+
+/**
+ * Render a horizontal ASCII bar chart (the terminal rendition of a
+ * paper figure). Bars are scaled to the maximum value; @p unit is
+ * appended to the printed values.
+ */
+void barChart(const std::vector<std::pair<std::string, double>> &rows,
+              const std::string &unit = "", unsigned width = 44);
+
+/**
+ * Render a grouped bar chart: one row per label with several series
+ * values (e.g. base vs +emc), using a legend of one glyph per series.
+ */
+void groupedChart(const std::vector<std::string> &series,
+                  const std::vector<std::pair<std::string,
+                                              std::vector<double>>> &rows,
+                  unsigned width = 40);
+
+} // namespace emc::bench
+
+#endif // EMC_BENCH_BENCH_UTIL_HH

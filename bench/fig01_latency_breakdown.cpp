@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 1: breakdown of total memory access latency into the DRAM
+ * access component and all other on-chip delay, per SPEC-like
+ * benchmark running as four copies on the quad-core system.
+ *
+ * Paper shape: for memory-intensive applications (MPKI >= 10, right of
+ * leslie3d) the DRAM access is less than half of the total latency —
+ * most of the effective latency is on-chip delay.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    using namespace emc;
+    using namespace emc::bench;
+
+    banner("Figure 1", "memory latency: DRAM vs on-chip delay",
+           "on-chip delay dominates for high-MPKI applications");
+
+    // A representative sweep across the intensity spectrum (running
+    // all 29 benchmarks is possible but slow; the shape needs the
+    // class boundary visible).
+    const std::vector<std::string> apps = {
+        "gcc", "astar", "leslie3d",                        // low MPKI
+        "sphinx3", "omnetpp", "soplex", "milc",
+        "bwaves", "libquantum", "lbm", "mcf",              // high MPKI
+    };
+
+    std::printf("%-12s %8s %10s %10s %10s %8s\n", "benchmark", "mpki",
+                "total(c)", "dram(c)", "onchip(c)", "onchip%");
+    std::vector<std::pair<std::string, std::vector<double>>> chart;
+    for (const auto &app : apps) {
+        SystemConfig cfg = quadConfig();
+        // Cache-resident benchmarks need a full warmup pass for their
+        // steady-state MPKI to emerge.
+        cfg.warmup_uops = cfg.target_uops;
+        const StatDump d = run(cfg, homo(app));
+        const double total = d.get("lat.core_total");
+        const double dram = d.get("lat.core_dram");
+        const double onchip = d.get("lat.core_onchip");
+        double mpki = 0;
+        for (int i = 0; i < 4; ++i)
+            mpki += d.get("core" + std::to_string(i) + ".mpki") / 4;
+        std::printf("%-12s %8.1f %10.1f %10.1f %10.1f %7.1f%%\n",
+                    app.c_str(), mpki, total, dram, onchip,
+                    total > 0 ? 100.0 * onchip / (dram + onchip) : 0.0);
+        chart.push_back({app, {dram, onchip}});
+    }
+    note("");
+    groupedChart({"dram cycles", "on-chip cycles"}, chart);
+    note("");
+    note("expected shape: the on-chip share grows with memory"
+         " intensity; for the high-MPKI group it is a large fraction"
+         " of total latency (paper: more than half).");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 12: quad-core performance on the heterogeneous workloads
+ * H1-H10 across eight configurations: {no-PF, GHB, stream,
+ * Markov+stream} x {without, with EMC}, normalized to the
+ * no-prefetch baseline of each workload.
+ *
+ * Paper shape: the EMC gains on average +15% over no-prefetching,
+ * +13% over GHB, +10% over stream and +11% over Markov+stream;
+ * workloads containing mcf/omnetpp gain the most, lbm-heavy mixes the
+ * least.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    using namespace emc;
+    using namespace emc::bench;
+
+    banner("Figure 12", "quad-core performance, H1-H10",
+           "EMC: +15%/+13%/+10%/+11% over noPF/GHB/stream/Markov");
+
+    const PrefetchConfig pfs[] = {
+        PrefetchConfig::kNone, PrefetchConfig::kGhb,
+        PrefetchConfig::kStream, PrefetchConfig::kMarkovStream};
+
+    std::printf("%-5s", "mix");
+    for (PrefetchConfig pf : pfs) {
+        std::printf(" %9s %9s", prefetchConfigName(pf), "+emc");
+    }
+    std::printf("\n");
+
+    // Geometric means of the EMC gain per prefetcher config.
+    double gain_log[4] = {0, 0, 0, 0};
+    unsigned count = 0;
+
+    for (std::size_t h = 0; h < quadWorkloads().size(); ++h) {
+        const auto &mix = quadWorkloads()[h];
+        const StatDump base = run(quadConfig(), mix);
+        std::printf("%-5s", quadWorkloadName(h).c_str());
+        for (unsigned p = 0; p < 4; ++p) {
+            const StatDump noemc =
+                p == 0 ? base : run(quadConfig(pfs[p], false), mix);
+            const StatDump emc = run(quadConfig(pfs[p], true), mix);
+            const double perf_noemc = relPerf(noemc, base, 4);
+            const double perf_emc = relPerf(emc, base, 4);
+            std::printf(" %9.3f %9.3f", perf_noemc, perf_emc);
+            gain_log[p] += std::log(perf_emc / perf_noemc);
+        }
+        std::printf("\n");
+        ++count;
+    }
+
+    std::printf("\naverage EMC gain over each baseline:\n");
+    const char *paper[] = {"+15%", "+13%", "+10%", "+11%"};
+    for (unsigned p = 0; p < 4; ++p) {
+        std::printf("  over %-14s %+6.1f%%   (paper: %s)\n",
+                    prefetchConfigName(pfs[p]),
+                    100 * (std::exp(gain_log[p] / count) - 1.0),
+                    paper[p]);
+    }
+    note("");
+    note("expected shape: positive EMC gains, largest for mixes with"
+         " mcf/omnetpp (H3-H6, H8, H9), smallest for lbm-heavy mixes"
+         " (H1, H5 contain lbm).");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 22 + Section 6.5: dependence-chain characteristics — average
+ * uops per chain, live-ins per chain, live-outs per chain, and the
+ * interconnect transfer sizes they imply.
+ *
+ * Paper shape: chains average under 10 uops, ~6.4 live-ins and ~8.8
+ * live-outs — 1-2 cache lines out, about one line back.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    using namespace emc;
+    using namespace emc::bench;
+
+    banner("Figure 22", "uops / live-ins / live-outs per chain",
+           "chains < 10 uops avg; 6.4 live-ins; 8.8 live-outs");
+
+    std::printf("%-5s %8s %9s %10s %10s %10s\n", "mix", "chains",
+                "uops/ch", "livein/ch", "liveout/ch", "xfer(B)");
+    double uops_sum = 0, li_sum = 0, lo_sum = 0;
+    unsigned n = 0;
+    for (std::size_t h = 0; h < quadWorkloads().size(); ++h) {
+        const StatDump d = run(quadConfig(PrefetchConfig::kNone, true),
+                               quadWorkloads()[h]);
+        const double chains = d.get("emc.chains_accepted");
+        if (chains <= 0) {
+            std::printf("%-5s %8.0f\n", quadWorkloadName(h).c_str(),
+                        chains);
+            continue;
+        }
+        const double upc = d.get("emc.uops_per_chain");
+        double li = 0, completed_chains = 0;
+        for (int i = 0; i < 4; ++i) {
+            const std::string p = "core" + std::to_string(i) + ".";
+            const double c = d.get(p + "chains_generated");
+            li += d.get(p + "chain_live_ins_avg") * c;
+            completed_chains += c;
+        }
+        li = completed_chains > 0 ? li / completed_chains : 0;
+        const double lo = d.get("emc.live_outs")
+                          / std::max(1.0, d.get("emc.chains_completed"));
+        const double xfer = 6 * upc + 8 * li;  // uops at 6 B + live-ins
+        std::printf("%-5s %8.0f %9.1f %10.1f %10.1f %10.1f\n",
+                    quadWorkloadName(h).c_str(), chains, upc, li, lo,
+                    xfer);
+        uops_sum += upc;
+        li_sum += li;
+        lo_sum += lo;
+        ++n;
+    }
+    if (n) {
+        std::printf("\naverages: %.1f uops (paper <10), %.1f live-ins "
+                    "(paper 6.4), %.1f live-outs (paper 8.8)\n",
+                    uops_sum / n, li_sum / n, lo_sum / n);
+    }
+    note("expected shape: chain transfer fits in 1-2 cache lines;"
+         " live-outs fit in about one line.");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 23: chip + DRAM energy consumption for H1-H10, as percentage
+ * difference from the no-EMC / no-prefetching baseline, across the
+ * eight configurations.
+ *
+ * Paper shape: the EMC reduces energy ~11% on average (faster
+ * execution cuts static energy; fewer row conflicts cut DRAM dynamic
+ * energy); prefetchers *increase* energy, Markov+stream the most
+ * (memory traffic +52%).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    using namespace emc;
+    using namespace emc::bench;
+
+    banner("Figure 23", "energy consumption, H1-H10",
+           "EMC -11% average; prefetchers increase energy");
+
+    const PrefetchConfig pfs[] = {
+        PrefetchConfig::kNone, PrefetchConfig::kGhb,
+        PrefetchConfig::kStream, PrefetchConfig::kMarkovStream};
+
+    std::printf("%-5s", "mix");
+    for (PrefetchConfig pf : pfs)
+        std::printf(" %9s %9s", prefetchConfigName(pf), "+emc");
+    std::printf("   (energy vs no-PF baseline)\n");
+
+    double emc_sum = 0, traffic_base = 0, traffic_markov = 0,
+           traffic_emc = 0;
+    unsigned n = 0;
+    for (std::size_t h = 0; h < quadWorkloads().size(); ++h) {
+        const auto &mix = quadWorkloads()[h];
+        const StatDump base = run(quadConfig(), mix);
+        const double e0 = base.get("energy.total_mj");
+        traffic_base += base.get("traffic.total");
+        std::printf("%-5s", quadWorkloadName(h).c_str());
+        for (unsigned p = 0; p < 4; ++p) {
+            const StatDump noemc =
+                p == 0 ? base : run(quadConfig(pfs[p], false), mix);
+            const StatDump emc = run(quadConfig(pfs[p], true), mix);
+            std::printf(" %+8.1f%% %+8.1f%%",
+                        100 * (noemc.get("energy.total_mj") / e0 - 1),
+                        100 * (emc.get("energy.total_mj") / e0 - 1));
+            if (p == 0) {
+                emc_sum += emc.get("energy.total_mj") / e0 - 1;
+                traffic_emc += emc.get("traffic.total");
+            }
+            if (p == 3)
+                traffic_markov += noemc.get("traffic.total");
+        }
+        std::printf("\n");
+        ++n;
+    }
+    std::printf("\naverage EMC energy change: %+.1f%% (paper: -11%%)\n",
+                100 * emc_sum / n);
+    std::printf("memory traffic: EMC %+.1f%% vs Markov+stream %+.1f%% "
+                "(paper: +8%% vs +52%%)\n",
+                100 * (traffic_emc / traffic_base - 1),
+                100 * (traffic_markov / traffic_base - 1));
+    return 0;
+}

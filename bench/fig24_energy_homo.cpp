@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 24: energy consumption for the homogeneous quad-core
+ * workloads (four copies of each high-intensity benchmark), relative
+ * to the no-EMC / no-prefetching baseline.
+ *
+ * Paper shape: EMC -9% average; prefetchers increase energy (traffic
+ * +12%/+8%/+45% for GHB/stream/Markov+stream vs EMC's +3%).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    using namespace emc;
+    using namespace emc::bench;
+
+    banner("Figure 24", "energy, homogeneous workloads",
+           "EMC -9% average; EMC traffic +3% vs prefetchers +8..45%");
+
+    std::printf("%-12s %9s %9s %9s %9s\n", "benchmark", "+emc",
+                "ghb", "stream", "markov");
+    double emc_sum = 0;
+    unsigned n = 0;
+    for (const auto &app : highIntensityNames()) {
+        const StatDump base = run(quadConfig(), homo(app));
+        const double e0 = base.get("energy.total_mj");
+        const StatDump emc =
+            run(quadConfig(PrefetchConfig::kNone, true), homo(app));
+        const StatDump ghb =
+            run(quadConfig(PrefetchConfig::kGhb), homo(app));
+        const StatDump stream =
+            run(quadConfig(PrefetchConfig::kStream), homo(app));
+        const StatDump markov =
+            run(quadConfig(PrefetchConfig::kMarkovStream), homo(app));
+        std::printf("%-12s %+8.1f%% %+8.1f%% %+8.1f%% %+8.1f%%\n",
+                    app.c_str(),
+                    100 * (emc.get("energy.total_mj") / e0 - 1),
+                    100 * (ghb.get("energy.total_mj") / e0 - 1),
+                    100 * (stream.get("energy.total_mj") / e0 - 1),
+                    100 * (markov.get("energy.total_mj") / e0 - 1));
+        emc_sum += emc.get("energy.total_mj") / e0 - 1;
+        ++n;
+    }
+    std::printf("\naverage EMC energy change: %+.1f%% (paper: -9%%)\n",
+                100 * emc_sum / n);
+    return 0;
+}

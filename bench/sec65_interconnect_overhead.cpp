@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Section 6.5: interconnect overhead of the EMC — the increase in
+ * data/control ring messages when the EMC is enabled, and the EMC's
+ * share of ring traffic.
+ *
+ * Paper shape: +33% data ring messages, +7% control ring requests on
+ * average for H1-H10; EMC requests are 25% of data and 5% of control
+ * messages; LLC latency rises slightly (~4%).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    using namespace emc;
+    using namespace emc::bench;
+
+    banner("Section 6.5", "ring-traffic overhead of the EMC",
+           "+33% data / +7% control messages; EMC share 25% / 5%");
+
+    std::printf("%-5s %10s %10s %10s %10s\n", "mix", "data+%",
+                "ctrl+%", "emc-data%", "emc-ctrl%");
+    double dsum = 0, csum = 0, dshare = 0, cshare = 0;
+    unsigned n = 0;
+    for (std::size_t h = 0; h < quadWorkloads().size(); ++h) {
+        const auto &mix = quadWorkloads()[h];
+        const StatDump b = run(quadConfig(), mix);
+        const StatDump e = run(quadConfig(PrefetchConfig::kNone, true),
+                               mix);
+        const double d_incr =
+            e.get("ring.data_msgs") / b.get("ring.data_msgs") - 1.0;
+        const double c_incr = e.get("ring.control_msgs")
+                                  / b.get("ring.control_msgs")
+                              - 1.0;
+        const double d_share =
+            e.get("ring.data_emc_msgs") / e.get("ring.data_msgs");
+        const double c_share = e.get("ring.control_emc_msgs")
+                               / e.get("ring.control_msgs");
+        std::printf("%-5s %+9.1f%% %+9.1f%% %9.1f%% %9.1f%%\n",
+                    quadWorkloadName(h).c_str(), 100 * d_incr,
+                    100 * c_incr, 100 * d_share, 100 * c_share);
+        dsum += d_incr;
+        csum += c_incr;
+        dshare += d_share;
+        cshare += c_share;
+        ++n;
+    }
+    std::printf("\naverages: data %+0.1f%% (paper +33%%), control "
+                "%+0.1f%% (paper +7%%), EMC share %0.1f%%/%0.1f%% "
+                "(paper 25%%/5%%)\n",
+                100 * dsum / n, 100 * csum / n, 100 * dshare / n,
+                100 * cshare / n);
+    return 0;
+}

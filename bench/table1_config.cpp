@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table 1: echo the simulated system configuration so a reader can
+ * check it against the paper's table line by line.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace emc;
+    using namespace emc::bench;
+
+    banner("Table 1", "system configuration", "");
+
+    SystemConfig q = quadConfig();
+    std::printf("Core            %u-wide issue, %u-entry ROB, %u-entry "
+                "RS, 3.2 GHz\n",
+                q.core.issue_width, q.core.rob_size, q.core.rs_size);
+    std::printf("L1 D-cache      %u KB, %u-way, %llu-cycle, "
+                "write-through\n",
+                q.core.l1d_bytes / 1024, q.core.l1d_ways,
+                static_cast<unsigned long long>(q.core.l1d_latency));
+    std::printf("LLC             distributed shared, %zu KB slice/core "
+                "x %u cores, %u-way, %llu-cycle, write-back, "
+                "inclusive\n",
+                q.llc_slice_bytes / 1024, q.num_cores, q.llc_ways,
+                static_cast<unsigned long long>(q.llc_latency));
+    std::printf("Interconnect    2 bidirectional rings (8 B control / "
+                "64 B data), 1-cycle links, %u stops\n",
+                q.num_cores + q.num_mcs);
+    std::printf("EMC compute     %u contexts, %u-wide, %u-entry RS, "
+                "%u B dcache (%u-way, %llu-cycle), %u-entry TLB/core, "
+                "%u-uop buffer, %u EPRs\n",
+                q.emc.contexts, q.emc.issue_width, q.emc.rs_entries,
+                q.emc.dcache_bytes, q.emc.dcache_ways,
+                static_cast<unsigned long long>(q.emc.dcache_latency),
+                q.emc.tlb_entries, kChainMaxUops, kEmcPhysRegs);
+    std::printf("EMC ISA         integer add/sub/mov + logical "
+                "and/or/xor/not/shift/sext + load/store (+branch "
+                "direction checks)\n");
+    std::printf("Mem controller  batch scheduling (PAR-BS), %zu-entry "
+                "queue\n",
+                q.mc_queue_entries);
+    std::printf("DRAM            DDR3-1600, %u channels x %u rank x "
+                "%u banks, %u B rows, tCL=%llu tRCD=%llu tRP=%llu "
+                "core cycles\n",
+                q.dram.channels, q.dram.ranks_per_channel,
+                q.dram.banks_per_rank, q.dram.row_bytes,
+                static_cast<unsigned long long>(q.timing.tCL),
+                static_cast<unsigned long long>(q.timing.tRCD),
+                static_cast<unsigned long long>(q.timing.tRP));
+    std::printf("Prefetchers     stream (32 streams, distance 32), "
+                "GHB G/DC (1k entries), Markov (1 MB, 4 succ) + "
+                "stream; all with FDP degree 1-32, fill into LLC\n");
+
+    SystemConfig e8 = eightConfig(PrefetchConfig::kNone, true, true);
+    std::printf("8-core scaling  %u cores, %u MCs, %u channels, "
+                "%zu-entry queue, %u EMC contexts/MC\n",
+                e8.num_cores, e8.num_mcs, e8.dram.channels,
+                e8.mc_queue_entries, e8.emc.contexts);
+    return 0;
+}

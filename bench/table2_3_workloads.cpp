@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tables 2 and 3: benchmark classification by measured MPKI (high
+ * intensity: MPKI >= 10) and the quad-core workload mixes.
+ *
+ * This bench runs each benchmark (four copies) and verifies that the
+ * measured classification matches the paper's Table 2 split.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    using namespace emc;
+    using namespace emc::bench;
+
+    banner("Tables 2-3", "benchmark classification + workload mixes",
+           "high intensity: MPKI >= 10 (8 benchmarks); 21 low");
+
+    std::printf("%-12s %8s %10s %10s %8s\n", "benchmark", "mpki",
+                "dep-frac", "ipc", "class-ok");
+    unsigned correct = 0, total = 0;
+    for (const auto &p : allProfiles()) {
+        SystemConfig cfg = quadConfig();
+        // Low-intensity kernels need warmup to amortize cold misses.
+        cfg.warmup_uops = cfg.target_uops;
+        const StatDump d = run(cfg, homo(p.name));
+        double mpki = 0, dep = 0, ipc = 0;
+        for (int i = 0; i < 4; ++i) {
+            const std::string k = "core" + std::to_string(i) + ".";
+            mpki += d.get(k + "mpki") / 4;
+            dep += d.get(k + "dep_miss_frac") / 4;
+            ipc += d.get(k + "ipc") / 4;
+        }
+        const bool measured_high = mpki >= 10.0;
+        const bool ok = measured_high == p.high_intensity;
+        std::printf("%-12s %8.1f %9.1f%% %10.3f %8s\n", p.name.c_str(),
+                    mpki, 100 * dep, ipc, ok ? "yes" : "NO");
+        correct += ok ? 1 : 0;
+        ++total;
+    }
+    std::printf("\nclassification agreement: %u / %u\n", correct, total);
+
+    std::printf("\nTable 3 quad-core mixes:\n");
+    for (std::size_t h = 0; h < quadWorkloads().size(); ++h) {
+        std::printf("  %-4s", quadWorkloadName(h).c_str());
+        for (const auto &b : quadWorkloads()[h])
+            std::printf(" %s", b.c_str());
+        std::printf("\n");
+    }
+    return 0;
+}

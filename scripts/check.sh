@@ -1,0 +1,18 @@
+#!/bin/bash
+# One-command verification: configure, build, run the full test suite
+# and a smoke pass over the quickest benches. Exits non-zero on any
+# failure. Use run_benches.sh for the full figure campaign.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure
+
+# Fast smoke of the harness itself.
+./build/bench/table1_config > /dev/null
+./build/examples/quickstart > /dev/null
+EMC_SIM_UOPS=4000 ./build/bench/fig06_dependence_distance > /dev/null
+
+echo "check.sh: all green"

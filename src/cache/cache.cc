@@ -1,0 +1,120 @@
+#include "cache/cache.hh"
+
+namespace emc
+{
+
+Cache::Cache(std::size_t size_bytes, unsigned ways, const char *name)
+    : ways_(ways), name_(name)
+{
+    emc_assert(ways >= 1, "cache needs at least one way");
+    emc_assert(size_bytes % (static_cast<std::size_t>(ways) * kLineBytes)
+                   == 0,
+               "cache size must be a multiple of ways * line size");
+    sets_ = size_bytes / (static_cast<std::size_t>(ways) * kLineBytes);
+    emc_assert(sets_ >= 1, "cache needs at least one set");
+    lines_.resize(sets_ * ways_);
+}
+
+CacheLineMeta *
+Cache::access(Addr addr)
+{
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = lines_[set * ways_ + w];
+        if (line.valid && line.tag == tag) {
+            line.lru = ++lru_tick_;
+            ++stats_.hits;
+            return &line.meta;
+        }
+    }
+    ++stats_.misses;
+    return nullptr;
+}
+
+CacheLineMeta *
+Cache::peek(Addr addr)
+{
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = lines_[set * ways_ + w];
+        if (line.valid && line.tag == tag)
+            return &line.meta;
+    }
+    return nullptr;
+}
+
+const CacheLineMeta *
+Cache::peek(Addr addr) const
+{
+    return const_cast<Cache *>(this)->peek(addr);
+}
+
+Cache::Victim
+Cache::insert(Addr addr, const CacheLineMeta &meta)
+{
+    emc_assert(peek(addr) == nullptr, "insert of already-present line");
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+
+    // Prefer an invalid way; otherwise evict true-LRU.
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = lines_[set * ways_ + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lru < victim->lru)
+            victim = &line;
+    }
+
+    Victim out;
+    if (victim->valid) {
+        out.valid = true;
+        // Reconstruct the victim's line address from tag and set.
+        out.addr = (victim->tag * sets_ + set) << kLineShift;
+        out.meta = victim->meta;
+        ++stats_.evictions;
+        if (victim->meta.dirty)
+            ++stats_.dirty_evictions;
+    }
+
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = ++lru_tick_;
+    victim->meta = meta;
+    return out;
+}
+
+Cache::Victim
+Cache::invalidate(Addr addr)
+{
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Victim out;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = lines_[set * ways_ + w];
+        if (line.valid && line.tag == tag) {
+            out.valid = true;
+            out.addr = lineAlign(addr);
+            out.meta = line.meta;
+            line.valid = false;
+            ++stats_.invalidations;
+            return out;
+        }
+    }
+    return out;
+}
+
+std::size_t
+Cache::validLines() const
+{
+    std::size_t n = 0;
+    for (const auto &line : lines_)
+        n += line.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace emc

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Generic set-associative cache with true-LRU replacement, used for
+ * the L1 data caches, the LLC slices and the EMC's 4 KB data cache.
+ *
+ * The LLC is inclusive; each line carries per-core presence bits plus
+ * the extra EMC directory bit the paper adds (Section 4.1.3) so the
+ * coherence machinery knows which lines the EMC data cache holds.
+ */
+
+#ifndef EMC_CACHE_CACHE_HH
+#define EMC_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace emc
+{
+
+/** Metadata stored with every cache line. */
+struct CacheLineMeta
+{
+    bool dirty = false;
+    std::uint32_t presence = 0;  ///< per-core L1 presence bits (LLC only)
+    bool emc = false;            ///< EMC directory bit (LLC only)
+};
+
+/** Statistics for one cache instance. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirty_evictions = 0;
+    std::uint64_t invalidations = 0;
+
+    double
+    hitRate() const
+    {
+        const auto total = hits + misses;
+        return total ? static_cast<double>(hits) / total : 0.0;
+    }
+};
+
+/**
+ * Set-associative cache over line-aligned addresses.
+ * Timing (access latency, ports) lives with the owner; this class is
+ * the state: tags, LRU and metadata.
+ */
+class Cache
+{
+  public:
+    /** Result of an insertion. */
+    struct Victim
+    {
+        bool valid = false;  ///< an existing line was evicted
+        Addr addr = kNoAddr; ///< line address of the victim
+        CacheLineMeta meta;
+    };
+
+    /**
+     * @param size_bytes total capacity
+     * @param ways associativity
+     * @param name for diagnostics
+     */
+    Cache(std::size_t size_bytes, unsigned ways, const char *name);
+
+    /**
+     * Probe for @p addr. Updates LRU and hit/miss stats.
+     * @retval nullptr on miss, else the line's metadata (mutable)
+     */
+    CacheLineMeta *access(Addr addr);
+
+    /** Probe without disturbing LRU or stats (coherence snoops). */
+    CacheLineMeta *peek(Addr addr);
+    const CacheLineMeta *peek(Addr addr) const;
+
+    /**
+     * Insert the line for @p addr (must not be present), evicting the
+     * LRU way if the set is full.
+     */
+    Victim insert(Addr addr, const CacheLineMeta &meta = {});
+
+    /** Remove the line for @p addr if present. @return its metadata. */
+    Victim invalidate(Addr addr);
+
+    const CacheStats &stats() const { return stats_; }
+    std::size_t sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+    const char *name() const { return name_; }
+
+    /** Count of valid lines (tests / occupancy studies). */
+    std::size_t validLines() const;
+
+  private:
+    /** One tag-store entry. */
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t lru = 0;   ///< larger = more recent
+        CacheLineMeta meta;
+    };
+
+    std::size_t setIndex(Addr addr) const { return lineNum(addr) % sets_; }
+    Addr tagOf(Addr addr) const { return lineNum(addr) / sets_; }
+
+    std::size_t sets_;
+    unsigned ways_;
+    const char *name_;
+    std::vector<Line> lines_;   ///< sets_ * ways_, row-major by set
+    std::uint64_t lru_tick_ = 0;
+    CacheStats stats_;
+};
+
+/**
+ * Miss Status Holding Registers: track outstanding line fills and the
+ * consumers (tokens) waiting on each.
+ */
+class MshrFile
+{
+  public:
+    explicit MshrFile(std::size_t entries) : capacity_(entries) {}
+
+    /** True if a fill for @p line_addr is already outstanding. */
+    bool
+    has(Addr line_addr) const
+    {
+        return find(line_addr) >= 0;
+    }
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t size() const { return entries_.size(); }
+
+    /**
+     * Allocate (or merge into) the entry for @p line_addr.
+     * @param token consumer to wake on fill
+     * @retval true a new entry was allocated (caller issues the fill)
+     * @retval false merged into an existing entry
+     */
+    bool
+    allocate(Addr line_addr, std::uint64_t token)
+    {
+        const int idx = find(line_addr);
+        if (idx >= 0) {
+            entries_[idx].tokens.push_back(token);
+            return false;
+        }
+        emc_assert(!full(), "MSHR allocate on full file");
+        entries_.push_back({line_addr, {token}});
+        return true;
+    }
+
+    /**
+     * Complete the fill for @p line_addr.
+     * @param tokens out: all waiting consumers
+     * @retval true an entry existed
+     */
+    bool
+    complete(Addr line_addr, std::vector<std::uint64_t> &tokens)
+    {
+        const int idx = find(line_addr);
+        if (idx < 0)
+            return false;
+        tokens = std::move(entries_[idx].tokens);
+        entries_[idx] = entries_.back();
+        entries_.pop_back();
+        return true;
+    }
+
+  private:
+    /** One outstanding fill and its waiting consumers. */
+    struct Entry
+    {
+        Addr line_addr;
+        std::vector<std::uint64_t> tokens;
+    };
+
+    int
+    find(Addr line_addr) const
+    {
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].line_addr == line_addr)
+                return static_cast<int>(i);
+        }
+        return -1;
+    }
+
+    std::size_t capacity_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace emc
+
+#endif // EMC_CACHE_CACHE_HH

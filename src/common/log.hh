@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal gem5-style logging / assertion helpers.
+ *
+ * panic()  — simulator bug; aborts.
+ * fatal()  — user/config error; exits with status 1.
+ * warn()   — suspicious but survivable condition.
+ * inform() — status message.
+ */
+
+#ifndef EMC_COMMON_LOG_HH
+#define EMC_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace emc
+{
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+inline void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+inline void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace emc
+
+#define emc_panic(msg) ::emc::panicImpl(__FILE__, __LINE__, (msg))
+#define emc_fatal(msg) ::emc::fatalImpl(__FILE__, __LINE__, (msg))
+#define emc_warn(msg) ::emc::warnImpl((msg))
+#define emc_inform(msg) ::emc::informImpl((msg))
+
+/** Invariant check that stays on in release builds. */
+#define emc_assert(cond, msg) \
+    do { \
+        if (!(cond)) { \
+            ::emc::panicImpl(__FILE__, __LINE__, \
+                             std::string("assertion failed: ") + #cond + \
+                             " — " + (msg)); \
+        } \
+    } while (0)
+
+#endif // EMC_COMMON_LOG_HH

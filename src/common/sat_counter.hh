@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Saturating counters, used by the dependent-miss trigger (Section 4.2)
+ * and the EMC LLC hit/miss predictor (Section 4.3).
+ */
+
+#ifndef EMC_COMMON_SAT_COUNTER_HH
+#define EMC_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace emc
+{
+
+/** An n-bit up/down saturating counter. */
+class SatCounter
+{
+  public:
+    explicit SatCounter(unsigned bits = 3, unsigned initial = 0)
+        : max_((1u << bits) - 1), value_(initial)
+    {
+        emc_assert(bits >= 1 && bits <= 16, "SatCounter bits out of range");
+        emc_assert(initial <= max_, "SatCounter initial above max");
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    unsigned value() const { return value_; }
+    unsigned max() const { return max_; }
+
+    /**
+     * Paper trigger condition: "if either of the top 2-bits of the
+     * saturating counter are set" — i.e. value >= max/4 + 1 for a 3-bit
+     * counter this is value >= 2.
+     */
+    bool
+    topTwoBitsSet() const
+    {
+        const unsigned top_two_mask = max_ & ~(max_ >> 2);
+        return (value_ & top_two_mask) != 0;
+    }
+
+    /** Generic threshold test. */
+    bool aboveThreshold(unsigned t) const { return value_ > t; }
+
+    void reset(unsigned v = 0) { emc_assert(v <= max_, "reset"); value_ = v; }
+
+  private:
+    unsigned max_;
+    unsigned value_;
+};
+
+} // namespace emc
+
+#endif // EMC_COMMON_SAT_COUNTER_HH

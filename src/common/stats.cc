@@ -1,0 +1,37 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+
+namespace emc
+{
+
+std::string
+StatDump::format() const
+{
+    std::string out;
+    char line[256];
+    for (const auto &[name, value] : values_) {
+        std::snprintf(line, sizeof(line), "%-56s %18.6f\n",
+                      name.c_str(), value);
+        out += line;
+    }
+    return out;
+}
+
+std::string
+StatDump::toJson() const
+{
+    std::string out = "{\n";
+    char line[256];
+    bool first = true;
+    for (const auto &[name, value] : values_) {
+        std::snprintf(line, sizeof(line), "%s  \"%s\": %.9g",
+                      first ? "" : ",\n", name.c_str(), value);
+        out += line;
+        first = false;
+    }
+    out += "\n}\n";
+    return out;
+}
+
+} // namespace emc

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fundamental scalar types and small helpers shared by every module.
+ */
+
+#ifndef EMC_COMMON_TYPES_HH
+#define EMC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace emc
+{
+
+/** Global simulation time, measured in core clock cycles (3.2 GHz). */
+using Cycle = std::uint64_t;
+
+/** A virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** Identifier of a core in the simulated CMP. */
+using CoreId = std::uint32_t;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for invalid addresses. */
+constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Cache line size used throughout the hierarchy (Table 1). */
+constexpr std::uint32_t kLineBytes = 64;
+constexpr std::uint32_t kLineShift = 6;
+
+/** Page size used by the virtual memory system. */
+constexpr std::uint32_t kPageBytes = 4096;
+constexpr std::uint32_t kPageShift = 12;
+
+/** Align @p a down to its cache line base. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Extract the line number of address @p a. */
+constexpr Addr
+lineNum(Addr a)
+{
+    return a >> kLineShift;
+}
+
+/** Align @p a down to its page base. */
+constexpr Addr
+pageAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kPageBytes - 1);
+}
+
+/** Extract the virtual/physical page number of @p a. */
+constexpr Addr
+pageNum(Addr a)
+{
+    return a >> kPageShift;
+}
+
+/** True if @p v is a power of two (and non-zero). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+constexpr std::uint32_t
+log2i(std::uint64_t v)
+{
+    std::uint32_t r = 0;
+    while (v > 1) { v >>= 1; ++r; }
+    return r;
+}
+
+} // namespace emc
+
+#endif // EMC_COMMON_TYPES_HH

@@ -1,0 +1,53 @@
+#include "core/branch_predictor.hh"
+
+#include "common/log.hh"
+
+namespace emc
+{
+
+HybridBranchPredictor::HybridBranchPredictor(unsigned table_bits,
+                                             unsigned history_bits)
+    : mask_((1u << table_bits) - 1),
+      history_mask_((1ull << history_bits) - 1),
+      bimodal_(1u << table_bits, 2),
+      gshare_(1u << table_bits, 2),
+      chooser_(1u << table_bits, 2)
+{
+    emc_assert(history_bits <= table_bits,
+               "history longer than the gshare index");
+}
+
+bool
+HybridBranchPredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    ++stats_.lookups;
+
+    std::uint8_t &b = bimodal_[bimodalIndex(pc)];
+    std::uint8_t &g = gshare_[gshareIndex(pc)];
+    std::uint8_t &ch = chooser_[bimodalIndex(pc)];
+
+    const bool bim_pred = predictCounter(b);
+    const bool gsh_pred = predictCounter(g);
+    const bool use_gshare = ch >= 2;
+    const bool pred = use_gshare ? gsh_pred : bim_pred;
+    if (use_gshare)
+        ++stats_.gshare_used;
+    else
+        ++stats_.bimodal_used;
+
+    // Chooser trains toward whichever component was right (only when
+    // they disagree).
+    if (bim_pred != gsh_pred)
+        train(ch, gsh_pred == taken);
+
+    train(b, taken);
+    train(g, taken);
+    ghr_ = ((ghr_ << 1) | (taken ? 1 : 0)) & history_mask_;
+
+    const bool mispredict = pred != taken;
+    if (mispredict)
+        ++stats_.mispredicts;
+    return mispredict;
+}
+
+} // namespace emc

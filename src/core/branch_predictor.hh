@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Hybrid branch predictor (Table 1: "hybrid branch predictor"):
+ * a gshare component (global history XOR PC), a bimodal component
+ * (per-PC 2-bit counters) and a per-PC chooser that learns which
+ * component to trust — the classic McFarling combining predictor.
+ *
+ * The simulator is trace-driven, so the predictor is consulted at
+ * dispatch and trained with the oracle direction immediately; a
+ * misprediction stalls the front-end until the branch resolves plus
+ * the redirect penalty (wrong-path fetch is not modeled).
+ */
+
+#ifndef EMC_CORE_BRANCH_PREDICTOR_HH
+#define EMC_CORE_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace emc
+{
+
+/** Statistics for one predictor instance. */
+struct BranchPredictorStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t gshare_used = 0;
+    std::uint64_t bimodal_used = 0;
+
+    double
+    mispredictRate() const
+    {
+        return lookups ? static_cast<double>(mispredicts) / lookups
+                       : 0.0;
+    }
+};
+
+/** McFarling-style hybrid (gshare + bimodal + chooser). */
+class HybridBranchPredictor
+{
+  public:
+    /**
+     * @param table_bits log2 of each table's entry count
+     * @param history_bits global history length (<= table_bits)
+     */
+    explicit HybridBranchPredictor(unsigned table_bits = 12,
+                                   unsigned history_bits = 12);
+
+    /**
+     * Predict and immediately train on the oracle direction.
+     * @param pc static PC of the branch
+     * @param taken actual direction
+     * @retval true the prediction was wrong (mispredict)
+     */
+    bool predictAndUpdate(Addr pc, bool taken);
+
+    const BranchPredictorStats &stats() const { return stats_; }
+
+    /** Current global history (tests). */
+    std::uint64_t history() const { return ghr_; }
+
+  private:
+    static bool predictCounter(std::uint8_t c) { return c >= 2; }
+
+    static void
+    train(std::uint8_t &c, bool taken)
+    {
+        if (taken) {
+            if (c < 3)
+                ++c;
+        } else if (c > 0) {
+            --c;
+        }
+    }
+
+    std::size_t
+    bimodalIndex(Addr pc) const
+    {
+        return (pc >> 2) & mask_;
+    }
+
+    std::size_t
+    gshareIndex(Addr pc) const
+    {
+        return ((pc >> 2) ^ ghr_) & mask_;
+    }
+
+    std::size_t mask_;
+    std::uint64_t history_mask_;
+    std::vector<std::uint8_t> bimodal_;
+    std::vector<std::uint8_t> gshare_;
+    std::vector<std::uint8_t> chooser_;  ///< >=2 -> use gshare
+    std::uint64_t ghr_ = 0;
+    BranchPredictorStats stats_;
+};
+
+} // namespace emc
+
+#endif // EMC_CORE_BRANCH_PREDICTOR_HH

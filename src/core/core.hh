@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Trace-driven out-of-order core model: 4-wide issue, 256-entry ROB,
+ * 92-entry reservation station, LSQ with store forwarding, 256-entry
+ * physical register file, CDB wakeup, in-order retirement (Table 1).
+ *
+ * The core also hosts the paper's chain-generation unit (Section 4.2):
+ * on a full-window stall caused by an LLC miss at the head of the ROB,
+ * a forward dataflow walk renames the dependent uops onto EMC physical
+ * registers through the Register Remapping Table and ships the chain
+ * to the EMC.
+ *
+ * Functional correctness is enforced: ALU uops are evaluated against
+ * the trace oracle; any divergence is a simulator bug and panics.
+ */
+
+#ifndef EMC_CORE_CORE_HH
+#define EMC_CORE_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/sat_counter.hh"
+#include "core/branch_predictor.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/port.hh"
+#include "emc/chain.hh"
+#include "isa/trace.hh"
+#include "vm/page_table.hh"
+#include "vm/tlb.hh"
+
+namespace emc
+{
+
+/** Static configuration of one core (Table 1 defaults). */
+struct CoreConfig
+{
+    unsigned fetch_width = 4;
+    unsigned issue_width = 4;
+    unsigned retire_width = 4;
+    unsigned rob_size = 256;
+    unsigned rs_size = 92;
+    unsigned lq_size = 64;
+    unsigned sq_size = 36;
+    unsigned phys_regs = 256;
+    unsigned l1d_bytes = 32 * 1024;
+    unsigned l1d_ways = 8;
+    Cycle l1d_latency = 3;
+    unsigned l1_mshrs = 16;
+    Cycle mispredict_penalty = 14;
+    Cycle tlb_walk_latency = 30;
+    unsigned tlb_entries = 64;
+    /// Use the hybrid branch predictor (Table 1). When disabled the
+    /// generator's sampled mispredict flags are used instead.
+    bool use_branch_predictor = true;
+    /// Runahead execution [38]: on a full-window stall, pre-execute
+    /// the instruction stream with an invalid-value dataflow to issue
+    /// future *independent* misses early. Dependent misses are dropped
+    /// (their addresses are invalid) — the gap the EMC fills.
+    bool runahead_enabled = false;
+    unsigned runahead_max_uops = 512;  ///< per-episode budget
+    bool emc_enabled = false;
+    unsigned chain_max_uops = kChainMaxUops;
+    /// New cache lines a chain may chase beyond its sources. Deeper
+    /// chains hold an EMC context through more serialized DRAM trips
+    /// and delay the (batched) live-outs; depth 1 reproduces the
+    /// paper's reported ~9-uop average chains (Figure 22) and performs
+    /// best (see bench/ablation_emc_params).
+    unsigned chain_max_indirection = 1;
+};
+
+/** Per-core statistics consumed by the benches. */
+struct CoreStats
+{
+    std::uint64_t retired_uops = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t l1d_hits = 0;
+    std::uint64_t l1d_misses = 0;
+    std::uint64_t llc_misses = 0;           ///< demand loads missing LLC
+    std::uint64_t dependent_llc_misses = 0; ///< tainted-address misses
+    std::uint64_t full_window_stall_cycles = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+
+    // Runahead execution (optional baseline)
+    std::uint64_t runahead_episodes = 0;
+    std::uint64_t runahead_uops = 0;
+    std::uint64_t runahead_prefetches = 0;
+    std::uint64_t runahead_dropped_loads = 0;  ///< invalid address
+
+    // Chain generation (Section 4.2)
+    std::uint64_t chains_generated = 0;
+    std::uint64_t chains_rejected_no_context = 0;
+    std::uint64_t chains_rejected_counter = 0;
+    std::uint64_t chain_uops_total = 0;
+    std::uint64_t chain_live_ins_total = 0;
+    std::uint64_t chain_gen_cycles = 0;
+    std::uint64_t chain_results_ok = 0;
+    std::uint64_t chain_results_canceled = 0;
+    std::uint64_t offloaded_uops_completed_remotely = 0;
+
+    // Dependence-distance tracking (Figure 6)
+    Average dep_distance;
+
+    // Energy-relevant event counters (Section 5)
+    std::uint64_t cdb_broadcasts = 0;
+    std::uint64_t rrt_reads = 0;
+    std::uint64_t rrt_writes = 0;
+    std::uint64_t rob_chain_reads = 0;
+    std::uint64_t uops_executed = 0;
+    std::uint64_t fp_uops_executed = 0;
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(retired_uops) / cycles : 0.0;
+    }
+};
+
+/**
+ * One out-of-order core. The System drives it via tick() and delivers
+ * memory-system events through the notification methods.
+ */
+class Core
+{
+  public:
+    /**
+     * @param id core id
+     * @param cfg configuration
+     * @param trace instruction source (not owned)
+     * @param pt this program's page table (not owned)
+     * @param port chip services (not owned)
+     */
+    Core(CoreId id, const CoreConfig &cfg, TraceSource *trace,
+         PageTable *pt, CorePort *port);
+
+    /** Advance one cycle. */
+    void tick();
+
+    // ---- notifications from the System ----
+
+    /**
+     * A line fill reached this core.
+     * @param paddr_line the filled line
+     * @param was_llc_miss the request had missed the LLC (taints dest)
+     */
+    void fillArrived(Addr paddr_line, bool was_llc_miss);
+
+    /** The LLC determined that an outstanding request missed. */
+    void llcMissDetermined(Addr paddr_line);
+
+    /** Chain finished at the EMC (completed or canceled). */
+    void chainResult(const ChainResult &result);
+
+    /**
+     * EMC executed a memory op of an offloaded chain; the core
+     * populates the LSQ entry and checks for ordering conflicts.
+     * @retval true a disambiguation conflict exists (cancel the chain)
+     */
+    bool lsqPopulate(std::uint64_t rob_seq, Addr paddr);
+
+    /** Back-invalidate an L1 line (LLC eviction, inclusive hierarchy). */
+    void invalidateL1(Addr paddr_line);
+
+    // ---- accessors ----
+
+    const CoreStats &stats() const { return stats_; }
+    CoreStats &mutableStats() { return stats_; }
+
+    /** Zero the statistics (post-warmup measurement start). */
+    void resetStats() { stats_ = CoreStats{}; }
+    std::uint64_t retired() const { return stats_.retired_uops; }
+    bool fullWindowStalled() const { return full_window_stall_; }
+    CoreId id() const { return id_; }
+    const Cache &l1d() const { return l1d_; }
+    const CoreConfig &config() const { return cfg_; }
+
+    /** The dependent-miss trigger counter (tests). */
+    const SatCounter &depMissCounter() const { return dep_counter_; }
+
+    /** Print pipeline state (diagnosing stalls). */
+    void debugDump() const;
+
+    /** The hybrid branch predictor (tests / stats). */
+    const HybridBranchPredictor &branchPredictor() const { return bp_; }
+
+  private:
+    // ---- dynamic uop state in the ROB ----
+
+    /** One reorder-buffer entry (all per-uop dynamic state). */
+    struct RobEntry
+    {
+        DynUop d;
+        std::uint64_t seq = 0;
+        std::uint16_t dst_preg = 0xffff;
+        std::uint16_t src1_preg = 0xffff;
+        std::uint16_t src2_preg = 0xffff;
+        std::uint16_t prev_dst_preg = 0xffff;
+        bool in_rs = false;
+        bool issued = false;
+        bool completed = false;
+        bool offloaded = false;    ///< shipped to the EMC
+        bool completed_by_emc = false;
+        bool mem_outstanding = false;
+        Addr paddr = kNoAddr;
+        bool llc_miss = false;     ///< this load missed the LLC
+        bool addr_tainted = false; ///< address derived from an LLC miss
+        std::uint32_t taint_depth_at_exec = 0;
+        std::uint64_t addr_taint_src = 0;  ///< seq of the source miss
+        Cycle ready_cycle = kNoCycle;      ///< completion schedule
+        std::uint64_t pending_value = 0;   ///< value written at complete
+    };
+
+    /** A physical register: value, readiness and miss taint. */
+    struct PhysReg
+    {
+        std::uint64_t value = 0;
+        bool ready = true;
+        bool taint = false;        ///< derived from outstanding LLC miss
+        std::uint32_t taint_depth = 0;
+        std::uint64_t taint_src = 0;  ///< seq of the originating miss
+    };
+
+    /** A store-queue entry (also used by the post-retire drain). */
+    struct StoreQueueEntry
+    {
+        std::uint64_t seq = 0;
+        Addr vaddr = kNoAddr;
+        Addr paddr = kNoAddr;
+        bool addr_known = false;
+        std::uint64_t value = 0;
+        bool retired = false;   ///< waiting in post-retire drain
+    };
+
+    // ---- pipeline stages (called in reverse order from tick) ----
+    void retireStage();
+    void completeStage();
+    void issueStage();
+    void fetchRenameDispatch();
+    void drainStoreBuffer();
+
+    // ---- helpers ----
+    RobEntry *bySeq(std::uint64_t seq);
+    bool robFull() const { return rob_.size() >= cfg_.rob_size; }
+    void wakeup(std::uint16_t preg);
+    void executeAlu(RobEntry &e);
+    bool tryExecuteLoad(RobEntry &e);
+    void executeStore(RobEntry &e);
+    void scheduleComplete(RobEntry &e, Cycle when, std::uint64_t value);
+    void completeEntry(RobEntry &e, std::uint64_t value, bool from_emc);
+    void setTaintFromSources(const RobEntry &e, PhysReg &dst);
+    void recordMissDependence(const RobEntry &e);
+
+    // ---- runahead execution ----
+    void maybeEnterRunahead(const RobEntry &head);
+    void runaheadStep();
+    void exitRunahead(Addr filled_line);
+
+    // ---- chain generation (Section 4.2) ----
+    void maybeGenerateChain();
+    bool buildChain(RobEntry &source, ChainRequest &chain);
+    void unOffloadChain(const ChainRequest &chain);
+
+    CoreId id_;
+    CoreConfig cfg_;
+    TraceSource *trace_;
+    PageTable *pt_;
+    CorePort *port_;
+
+    Cycle now_ = 0;
+
+    std::deque<RobEntry> rob_;
+    std::uint64_t next_seq_ = 1;
+    std::vector<PhysReg> prf_;
+    std::vector<std::uint16_t> rat_;       ///< arch -> phys
+    std::vector<std::uint16_t> free_list_;
+    unsigned rs_occupancy_ = 0;
+    unsigned lq_occupancy_ = 0;
+
+    std::deque<StoreQueueEntry> sq_;       ///< program-order stores
+    std::deque<StoreQueueEntry> store_buffer_;  ///< post-retire drain
+
+    Cache l1d_;
+    MshrFile mshrs_;
+    Tlb tlb_;
+    HybridBranchPredictor bp_;
+
+    // Scheduling machinery (kept O(1)-amortized per cycle).
+    std::deque<std::uint64_t> ready_q_;    ///< seqs ready to issue
+    std::vector<std::uint64_t> retry_q_;   ///< structural-hazard retries
+    std::unordered_map<std::uint16_t,
+                       std::vector<std::uint64_t>> preg_waiters_;
+    std::unordered_map<std::uint64_t, unsigned> pending_srcs_;
+    std::unordered_map<Cycle, std::vector<std::uint64_t>> complete_at_;
+    std::deque<std::pair<Cycle, std::uint64_t>> counter_updates_;
+
+    /// line paddr -> seqs of loads waiting on the fill
+    std::unordered_map<Addr, std::vector<std::uint64_t>> fill_waiters_;
+
+    // Runahead state
+    bool in_runahead_ = false;
+    Addr runahead_blocking_line_ = kNoAddr;
+    unsigned runahead_budget_ = 0;
+    bool runahead_valid_[kArchRegs] = {};
+    std::unordered_set<Addr> runahead_lines_;
+    std::deque<DynUop> replay_q_;   ///< uops consumed during runahead
+
+    // Front-end state
+    bool fetch_blocked_ = false;
+    std::uint64_t fetch_block_seq_ = 0;    ///< mispredicted branch seq
+    Cycle fetch_resume_ = 0;
+    bool have_deferred_uop_ = false;
+    DynUop deferred_uop_;
+
+    // Full-window stall / chain generation state
+    bool full_window_stall_ = false;
+    SatCounter dep_counter_{3, 0};
+    bool chain_in_progress_ = false;
+    Cycle chain_send_cycle_ = kNoCycle;
+    ChainRequest pending_chain_;
+    std::uint64_t next_chain_id_ = 1;
+    std::uint64_t last_chain_source_seq_ = 0;
+
+    /// source-miss seq -> saw a dependent miss (for the 3-bit counter)
+    std::unordered_map<std::uint64_t, bool> source_dep_seen_;
+    /// chain id -> source-miss seq, for counter updates on live-outs
+    std::unordered_map<std::uint64_t, std::uint64_t> offload_chain_source_;
+
+    CoreStats stats_;
+};
+
+} // namespace emc
+
+#endif // EMC_CORE_CORE_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Interfaces between an out-of-order core and the rest of the chip.
+ * The System (src/sim) implements CorePort; the core implements the
+ * notification entry points declared on the Core class itself.
+ */
+
+#ifndef EMC_CORE_PORT_HH
+#define EMC_CORE_PORT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "emc/chain.hh"
+
+namespace emc
+{
+
+/** Services the chip provides to a core. */
+class CorePort
+{
+  public:
+    virtual ~CorePort() = default;
+
+    /**
+     * Issue a demand line-fill request after an L1D miss. The System
+     * routes it over the control ring to the owning LLC slice and, on
+     * an LLC miss, onward to the memory controller. Completion is
+     * delivered via Core::fillArrived().
+     *
+     * @param core requesting core
+     * @param paddr_line line-aligned physical address
+     * @param pc static PC of the triggering load (miss predictor)
+     * @param for_store fetch-on-write triggered by a store drain
+     * @param addr_tainted the address derived from an earlier LLC miss
+     *                     (dependent-miss bookkeeping, Figure 2)
+     * @retval false transient backpressure; the core retries next cycle
+     */
+    virtual bool requestLine(CoreId core, Addr paddr_line, Addr pc,
+                             bool for_store, bool addr_tainted) = 0;
+
+    /**
+     * Write-through store data to the LLC (fire-and-forget; rides the
+     * data ring and may trigger a fetch-on-write at the LLC).
+     */
+    virtual void storeThrough(CoreId core, Addr paddr_line) = 0;
+
+    /**
+     * Offer a generated dependence chain to the EMC.
+     * @retval false no free EMC context (or EMC disabled); the core
+     *               abandons this generation attempt
+     */
+    virtual bool offloadChain(const ChainRequest &chain) = 0;
+
+    /**
+     * True if the PTE for @p vpage of @p core is currently resident in
+     * the EMC TLB (the core-side residence bit, Section 4.1.4).
+     */
+    virtual bool emcTlbResident(CoreId core, Addr vpage) = 0;
+
+    /** Current global cycle. */
+    virtual Cycle now() const = 0;
+};
+
+} // namespace emc
+
+#endif // EMC_CORE_PORT_HH

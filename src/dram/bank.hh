@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Per-bank DRAM state machine. Tracks the open row and the earliest
+ * cycle at which the bank can begin servicing the next column access,
+ * honoring tRAS/tRP/tRCD/tWR/tRTP and (at the rank level) tRRD/tFAW.
+ */
+
+#ifndef EMC_DRAM_BANK_HH
+#define EMC_DRAM_BANK_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/dram_types.hh"
+
+namespace emc
+{
+
+/** One DRAM bank: open-row tracking plus timing bookkeeping. */
+class Bank
+{
+  public:
+    /** @return the row-buffer outcome if a request to @p row issued now. */
+    RowOutcome
+    classify(std::uint64_t row) const
+    {
+        if (!row_open_)
+            return RowOutcome::kEmpty;
+        return row == open_row_ ? RowOutcome::kHit : RowOutcome::kConflict;
+    }
+
+    bool rowOpen() const { return row_open_; }
+    std::uint64_t openRow() const { return open_row_; }
+    Cycle readyCycle() const { return ready_cycle_; }
+
+    /**
+     * Commit a column access to @p row starting no earlier than
+     * @p earliest, returning the cycle at which data transfer may
+     * begin (before bus arbitration).
+     *
+     * @param row target row
+     * @param earliest lower bound (scheduler's issue cycle)
+     * @param t timing parameters
+     * @param is_write whether this is a write burst
+     * @param outcome out: the row-buffer outcome used
+     * @return first cycle data may be on the bus
+     */
+    Cycle
+    access(std::uint64_t row, Cycle earliest, const DramTiming &t,
+           bool is_write, RowOutcome &outcome)
+    {
+        Cycle start = std::max(earliest, ready_cycle_);
+        outcome = classify(row);
+        Cycle data_start;
+        switch (outcome) {
+          case RowOutcome::kHit:
+            data_start = start + t.tCL;
+            break;
+          case RowOutcome::kEmpty:
+            // Activate then CAS.
+            start = std::max(start, act_allowed_);
+            last_activate_ = start;
+            data_start = start + t.tRCD + t.tCL;
+            break;
+          case RowOutcome::kConflict:
+          default: {
+            // Precharge (respecting tRAS), activate, CAS.
+            const Cycle pre = std::max(start, last_activate_ + t.tRAS);
+            Cycle act = pre + t.tRP;
+            act = std::max(act, act_allowed_);
+            last_activate_ = act;
+            data_start = act + t.tRCD + t.tCL;
+            break;
+          }
+        }
+        row_open_ = true;
+        open_row_ = row;
+        // Earliest next column command to this bank.
+        ready_cycle_ = data_start + (is_write ? t.tWR : t.tCCD);
+        return data_start;
+    }
+
+    /** External constraint: no activate before @p c (tRRD/tFAW/refresh). */
+    void
+    blockActivateUntil(Cycle c)
+    {
+        act_allowed_ = std::max(act_allowed_, c);
+    }
+
+    /** Refresh closes the row and stalls the bank for tRFC. */
+    void
+    refresh(Cycle now, const DramTiming &t)
+    {
+        row_open_ = false;
+        ready_cycle_ = std::max(ready_cycle_, now + t.tRFC);
+        act_allowed_ = std::max(act_allowed_, now + t.tRFC);
+    }
+
+    Cycle lastActivate() const { return last_activate_; }
+
+  private:
+    bool row_open_ = false;
+    std::uint64_t open_row_ = 0;
+    Cycle ready_cycle_ = 0;
+    Cycle act_allowed_ = 0;
+    Cycle last_activate_ = 0;
+};
+
+} // namespace emc
+
+#endif // EMC_DRAM_BANK_HH

@@ -1,0 +1,297 @@
+#include "dram/dram_channel.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace emc
+{
+
+const char *
+reqOriginName(ReqOrigin o)
+{
+    switch (o) {
+      case ReqOrigin::kCoreDemand: return "core";
+      case ReqOrigin::kEmcDemand: return "emc";
+      case ReqOrigin::kPrefetch: return "prefetch";
+      case ReqOrigin::kWriteback: return "writeback";
+    }
+    return "?";
+}
+
+DramCoord
+mapAddress(Addr paddr, const DramGeometry &geo)
+{
+    std::uint64_t line = lineNum(paddr);
+    DramCoord c;
+    c.channel = static_cast<unsigned>(line % geo.channels);
+    line /= geo.channels;
+    c.bank = static_cast<unsigned>(line % geo.banks_per_rank);
+    line /= geo.banks_per_rank;
+    const unsigned cols = geo.linesPerRow();
+    c.column = static_cast<unsigned>(line % cols);
+    line /= cols;
+    c.rank = static_cast<unsigned>(line % geo.ranks_per_channel);
+    line /= geo.ranks_per_channel;
+    c.row = line;
+    return c;
+}
+
+DramChannel::DramChannel(const DramGeometry &geo, const DramTiming &timing,
+                         SchedPolicy policy, std::size_t queue_limit,
+                         unsigned num_cores)
+    : geo_(geo), t_(timing), policy_(policy), queue_limit_(queue_limit),
+      num_cores_(num_cores),
+      banks_(geo.ranks_per_channel * geo.banks_per_rank),
+      next_refresh_(timing.tREFI),
+      thread_rank_(num_cores, 0)
+{
+    emc_assert(queue_limit_ > 0, "DRAM queue limit must be positive");
+}
+
+const Bank &
+DramChannel::bank(unsigned rank, unsigned b) const
+{
+    return banks_.at(rank * geo_.banks_per_rank + b);
+}
+
+Bank &
+DramChannel::bankFor(const DramCoord &c)
+{
+    return banks_.at(c.rank * geo_.banks_per_rank + c.bank);
+}
+
+bool
+DramChannel::enqueue(const MemRequest &req, Cycle now)
+{
+    Queued qe;
+    qe.req = req;
+    qe.req.cycle_mc_enqueue = now;
+    if (req.is_write) {
+        // Writes are buffered and drained lazily; the write queue is
+        // effectively unbounded relative to the workload's needs but a
+        // high watermark forces drains before it grows without bound.
+        write_q_.push_back(qe);
+        return true;
+    }
+    if (read_q_.size() >= queue_limit_)
+        return false;
+    read_q_.push_back(qe);
+    return true;
+}
+
+void
+DramChannel::maybeRefresh(Cycle now)
+{
+    if (now < next_refresh_)
+        return;
+    next_refresh_ += t_.tREFI;
+    ++stats_.refreshes;
+    for (auto &b : banks_)
+        b.refresh(now, t_);
+}
+
+void
+DramChannel::formBatch()
+{
+    // PAR-BS: when no marked requests remain, mark up to the marking
+    // cap oldest requests per (thread, bank) and rank threads by their
+    // total marked load (shortest job first).
+    constexpr unsigned kMarkingCap = 5;
+    marked_remaining_ = 0;
+
+    // counts[core][bank] of marked requests.
+    std::vector<std::vector<unsigned>> counts(
+        num_cores_, std::vector<unsigned>(banks_.size(), 0));
+    for (auto &qe : read_q_) {
+        const DramCoord c = mapAddress(qe.req.paddr, geo_);
+        const unsigned bank_idx = c.rank * geo_.banks_per_rank + c.bank;
+        const CoreId core = qe.req.core % num_cores_;
+        if (counts[core][bank_idx] < kMarkingCap) {
+            qe.marked = true;
+            ++counts[core][bank_idx];
+            ++marked_remaining_;
+        } else {
+            qe.marked = false;
+        }
+    }
+
+    // Thread ranking: max-bank-load primary, total secondary.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> load(num_cores_);
+    for (unsigned core = 0; core < num_cores_; ++core) {
+        std::uint64_t mx = 0, tot = 0;
+        for (unsigned b = 0; b < banks_.size(); ++b) {
+            mx = std::max<std::uint64_t>(mx, counts[core][b]);
+            tot += counts[core][b];
+        }
+        load[core] = {mx, tot};
+    }
+    std::vector<unsigned> order(num_cores_);
+    for (unsigned i = 0; i < num_cores_; ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](unsigned a, unsigned b) {
+                         return load[a] < load[b];
+                     });
+    for (unsigned pos = 0; pos < num_cores_; ++pos)
+        thread_rank_[order[pos]] = pos;
+}
+
+int
+DramChannel::pickFrFcfs(const std::deque<Queued> &q, Cycle now) const
+{
+    int best = -1;
+    bool best_hit = false;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        const DramCoord c = mapAddress(q[i].req.paddr, geo_);
+        const Bank &b = banks_[c.rank * geo_.banks_per_rank + c.bank];
+        if (b.readyCycle() > now)
+            continue;
+        const bool hit = b.classify(c.row) == RowOutcome::kHit;
+        if (best < 0 || (hit && !best_hit)) {
+            best = static_cast<int>(i);
+            best_hit = hit;
+            if (hit)
+                break;  // oldest row hit wins
+        }
+    }
+    return best;
+}
+
+int
+DramChannel::pickBatch(Cycle now)
+{
+    if (marked_remaining_ == 0 && !read_q_.empty())
+        formBatch();
+
+    // Priority: marked > row-hit > thread rank > age.
+    int best = -1;
+    auto better = [&](const Queued &a, const Queued &b) {
+        if (a.marked != b.marked)
+            return a.marked;
+        const DramCoord ca = mapAddress(a.req.paddr, geo_);
+        const DramCoord cb = mapAddress(b.req.paddr, geo_);
+        const bool ha = banks_[ca.rank * geo_.banks_per_rank + ca.bank]
+                            .classify(ca.row) == RowOutcome::kHit;
+        const bool hb = banks_[cb.rank * geo_.banks_per_rank + cb.bank]
+                            .classify(cb.row) == RowOutcome::kHit;
+        if (ha != hb)
+            return ha;
+        const auto ra = thread_rank_[a.req.core % num_cores_];
+        const auto rb = thread_rank_[b.req.core % num_cores_];
+        if (ra != rb)
+            return ra < rb;
+        return a.req.cycle_mc_enqueue < b.req.cycle_mc_enqueue;
+    };
+    for (std::size_t i = 0; i < read_q_.size(); ++i) {
+        const DramCoord c = mapAddress(read_q_[i].req.paddr, geo_);
+        const Bank &b = banks_[c.rank * geo_.banks_per_rank + c.bank];
+        if (b.readyCycle() > now)
+            continue;
+        if (best < 0 || better(read_q_[i], read_q_[best]))
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+void
+DramChannel::applyActConstraints(const DramCoord &c, Cycle act_cycle)
+{
+    // tRRD between activates in the same rank; tFAW over four.
+    for (unsigned b = 0; b < geo_.banks_per_rank; ++b) {
+        auto &bank = banks_[c.rank * geo_.banks_per_rank + b];
+        bank.blockActivateUntil(act_cycle + t_.tRRD);
+    }
+}
+
+void
+DramChannel::issue(Queued &qe, Cycle now, bool is_write)
+{
+    MemRequest &req = qe.req;
+    const DramCoord c = mapAddress(req.paddr, geo_);
+    Bank &bank = bankFor(c);
+
+    RowOutcome outcome;
+    Cycle data_start = bank.access(c.row, now, t_, is_write, outcome);
+    data_start = std::max(data_start, bus_free_);
+    const Cycle data_done = data_start + t_.tBurst;
+    bus_free_ = data_done;
+    stats_.busy_bus_cycles += t_.tBurst;
+
+    if (outcome != RowOutcome::kHit)
+        applyActConstraints(c, bank.lastActivate());
+
+    req.cycle_dram_issue = now;
+    req.cycle_dram_data = data_done;
+    req.outcome = outcome;
+
+    switch (outcome) {
+      case RowOutcome::kHit: ++stats_.row_hits; break;
+      case RowOutcome::kEmpty: ++stats_.row_empty; break;
+      case RowOutcome::kConflict: ++stats_.row_conflicts; break;
+    }
+
+    if (is_write) {
+        ++stats_.writes;
+    } else {
+        ++stats_.reads;
+        stats_.total_queue_wait +=
+            static_cast<double>(now - req.cycle_mc_enqueue);
+        stats_.total_service += static_cast<double>(data_done - now);
+        ++stats_.read_samples;
+        in_flight_.push_back(req);
+    }
+}
+
+void
+DramChannel::tick(Cycle now)
+{
+    maybeRefresh(now);
+
+    // Deliver finished reads.
+    for (std::size_t i = 0; i < in_flight_.size();) {
+        if (in_flight_[i].cycle_dram_data <= now) {
+            if (callback_)
+                callback_(in_flight_[i]);
+            in_flight_[i] = in_flight_.back();
+            in_flight_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+
+    // Write drain policy: drain when the write queue is deep or there
+    // is nothing else to do.
+    constexpr std::size_t kWriteHigh = 32;
+    constexpr std::size_t kWriteLow = 8;
+    if (draining_writes_ && write_q_.size() <= kWriteLow)
+        draining_writes_ = false;
+    if (!draining_writes_ && write_q_.size() >= kWriteHigh)
+        draining_writes_ = true;
+
+    const bool do_write =
+        (draining_writes_ || read_q_.empty()) && !write_q_.empty();
+
+    if (do_write) {
+        const int idx = pickFrFcfs(write_q_, now);
+        if (idx >= 0) {
+            issue(write_q_[idx], now, true);
+            write_q_.erase(write_q_.begin() + idx);
+            return;
+        }
+    }
+
+    if (!read_q_.empty()) {
+        const int idx = policy_ == SchedPolicy::kFrFcfs
+                            ? pickFrFcfs(read_q_, now)
+                            : pickBatch(now);
+        if (idx >= 0) {
+            if (read_q_[idx].marked && marked_remaining_ > 0)
+                --marked_remaining_;
+            issue(read_q_[idx], now, false);
+            read_q_.erase(read_q_.begin() + idx);
+        }
+    }
+}
+
+} // namespace emc

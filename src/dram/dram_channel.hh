@@ -1,0 +1,139 @@
+/**
+ * @file
+ * A DRAM channel: request queues, the scheduling policy (FR-FCFS or
+ * PAR-BS batch scheduling as in the paper's baseline), ranks of banks,
+ * a shared data bus and rank-level refresh.
+ */
+
+#ifndef EMC_DRAM_DRAM_CHANNEL_HH
+#define EMC_DRAM_DRAM_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/bank.hh"
+#include "dram/dram_types.hh"
+
+namespace emc
+{
+
+/** Scheduling policy for the memory controller. */
+enum class SchedPolicy : std::uint8_t
+{
+    kFrFcfs,   ///< first-ready, first-come-first-served
+    kBatch,    ///< parallelism-aware batch scheduling [42]
+};
+
+/** Aggregate per-channel statistics. */
+struct DramChannelStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t row_hits = 0;
+    std::uint64_t row_empty = 0;
+    std::uint64_t row_conflicts = 0;
+    std::uint64_t refreshes = 0;
+    double total_queue_wait = 0;   ///< enqueue -> issue, reads only
+    double total_service = 0;      ///< issue -> data, reads only
+    std::uint64_t read_samples = 0;
+    Cycle busy_bus_cycles = 0;
+
+    double
+    rowConflictRate() const
+    {
+        const auto total = row_hits + row_empty + row_conflicts;
+        return total ? static_cast<double>(row_conflicts) / total : 0.0;
+    }
+};
+
+/**
+ * One DDR3 channel with its queues and banks.
+ *
+ * Requests enter via enqueue(); each tick() the scheduler may issue
+ * one request; completions are delivered through the callback the
+ * owner registered. The in-flight list is drained in completion
+ * order.
+ */
+class DramChannel
+{
+  public:
+    using Callback = std::function<void(const MemRequest &)>;
+
+    /**
+     * @param geo DRAM geometry (this channel's ranks/banks)
+     * @param timing DDR3 timings in core cycles
+     * @param policy scheduling policy
+     * @param queue_limit read-queue capacity (Table 1: 128 / #channels)
+     * @param num_cores used by the batch scheduler's thread ranking
+     */
+    DramChannel(const DramGeometry &geo, const DramTiming &timing,
+                SchedPolicy policy, std::size_t queue_limit,
+                unsigned num_cores);
+
+    /** @retval false if the read queue is full (caller must retry). */
+    bool enqueue(const MemRequest &req, Cycle now);
+
+    /** True if another read request can be accepted. */
+    bool canAccept() const { return read_q_.size() < queue_limit_; }
+
+    /** Advance one core cycle; delivers completions via the callback. */
+    void tick(Cycle now);
+
+    void setCallback(Callback cb) { callback_ = std::move(cb); }
+
+    const DramChannelStats &stats() const { return stats_; }
+
+    /** Zero the statistics (post-warmup measurement start). */
+    void resetStats() { stats_ = DramChannelStats{}; }
+
+    std::size_t readQueueDepth() const { return read_q_.size(); }
+    std::size_t writeQueueDepth() const { return write_q_.size(); }
+
+    /** Expose bank state for tests. */
+    const Bank &bank(unsigned rank, unsigned b) const;
+
+  private:
+    /** A queued request plus its PAR-BS batch mark. */
+    struct Queued
+    {
+        MemRequest req;
+        bool marked = false;   ///< in the current PAR-BS batch
+    };
+
+    void maybeRefresh(Cycle now);
+    void formBatch();
+    int pickFrFcfs(const std::deque<Queued> &q, Cycle now) const;
+    int pickBatch(Cycle now);
+    void issue(Queued &qe, Cycle now, bool is_write);
+    Bank &bankFor(const DramCoord &c);
+    void applyActConstraints(const DramCoord &c, Cycle act_cycle);
+
+    DramGeometry geo_;
+    DramTiming t_;
+    SchedPolicy policy_;
+    std::size_t queue_limit_;
+    unsigned num_cores_;
+
+    std::vector<Bank> banks_;          ///< [rank * banks_per_rank + bank]
+    std::deque<Queued> read_q_;
+    std::deque<Queued> write_q_;
+    std::vector<MemRequest> in_flight_;
+
+    Cycle bus_free_ = 0;
+    Cycle next_refresh_ = 0;
+    bool draining_writes_ = false;
+
+    // PAR-BS state
+    std::uint64_t marked_remaining_ = 0;
+    std::vector<std::uint64_t> thread_rank_;  ///< lower = higher priority
+
+    Callback callback_;
+    DramChannelStats stats_;
+};
+
+} // namespace emc
+
+#endif // EMC_DRAM_DRAM_CHANNEL_HH

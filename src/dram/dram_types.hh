@@ -1,0 +1,120 @@
+/**
+ * @file
+ * DDR3 timing parameters, address mapping and the memory request
+ * record shared between the memory controller, the DRAM channels and
+ * the latency-attribution machinery.
+ *
+ * All timings are expressed in core cycles at 3.2 GHz. The DDR3-1600
+ * bus runs at 800 MHz, so one bus cycle is 4 core cycles (Table 1:
+ * CAS 13.75 ns = 44 core cycles, 8 banks/rank, 8 KB rows).
+ */
+
+#ifndef EMC_DRAM_DRAM_TYPES_HH
+#define EMC_DRAM_DRAM_TYPES_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace emc
+{
+
+/** Who generated a memory request (drives stats and scheduling). */
+enum class ReqOrigin : std::uint8_t
+{
+    kCoreDemand,  ///< demand miss issued by a core
+    kEmcDemand,   ///< demand miss issued by the EMC (Section 4.3)
+    kPrefetch,    ///< prefetcher-generated fill
+    kWriteback,   ///< dirty eviction from the LLC
+};
+
+const char *reqOriginName(ReqOrigin o);
+
+/** DDR3-1600-style timing, in core cycles (3.2 GHz core). */
+struct DramTiming
+{
+    Cycle tCL = 44;     ///< CAS latency, 13.75 ns
+    Cycle tRCD = 44;    ///< RAS-to-CAS
+    Cycle tRP = 44;     ///< precharge
+    Cycle tRAS = 112;   ///< activate-to-precharge
+    Cycle tBurst = 16;  ///< 64 B over an 8 B DDR bus: 4 bus cycles
+    Cycle tCCD = 16;    ///< CAS-to-CAS
+    Cycle tWR = 48;     ///< write recovery
+    Cycle tWTR = 24;    ///< write-to-read turnaround
+    Cycle tRTP = 24;    ///< read-to-precharge
+    Cycle tRRD = 20;    ///< activate-to-activate, same rank
+    Cycle tFAW = 96;    ///< four-activate window
+    Cycle tREFI = 24960; ///< refresh interval (7.8 us)
+    Cycle tRFC = 512;   ///< refresh cycle time (160 ns)
+
+    Cycle tRC() const { return tRAS + tRP; }
+};
+
+/** Geometry of the DRAM system (Table 1 defaults: quad-core). */
+struct DramGeometry
+{
+    unsigned channels = 2;
+    unsigned ranks_per_channel = 1;
+    unsigned banks_per_rank = 8;
+    unsigned row_bytes = 8192;
+
+    unsigned linesPerRow() const { return row_bytes / kLineBytes; }
+};
+
+/**
+ * Physical address decomposition. The mapping interleaves consecutive
+ * cache lines across channels, then banks, so streaming traffic
+ * spreads while a row still holds 128 consecutive same-channel lines.
+ *
+ * phys line number bits, low to high:
+ *   [channel] [bank] [column-within-row] [rank] [row]
+ */
+struct DramCoord
+{
+    unsigned channel;
+    unsigned rank;
+    unsigned bank;
+    std::uint64_t row;
+    unsigned column;
+};
+
+DramCoord mapAddress(Addr paddr, const DramGeometry &geo);
+
+/** Result category of a DRAM access (row-buffer outcome). */
+enum class RowOutcome : std::uint8_t
+{
+    kHit,       ///< row already open
+    kEmpty,     ///< bank idle, no row open
+    kConflict,  ///< different row open: precharge + activate
+};
+
+/**
+ * A request traveling from an LLC slice (or the EMC) through the
+ * memory controller to DRAM and back. Cycle fields are filled in as
+ * the request progresses so the benches can attribute latency the way
+ * Figures 1, 18 and 19 do.
+ */
+struct MemRequest
+{
+    std::uint64_t id = 0;       ///< unique id assigned by the MC
+    Addr paddr = kNoAddr;       ///< line-aligned physical address
+    bool is_write = false;
+    ReqOrigin origin = ReqOrigin::kCoreDemand;
+    CoreId core = 0;            ///< requesting core (or home core for EMC)
+
+    // --- latency attribution (core cycles) ---
+    Cycle cycle_llc_miss = kNoCycle;  ///< LLC miss determined
+    Cycle cycle_mc_enqueue = kNoCycle;///< entered the MC queue
+    Cycle cycle_dram_issue = kNoCycle;///< selected by the scheduler
+    Cycle cycle_dram_data = kNoCycle; ///< data at the MC pins
+    Cycle cycle_done = kNoCycle;      ///< data delivered to requestor
+
+    RowOutcome outcome = RowOutcome::kEmpty;
+
+    /** Opaque token the owner uses to match completions. */
+    std::uint64_t token = 0;
+};
+
+} // namespace emc
+
+#endif // EMC_DRAM_DRAM_TYPES_HH

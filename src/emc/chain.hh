@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Dependence-chain types shared between the core's chain-generation
+ * unit (Section 4.2) and the EMC's execution contexts (Section 4.3).
+ */
+
+#ifndef EMC_EMC_CHAIN_HH
+#define EMC_EMC_CHAIN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/trace.hh"
+#include "vm/page_table.hh"
+
+namespace emc
+{
+
+/** Maximum uops per chain / EMC physical registers (Table 1). */
+constexpr unsigned kChainMaxUops = 16;
+constexpr unsigned kEmcPhysRegs = 16;
+
+/** Sentinel EPR id. */
+constexpr std::uint8_t kNoEpr = 0xff;
+
+/**
+ * One uop of a dependence chain after renaming onto the EMC register
+ * space. Sources are either EPRs produced inside the chain or live-in
+ * values captured from the core PRF at chain-generation time.
+ */
+struct ChainUop
+{
+    DynUop d;                    ///< decoded uop + oracle annotations
+    std::uint8_t epr_dst = kNoEpr;
+    std::uint8_t epr_src1 = kNoEpr; ///< kNoEpr => src1 is live-in/absent
+    std::uint8_t epr_src2 = kNoEpr;
+    bool src1_live_in = false;
+    bool src2_live_in = false;
+    std::uint64_t src1_val = 0;  ///< captured live-in value
+    std::uint64_t src2_val = 0;
+    std::uint64_t rob_seq = 0;   ///< home-core ROB sequence number
+    bool is_source = false;      ///< the triggering source-miss load
+    bool is_spill_store = false; ///< store classified as register spill
+};
+
+/**
+ * A complete chain shipped from a core to the EMC along with its
+ * live-in data and the PTE of the source miss (Section 4.1.4).
+ */
+struct ChainRequest
+{
+    std::uint64_t id = 0;
+    CoreId core = 0;
+    Addr source_paddr_line = kNoAddr;  ///< fill that arms the context
+    std::uint64_t source_value = 0;    ///< oracle data of the source load
+    std::uint8_t source_epr = kNoEpr;  ///< EPR that receives the data
+    std::vector<ChainUop> uops;        ///< <= kChainMaxUops
+    unsigned live_in_count = 0;
+    Pte source_pte;                    ///< shipped when not EMC-resident
+    bool pte_attached = false;
+
+    /** Wire size of the uops in bytes (6 B/uop, Table 1). */
+    unsigned uopBytes() const
+    {
+        return 6 * static_cast<unsigned>(uops.size());
+    }
+
+    /** Wire size of the live-in data in bytes. */
+    unsigned liveInBytes() const { return 8 * live_in_count; }
+};
+
+/** Why a chain finished at the EMC. */
+enum class ChainOutcome : std::uint8_t
+{
+    kCompleted,       ///< all uops executed; live-outs returned
+    kTlbMiss,         ///< EMC TLB missed; core must re-execute
+    kMispredict,      ///< EMC detected a mispredicted branch
+    kDisambiguation,  ///< memory-ordering conflict at the home core
+};
+
+/** One live-out register (or store notification) returned to the core. */
+struct LiveOut
+{
+    std::uint64_t rob_seq = 0;
+    std::uint64_t value = 0;
+    bool is_mem = false;     ///< the producing uop was a load/store
+    bool is_store = false;
+    bool llc_miss = false;   ///< the EMC load missed the LLC (taint)
+};
+
+/** Live-out package returned to the core on completion. */
+struct ChainResult
+{
+    std::uint64_t chain_id = 0;
+    CoreId core = 0;
+    ChainOutcome outcome = ChainOutcome::kCompleted;
+    std::vector<LiveOut> live_outs;
+    unsigned live_out_count = 0;
+
+    /** Wire size of the live-out data in bytes. */
+    unsigned liveOutBytes() const { return 8 * live_out_count; }
+};
+
+} // namespace emc
+
+#endif // EMC_EMC_CHAIN_HH

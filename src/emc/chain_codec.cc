@@ -1,0 +1,221 @@
+#include "emc/chain_codec.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace emc
+{
+
+namespace
+{
+
+/**
+ * 6-byte uop layout:
+ *   byte 0: opcode (5 bits) | is_source (bit 5) | is_spill (bit 6)
+ *           | imm_in_live_in (bit 7)
+ *   byte 1: dst EPR (5 bits; 31 = none) | src1 kind (bits 5-6:
+ *           0 none, 1 EPR, 2 live-in) | src2-kind low bit (bit 7)
+ *   byte 2: src2 kind high bit (bit 0) | src1 index (5 bits, bits 1-5)
+ *           | src2 index low 2 bits (bits 6-7)
+ *   byte 3: src2 index high 3 bits (bits 0-2) | arch dst (bits 3-6)
+ *           | taken (bit 7)
+ *   bytes 4-5: 16-bit signed immediate, or the live-in slot of a wide
+ *              immediate when imm_in_live_in is set
+ */
+constexpr unsigned kUopBytes = 6;
+constexpr std::uint8_t kEprNone = 31;
+
+enum SrcKind : unsigned
+{
+    kSrcNone = 0,
+    kSrcEpr = 1,
+    kSrcLiveIn = 2,
+};
+
+} // namespace
+
+bool
+encodeChain(const ChainRequest &chain, EncodedChain &out)
+{
+    out = EncodedChain{};
+    out.chain_id = chain.id;
+    out.core = chain.core;
+    out.source_paddr_line = chain.source_paddr_line;
+    out.source_value = chain.source_value;
+    out.source_pte = chain.source_pte;
+    out.pte_attached = chain.pte_attached;
+
+    for (const ChainUop &cu : chain.uops) {
+        std::uint8_t b[kUopBytes] = {};
+
+        const auto op = static_cast<unsigned>(cu.d.uop.op);
+        if (op >= 32)
+            return false;
+        b[0] = static_cast<std::uint8_t>(op);
+        if (cu.is_source)
+            b[0] |= 1u << 5;
+        if (cu.is_spill_store)
+            b[0] |= 1u << 6;
+
+        // Immediate: inline if it fits 16 bits signed, else spill
+        // into the live-in vector (Figure 9 semantics).
+        std::uint16_t imm16 = 0;
+        const std::int64_t imm = cu.d.uop.imm;
+        if (imm >= -32768 && imm <= 32767) {
+            imm16 = static_cast<std::uint16_t>(
+                static_cast<std::int16_t>(imm));
+        } else {
+            b[0] |= 1u << 7;
+            if (out.live_ins.size() > 0xffff)
+                return false;
+            imm16 = static_cast<std::uint16_t>(out.live_ins.size());
+            out.live_ins.push_back(static_cast<std::uint64_t>(imm));
+        }
+
+        const std::uint8_t dst =
+            cu.epr_dst == kNoEpr ? kEprNone : cu.epr_dst;
+        if (dst != kEprNone && dst >= kEmcPhysRegs)
+            return false;
+        b[1] = dst & 0x1f;
+
+        auto src_kind = [&](bool has, bool live_in,
+                            std::uint8_t epr) -> unsigned {
+            if (!has)
+                return kSrcNone;
+            return live_in ? kSrcLiveIn : (epr != kNoEpr ? kSrcEpr
+                                                         : kSrcNone);
+        };
+        auto src_index = [&](bool live_in, std::uint8_t epr,
+                             std::uint64_t value) -> unsigned {
+            if (!live_in)
+                return epr == kNoEpr ? 0 : epr;
+            const unsigned slot =
+                static_cast<unsigned>(out.live_ins.size());
+            out.live_ins.push_back(value);
+            return slot;
+        };
+
+        const unsigned k1 = src_kind(cu.d.uop.hasSrc1(),
+                                     cu.src1_live_in, cu.epr_src1);
+        const unsigned k2 = src_kind(cu.d.uop.hasSrc2(),
+                                     cu.src2_live_in, cu.epr_src2);
+        const unsigned i1 =
+            k1 == kSrcNone
+                ? 0
+                : src_index(cu.src1_live_in, cu.epr_src1, cu.src1_val);
+        const unsigned i2 =
+            k2 == kSrcNone
+                ? 0
+                : src_index(cu.src2_live_in, cu.epr_src2, cu.src2_val);
+        if (i1 >= 32 || i2 >= 32)
+            return false;  // beyond the 5-bit wire index space
+
+        b[1] |= static_cast<std::uint8_t>((k1 & 0x3) << 5);
+        b[1] |= static_cast<std::uint8_t>((k2 & 0x1) << 7);
+        b[2] = static_cast<std::uint8_t>((k2 >> 1) & 0x1);
+        b[2] |= static_cast<std::uint8_t>((i1 & 0x1f) << 1);
+        b[2] |= static_cast<std::uint8_t>((i2 & 0x3) << 6);
+        b[3] = static_cast<std::uint8_t>((i2 >> 2) & 0x7);
+        const std::uint8_t arch_dst =
+            cu.d.uop.hasDst() ? cu.d.uop.dst : 0xf;
+        if (cu.d.uop.hasDst() && arch_dst >= 0xf)
+            return false;  // 15 arch regs encodable + "none"
+        b[3] |= static_cast<std::uint8_t>((arch_dst & 0xf) << 3);
+        if (cu.d.taken)
+            b[3] |= 1u << 7;
+
+        std::memcpy(b + 4, &imm16, 2);
+        out.uop_bytes.insert(out.uop_bytes.end(), b, b + kUopBytes);
+
+        out.rob_seqs.push_back(cu.rob_seq);
+        out.oracle.push_back(cu.d);
+    }
+    return true;
+}
+
+ChainRequest
+decodeChain(const EncodedChain &enc)
+{
+    ChainRequest chain;
+    chain.id = enc.chain_id;
+    chain.core = enc.core;
+    chain.source_paddr_line = enc.source_paddr_line;
+    chain.source_value = enc.source_value;
+    chain.source_pte = enc.source_pte;
+    chain.pte_attached = enc.pte_attached;
+
+    const std::size_t n = enc.uop_bytes.size() / kUopBytes;
+    emc_assert(enc.uop_bytes.size() % kUopBytes == 0,
+               "truncated chain wire data");
+    emc_assert(enc.rob_seqs.size() == n && enc.oracle.size() == n,
+               "side-band bookkeeping out of sync");
+
+    unsigned live_in_count = 0;
+    for (std::size_t u = 0; u < n; ++u) {
+        const std::uint8_t *b = enc.uop_bytes.data() + u * kUopBytes;
+        ChainUop cu;
+        cu.d = enc.oracle[u];  // oracle annotations ride side-band
+        cu.rob_seq = enc.rob_seqs[u];
+
+        cu.d.uop.op = static_cast<Opcode>(b[0] & 0x1f);
+        cu.is_source = (b[0] >> 5) & 1;
+        cu.is_spill_store = (b[0] >> 6) & 1;
+        const bool imm_live_in = (b[0] >> 7) & 1;
+
+        const std::uint8_t dst = b[1] & 0x1f;
+        cu.epr_dst = dst == kEprNone ? kNoEpr : dst;
+
+        const unsigned k1 = (b[1] >> 5) & 0x3;
+        const unsigned k2 = ((b[1] >> 7) & 0x1)
+                            | ((b[2] & 0x1) << 1);
+        const unsigned i1 = (b[2] >> 1) & 0x1f;
+        const unsigned i2 = ((b[2] >> 6) & 0x3) | ((b[3] & 0x7) << 2);
+
+        cu.epr_src1 = kNoEpr;
+        cu.epr_src2 = kNoEpr;
+        cu.src1_live_in = false;
+        cu.src2_live_in = false;
+        if (k1 == kSrcEpr) {
+            cu.epr_src1 = static_cast<std::uint8_t>(i1);
+        } else if (k1 == kSrcLiveIn) {
+            cu.src1_live_in = true;
+            cu.src1_val = enc.live_ins.at(i1);
+            ++live_in_count;
+        }
+        if (k2 == kSrcEpr) {
+            cu.epr_src2 = static_cast<std::uint8_t>(i2);
+        } else if (k2 == kSrcLiveIn) {
+            cu.src2_live_in = true;
+            cu.src2_val = enc.live_ins.at(i2);
+            ++live_in_count;
+        }
+
+        std::uint16_t imm16;
+        std::memcpy(&imm16, b + 4, 2);
+        if (imm_live_in) {
+            cu.d.uop.imm = static_cast<std::int64_t>(
+                enc.live_ins.at(imm16));
+        } else {
+            cu.d.uop.imm = static_cast<std::int16_t>(imm16);
+        }
+        cu.d.taken = (b[3] >> 7) & 1;
+
+        if (cu.is_source && cu.rob_seq != 0
+            && chain.source_epr == kNoEpr) {
+            chain.source_epr = cu.epr_dst;
+        }
+        chain.uops.push_back(cu);
+    }
+    // The primary source is the first source uop.
+    for (const ChainUop &cu : chain.uops) {
+        if (cu.is_source) {
+            chain.source_epr = cu.epr_dst;
+            break;
+        }
+    }
+    chain.live_in_count = live_in_count;
+    return chain;
+}
+
+} // namespace emc

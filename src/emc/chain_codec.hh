@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Wire codec for dependence chains (Table 1: "Micro-op size: 6 bytes
+ * in addition to any live-in source data").
+ *
+ * The codec packs exactly the fields the EMC needs to execute a chain
+ * into 6 bytes per uop, with a live-in data vector of 8-byte words.
+ * Immediates that fit 16 bits travel inline; wider immediates travel
+ * through the live-in vector, matching the paper's Figure 9 where
+ * immediates are shifted into the live-in source vector. The codec
+ * both validates that our chains fit the paper's wire budget and
+ * provides the exact transfer byte counts the interconnect model
+ * charges.
+ *
+ * Simulator bookkeeping (ROB sequence numbers, oracle annotations)
+ * deliberately does not travel on the wire; EncodedChain carries it
+ * alongside so decode can rebuild a full ChainRequest for execution.
+ */
+
+#ifndef EMC_EMC_CHAIN_CODEC_HH
+#define EMC_EMC_CHAIN_CODEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "emc/chain.hh"
+
+namespace emc
+{
+
+/** A chain in wire form. */
+struct EncodedChain
+{
+    std::vector<std::uint8_t> uop_bytes;   ///< 6 B per uop
+    std::vector<std::uint64_t> live_ins;   ///< captured data + wide imms
+
+    // Side-band bookkeeping (not charged as wire traffic).
+    std::vector<std::uint64_t> rob_seqs;
+    std::vector<DynUop> oracle;
+    std::uint64_t chain_id = 0;
+    CoreId core = 0;
+    Addr source_paddr_line = kNoAddr;
+    std::uint64_t source_value = 0;
+    Pte source_pte;
+    bool pte_attached = false;
+
+    /** Bytes that actually cross the interconnect. */
+    unsigned
+    wireBytes() const
+    {
+        return static_cast<unsigned>(uop_bytes.size()
+                                     + 8 * live_ins.size());
+    }
+};
+
+/**
+ * Encode @p chain. Fails (returns false) only if a uop cannot be
+ * represented — which would mean the chain violates the paper's wire
+ * format (a bug chain generation must not produce).
+ */
+bool encodeChain(const ChainRequest &chain, EncodedChain &out);
+
+/** Decode back into an executable ChainRequest. */
+ChainRequest decodeChain(const EncodedChain &enc);
+
+} // namespace emc
+
+#endif // EMC_EMC_CHAIN_CODEC_HH

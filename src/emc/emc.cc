@@ -1,0 +1,566 @@
+#include "emc/emc.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace emc
+{
+
+namespace
+{
+
+/** Env-gated chain timeline tracing (EMC_TRACE=1). */
+bool
+traceOn()
+{
+    static const bool on = std::getenv("EMC_TRACE") != nullptr;
+    return on;
+}
+
+} // namespace
+
+Emc::Emc(const EmcConfig &cfg, unsigned num_cores, EmcPort *port)
+    : cfg_(cfg), num_cores_(num_cores), port_(port),
+      contexts_(cfg.contexts),
+      dcache_(cfg.dcache_bytes, cfg.dcache_ways, "emc_dcache"),
+      miss_pred_(num_cores,
+                 std::vector<std::uint8_t>(cfg.miss_pred_entries, 0))
+{
+    for (unsigned c = 0; c < num_cores; ++c)
+        tlbs_.emplace_back(cfg.tlb_entries);
+    for (auto &ctx : contexts_) {
+        ctx.prf.resize(kEmcPhysRegs);
+    }
+}
+
+bool
+Emc::hasFreeContext() const
+{
+    for (const auto &ctx : contexts_) {
+        if (!ctx.busy)
+            return true;
+    }
+    return false;
+}
+
+bool
+Emc::acceptChain(const ChainRequest &chain, bool source_already_arrived)
+{
+    Context *free_ctx = nullptr;
+    for (auto &ctx : contexts_) {
+        if (!ctx.busy) {
+            free_ctx = &ctx;
+            break;
+        }
+    }
+    if (!free_ctx) {
+        ++stats_.chains_rejected;
+        return false;
+    }
+
+    Context &c = *free_ctx;
+    c.busy = true;
+    c.armed = false;
+    c.halted = false;
+    c.chain = chain;
+    c.state.assign(chain.uops.size(), UopState());
+    for (auto &r : c.prf) {
+        r.ready = false;
+        r.value = 0;
+    }
+    c.lsq.clear();
+    c.arm_cycle = kNoCycle;
+    c.generation = generation_counter_++;
+
+    // Install the shipped PTE (Section 4.1.4).
+    if (chain.pte_attached)
+        tlbs_[chain.core].insert(chain.source_pte);
+
+    ++stats_.chains_accepted;
+    stats_.uops_per_chain.sample(static_cast<double>(chain.uops.size()));
+    if (traceOn()) {
+        std::fprintf(stderr, "[%llu] chain %llu core%u accept uops=%zu "
+                     "src_line=%llx pre_armed=%d\n",
+                     (unsigned long long)port_->now(),
+                     (unsigned long long)chain.id, chain.core,
+                     chain.uops.size(),
+                     (unsigned long long)chain.source_paddr_line,
+                     source_already_arrived);
+    }
+
+    if (source_already_arrived)
+        observeFill(chain.source_paddr_line);
+    return true;
+}
+
+void
+Emc::observeFill(Addr paddr_line)
+{
+    // Keep the most recent DRAM-to-chip lines in the EMC data cache.
+    if (dcache_.peek(paddr_line) == nullptr)
+        dcache_.insert(paddr_line);
+
+    // Arm any context waiting for this fill as its source data.
+    for (unsigned i = 0; i < contexts_.size(); ++i) {
+        Context &c = contexts_[i];
+        if (!c.busy || c.armed || c.halted)
+            continue;
+        if (c.chain.source_paddr_line != paddr_line)
+            continue;
+        c.armed = true;
+        c.arm_cycle = port_->now();
+        if (traceOn()) {
+            std::fprintf(stderr, "[%llu] chain %llu arm\n",
+                         (unsigned long long)port_->now(),
+                         (unsigned long long)c.chain.id);
+        }
+        // Every source load's destination EPR receives its slice of
+        // the arriving line (the MSHR wakes all merged loads at once).
+        for (unsigned u = 0; u < c.chain.uops.size(); ++u) {
+            ChainUop &cu = c.chain.uops[u];
+            if (!cu.is_source)
+                continue;
+            c.state[u].issued = true;
+            c.state[u].completed = true;
+            c.state[u].value = cu.d.mem_value;
+            if (cu.epr_dst != kNoEpr) {
+                c.prf[cu.epr_dst].value = cu.d.mem_value;
+                c.prf[cu.epr_dst].ready = true;
+            }
+        }
+    }
+}
+
+bool
+Emc::sourceReady(const Context &c, const ChainUop &cu, bool first_src,
+                 std::uint64_t &value) const
+{
+    const std::uint8_t epr = first_src ? cu.epr_src1 : cu.epr_src2;
+    const bool live_in = first_src ? cu.src1_live_in : cu.src2_live_in;
+    const std::uint64_t captured = first_src ? cu.src1_val : cu.src2_val;
+    const bool has =
+        first_src ? cu.d.uop.hasSrc1() : cu.d.uop.hasSrc2();
+    if (!has) {
+        value = 0;
+        return true;
+    }
+    if (live_in) {
+        value = captured;
+        return true;
+    }
+    emc_assert(epr != kNoEpr, "chain source neither EPR nor live-in");
+    if (!c.prf[epr].ready)
+        return false;
+    value = c.prf[epr].value;
+    return true;
+}
+
+bool
+Emc::uopReady(const Context &c, unsigned idx, std::uint64_t &a,
+              std::uint64_t &b) const
+{
+    const ChainUop &cu = c.chain.uops[idx];
+    const UopState &st = c.state[idx];
+    if (st.issued || st.completed)
+        return false;
+    return sourceReady(c, cu, true, a) && sourceReady(c, cu, false, b);
+}
+
+unsigned
+Emc::predictorIndex(Addr pc) const
+{
+    return static_cast<unsigned>((pc * 0x9e3779b97f4a7c15ULL) >> 40)
+           % cfg_.miss_pred_entries;
+}
+
+void
+Emc::missPredUpdate(CoreId core, Addr pc, bool was_miss)
+{
+    std::uint8_t &ctr = miss_pred_[core % num_cores_][predictorIndex(pc)];
+    if (was_miss) {
+        if (ctr < 7)
+            ++ctr;
+    } else if (ctr > 0) {
+        --ctr;
+    }
+}
+
+bool
+Emc::issueUop(unsigned ctx_idx, unsigned uop_idx)
+{
+    Context &c = contexts_[ctx_idx];
+    ChainUop &cu = c.chain.uops[uop_idx];
+    UopState &st = c.state[uop_idx];
+    const Cycle now = port_->now();
+
+    std::uint64_t a = 0, b = 0;
+    const bool ready = uopReady(c, uop_idx, a, b);
+    emc_assert(ready, "issueUop on non-ready uop");
+
+    switch (cu.d.uop.op) {
+      case Opcode::kLoad: {
+        const Addr vaddr = effectiveAddr(a, cu.d.uop.imm);
+        emc_assert(vaddr == cu.d.vaddr,
+                   "EMC load address diverged from oracle: "
+                       + cu.d.uop.toString());
+
+        // LSQ forwarding from an earlier spill store in this chain.
+        for (const LsqEntry &le : c.lsq) {
+            if (le.vaddr == vaddr) {
+                st.issued = true;
+                st.complete_cycle = now + 1;
+                st.value = cu.d.mem_value;
+                ++stats_.lsq_forwards;
+                ++stats_.loads_executed;
+                ++stats_.uops_executed;
+                port_->emcLsqPopulate(c.chain.core, cu.rob_seq, vaddr,
+                                      c.chain.id);
+                return true;
+            }
+        }
+
+        // Virtual address translation through the per-core EMC TLB.
+        Addr pframe = kNoAddr;
+        if (!tlbs_[c.chain.core].lookup(pageNum(vaddr), pframe)) {
+            haltContext(ctx_idx, ChainOutcome::kTlbMiss);
+            return true;
+        }
+        const Addr paddr = (pframe << kPageShift)
+                           | (vaddr & (kPageBytes - 1));
+        const Addr line = lineAlign(paddr);
+
+        port_->emcLsqPopulate(c.chain.core, cu.rob_seq, paddr,
+                              c.chain.id);
+
+        // EMC data cache first (Section 4.1.3).
+        if (dcache_.access(line) != nullptr) {
+            ++stats_.dcache_hits;
+            st.issued = true;
+            st.complete_cycle = now + cfg_.dcache_latency;
+            st.value = cu.d.mem_value;
+            ++stats_.loads_executed;
+            ++stats_.uops_executed;
+            return true;
+        }
+        ++stats_.dcache_misses;
+
+        // MSHR-style merging: a request for this line is already in
+        // flight from the EMC (e.g. a node's pointer and a field on
+        // the same line); piggyback instead of issuing again.
+        auto wit = line_waiters_.find(line);
+        if (wit != line_waiters_.end()) {
+            wit->second.push_back({ctx_idx, uop_idx, c.generation, line});
+            st.issued = true;
+            st.mem_outstanding = true;
+            st.value = cu.d.mem_value;
+            ++stats_.loads_executed;
+            ++stats_.uops_executed;
+            ++stats_.merged_loads;
+            return true;
+        }
+
+        // Predict LLC hit/miss to pick the path (Section 4.3).
+        bool predict_miss = false;
+        if (cfg_.miss_predictor_enabled && cfg_.direct_dram) {
+            const std::uint8_t ctr =
+                miss_pred_[c.chain.core][predictorIndex(cu.d.uop.pc)];
+            predict_miss = ctr > cfg_.miss_pred_threshold;
+        }
+
+        const std::uint64_t token = next_token_++;
+        bool sent;
+        if (predict_miss) {
+            sent = port_->emcDirectDram(c.chain.core, line, token);
+            if (sent)
+                ++stats_.direct_dram_loads;
+        } else {
+            sent = port_->emcLlcQuery(c.chain.core, line, token,
+                                      cu.d.uop.pc);
+            if (sent)
+                ++stats_.llc_query_loads;
+        }
+        if (!sent)
+            return false;  // backpressure: retry next cycle
+
+        if (traceOn()) {
+            std::fprintf(stderr, "[%llu] chain %llu load uop%u line=%llx"
+                         " %s\n",
+                         (unsigned long long)now,
+                         (unsigned long long)c.chain.id, uop_idx,
+                         (unsigned long long)line,
+                         predict_miss ? "direct" : "via-llc");
+        }
+        tokens_[token] = {ctx_idx, uop_idx, c.generation, line};
+        line_waiters_[line];  // open the merge window for this line
+        st.issued = true;
+        st.mem_outstanding = true;
+        st.value = cu.d.mem_value;
+        ++stats_.loads_executed;
+        ++stats_.uops_executed;
+        return true;
+      }
+
+      case Opcode::kStore: {
+        const Addr vaddr = effectiveAddr(a, cu.d.uop.imm);
+        emc_assert(vaddr == cu.d.vaddr,
+                   "EMC store address diverged from oracle: "
+                       + cu.d.uop.toString());
+        emc_assert(b == cu.d.mem_value,
+                   "EMC store data diverged from oracle: "
+                       + cu.d.uop.toString());
+        if (c.lsq.size() >= cfg_.lsq_entries) {
+            // LSQ full: treat as a halt-worthy structural problem.
+            haltContext(ctx_idx, ChainOutcome::kDisambiguation);
+            return true;
+        }
+        c.lsq.push_back({vaddr, b});
+        st.issued = true;
+        st.complete_cycle = now + 1;
+        st.value = b;
+        ++stats_.stores_executed;
+        ++stats_.uops_executed;
+        port_->emcLsqPopulate(c.chain.core, cu.rob_seq, vaddr,
+                              c.chain.id);
+        return true;
+      }
+
+      case Opcode::kBranch: {
+        // The EMC can detect a misprediction but cannot redirect: it
+        // halts and lets the core re-execute the chain (Section 4.3).
+        emc_assert(evalBranch(a) == cu.d.taken,
+                   "EMC branch direction diverged from oracle");
+        if (cu.d.mispredicted) {
+            haltContext(ctx_idx, ChainOutcome::kMispredict);
+            return true;
+        }
+        st.issued = true;
+        st.complete_cycle = now + 1;
+        st.value = a;
+        ++stats_.uops_executed;
+        return true;
+      }
+
+      default: {
+        const std::uint64_t value = evalAlu(cu.d.uop.op, a, b,
+                                            cu.d.uop.imm);
+        emc_assert(!cu.d.uop.hasDst() || value == cu.d.result,
+                   "EMC ALU result diverged from oracle: "
+                       + cu.d.uop.toString());
+        st.issued = true;
+        st.complete_cycle = now + 1;
+        st.value = value;
+        ++stats_.uops_executed;
+        return true;
+      }
+    }
+}
+
+void
+Emc::completeUop(Context &c, unsigned idx, std::uint64_t value)
+{
+    UopState &st = c.state[idx];
+    const ChainUop &cu = c.chain.uops[idx];
+    st.completed = true;
+    st.mem_outstanding = false;
+    st.value = value;
+    if (cu.epr_dst != kNoEpr) {
+        c.prf[cu.epr_dst].value = value;
+        c.prf[cu.epr_dst].ready = true;
+    }
+}
+
+void
+Emc::haltContext(unsigned ctx_idx, ChainOutcome reason)
+{
+    Context &c = contexts_[ctx_idx];
+    c.halted = true;
+    c.halt_reason = reason;
+    switch (reason) {
+      case ChainOutcome::kTlbMiss: ++stats_.halts_tlb; break;
+      case ChainOutcome::kMispredict: ++stats_.halts_mispredict; break;
+      case ChainOutcome::kDisambiguation:
+        ++stats_.halts_disambiguation;
+        break;
+      default: break;
+    }
+
+    // Tell the core to re-execute the whole chain: echo every chain
+    // uop's rob_seq so the core can un-offload them.
+    ChainResult result;
+    result.chain_id = c.chain.id;
+    result.core = c.chain.core;
+    result.outcome = reason;
+    for (const ChainUop &cu : c.chain.uops) {
+        if (cu.is_source)
+            continue;
+        LiveOut lo;
+        lo.rob_seq = cu.rob_seq;
+        result.live_outs.push_back(lo);
+    }
+    result.live_out_count = 1;  // a single small cancel message
+    port_->emcChainResult(result, 8);
+
+    c.busy = false;
+}
+
+void
+Emc::finishContext(unsigned ctx_idx)
+{
+    Context &c = contexts_[ctx_idx];
+    ++stats_.chains_completed;
+    if (traceOn()) {
+        std::fprintf(stderr, "[%llu] chain %llu finish (armed@%llu)\n",
+                     (unsigned long long)port_->now(),
+                     (unsigned long long)c.chain.id,
+                     (unsigned long long)c.arm_cycle);
+    }
+    if (c.arm_cycle != kNoCycle) {
+        stats_.chain_exec_cycles.sample(
+            static_cast<double>(port_->now() - c.arm_cycle));
+    }
+
+    ChainResult result;
+    result.chain_id = c.chain.id;
+    result.core = c.chain.core;
+    result.outcome = ChainOutcome::kCompleted;
+    for (unsigned u = 0; u < c.chain.uops.size(); ++u) {
+        const ChainUop &cu = c.chain.uops[u];
+        if (cu.is_source)
+            continue;  // completes at the core via its own fill
+        LiveOut lo;
+        lo.rob_seq = cu.rob_seq;
+        lo.value = c.state[u].value;
+        lo.is_mem = isMem(cu.d.uop.op);
+        lo.is_store = isStore(cu.d.uop.op);
+        lo.llc_miss = c.state[u].llc_miss;
+        result.live_outs.push_back(lo);
+        if (cu.epr_dst != kNoEpr || isStore(cu.d.uop.op))
+            ++result.live_out_count;
+    }
+    stats_.live_outs_total += result.live_out_count;
+    port_->emcChainResult(result, result.liveOutBytes());
+
+    c.busy = false;
+}
+
+void
+Emc::memResponse(std::uint64_t token, bool was_llc_miss)
+{
+    auto it = tokens_.find(token);
+    if (it == tokens_.end())
+        return;
+    const TokenInfo info = it->second;
+    tokens_.erase(it);
+
+    auto finish = [&](const TokenInfo &ti) {
+        Context &c = contexts_[ti.ctx];
+        if (!c.busy || c.generation != ti.generation)
+            return;  // chain canceled while the request was in flight
+        UopState &st = c.state[ti.uop];
+        if (!st.mem_outstanding)
+            return;
+        st.llc_miss = was_llc_miss;
+        completeUop(c, ti.uop, st.value);
+    };
+    if (traceOn()) {
+        std::fprintf(stderr, "[%llu] memresp line=%llx ctx=%u uop=%u\n",
+                     (unsigned long long)port_->now(),
+                     (unsigned long long)info.line, info.ctx, info.uop);
+    }
+    finish(info);
+
+    // Wake every load merged onto this line.
+    auto wit = line_waiters_.find(info.line);
+    if (wit != line_waiters_.end()) {
+        for (const TokenInfo &ti : wit->second)
+            finish(ti);
+        line_waiters_.erase(wit);
+    }
+}
+
+void
+Emc::cancelChain(std::uint64_t chain_id, ChainOutcome reason)
+{
+    for (unsigned i = 0; i < contexts_.size(); ++i) {
+        Context &c = contexts_[i];
+        if (c.busy && c.chain.id == chain_id) {
+            haltContext(i, reason);
+            return;
+        }
+    }
+}
+
+void
+Emc::invalidateLine(Addr paddr_line)
+{
+    dcache_.invalidate(paddr_line);
+}
+
+void
+Emc::tlbShootdown(CoreId core, Addr vpage)
+{
+    tlbs_[core % num_cores_].shootdown(vpage);
+}
+
+bool
+Emc::tlbResident(CoreId core, Addr vpage) const
+{
+    return tlbs_[core % num_cores_].resident(vpage);
+}
+
+void
+Emc::tick()
+{
+    const Cycle now = port_->now();
+
+    // Complete scheduled short-latency uops and finished contexts.
+    for (unsigned i = 0; i < contexts_.size(); ++i) {
+        Context &c = contexts_[i];
+        if (!c.busy || c.halted)
+            continue;
+        bool all_done = c.armed;
+        for (unsigned u = 0; u < c.state.size(); ++u) {
+            UopState &st = c.state[u];
+            if (st.issued && !st.completed && !st.mem_outstanding
+                && st.complete_cycle <= now) {
+                completeUop(c, u, st.value);
+            }
+            if (!st.completed)
+                all_done = false;
+        }
+        if (all_done)
+            finishContext(i);
+    }
+
+    // Issue up to issue_width ready uops across armed contexts; the
+    // shared reservation station bounds how many waiting uops are
+    // considered per cycle.
+    unsigned issued = 0;
+    unsigned considered = 0;
+    for (unsigned i = 0; i < contexts_.size()
+                         && issued < cfg_.issue_width; ++i) {
+        Context &c = contexts_[i];
+        if (!c.busy || !c.armed || c.halted)
+            continue;
+        for (unsigned u = 0; u < c.chain.uops.size()
+                             && issued < cfg_.issue_width; ++u) {
+            if (c.state[u].issued || c.state[u].completed)
+                continue;
+            if (++considered > cfg_.rs_entries)
+                break;
+            std::uint64_t a, b;
+            if (!uopReady(c, u, a, b))
+                continue;
+            if (issueUop(i, u))
+                ++issued;
+            if (c.halted)
+                break;
+        }
+    }
+}
+
+} // namespace emc

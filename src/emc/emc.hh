@@ -1,0 +1,255 @@
+/**
+ * @file
+ * The Enhanced Memory Controller's compute engine (Section 4.1/4.3).
+ *
+ * The EMC sits at the memory-controller ring stop. It has no
+ * front-end: chains arrive pre-decoded and pre-renamed from the cores.
+ * Per context it holds a 16-entry uop buffer, a 16-entry physical
+ * register file and a live-in vector; the shared back-end is 2-wide
+ * with an 8-entry reservation station, a small LSQ, a 4 KB data cache,
+ * a 32-entry per-core TLB and a PC-hashed 3-bit LLC hit/miss predictor
+ * that lets predicted-miss loads bypass the LLC and go straight to
+ * DRAM.
+ */
+
+#ifndef EMC_EMC_EMC_HH
+#define EMC_EMC_EMC_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "emc/chain.hh"
+#include "vm/tlb.hh"
+
+namespace emc
+{
+
+/** EMC configuration (Table 1 defaults for the quad-core system). */
+struct EmcConfig
+{
+    unsigned contexts = 2;
+    unsigned issue_width = 2;       ///< 2 ALUs
+    unsigned rs_entries = 8;
+    unsigned lsq_entries = 8;       ///< per context
+    unsigned dcache_bytes = 4096;
+    unsigned dcache_ways = 4;
+    Cycle dcache_latency = 2;
+    unsigned tlb_entries = 32;      ///< per core
+    unsigned miss_pred_entries = 1024;
+    unsigned miss_pred_threshold = 3;  ///< counter > t => predict miss
+    bool direct_dram = true;        ///< bypass LLC on predicted miss
+    bool miss_predictor_enabled = true;
+};
+
+/** EMC statistics (Figures 15, 17, 22 and Section 6.5). */
+struct EmcStats
+{
+    std::uint64_t chains_accepted = 0;
+    std::uint64_t chains_rejected = 0;
+    std::uint64_t chains_completed = 0;
+    std::uint64_t halts_tlb = 0;
+    std::uint64_t halts_mispredict = 0;
+    std::uint64_t halts_disambiguation = 0;
+    std::uint64_t uops_executed = 0;
+    std::uint64_t loads_executed = 0;
+    std::uint64_t stores_executed = 0;
+    std::uint64_t dcache_hits = 0;
+    std::uint64_t dcache_misses = 0;
+    std::uint64_t lsq_forwards = 0;
+    std::uint64_t direct_dram_loads = 0;
+    std::uint64_t llc_query_loads = 0;
+    std::uint64_t merged_loads = 0;   ///< MSHR-merged onto in-flight line
+    std::uint64_t bypass_mispredictions = 0;  ///< bypassed but LLC had it
+    std::uint64_t live_outs_total = 0;
+    Average chain_exec_cycles;    ///< arm -> completion
+    Average uops_per_chain;
+};
+
+/** Services the chip provides to the EMC (implemented by the System). */
+class EmcPort
+{
+  public:
+    virtual ~EmcPort() = default;
+
+    /**
+     * Issue a predicted-miss load directly to the local memory
+     * controller (no ring, no LLC). Completion arrives via
+     * Emc::memResponse(token).
+     * @retval false MC queue full; the EMC retries next cycle
+     */
+    virtual bool emcDirectDram(CoreId core, Addr paddr_line,
+                               std::uint64_t token) = 0;
+
+    /**
+     * Issue a predicted-hit load to the LLC over the control ring. On
+     * an LLC miss the System forwards it to DRAM; either way
+     * completion arrives via Emc::memResponse(token).
+     * @retval false backpressure; retry next cycle
+     */
+    virtual bool emcLlcQuery(CoreId core, Addr paddr_line,
+                             std::uint64_t token, Addr pc) = 0;
+
+    /**
+     * Notify the home core that a chain memory op executed (the LSQ
+     * populate message of Section 4.3). Asynchronous; if the core
+     * detects an ordering conflict the System cancels the chain via
+     * Emc::cancelChain().
+     */
+    virtual void emcLsqPopulate(CoreId core, std::uint64_t rob_seq,
+                                Addr paddr, std::uint64_t chain_id) = 0;
+
+    /** Ship a chain result (live-outs or cancel notice) to the core. */
+    virtual void emcChainResult(const ChainResult &result,
+                                unsigned bytes) = 0;
+
+    virtual Cycle now() const = 0;
+};
+
+/** The EMC compute engine. One instance per enhanced memory controller. */
+class Emc
+{
+  public:
+    /**
+     * @param cfg configuration
+     * @param num_cores cores served (TLBs and predictors are per core)
+     * @param port chip services (not owned)
+     */
+    Emc(const EmcConfig &cfg, unsigned num_cores, EmcPort *port);
+
+    /** Advance one cycle. */
+    void tick();
+
+    // ---- chain lifecycle ----
+
+    /** True if a context is free to accept a chain. */
+    bool hasFreeContext() const;
+
+    /**
+     * Accept a chain (called by the System after the transfer delay).
+     * @param chain the chain
+     * @param source_already_arrived the watched fill completed before
+     *        the chain arrived; arm immediately
+     * @retval false all contexts busy
+     */
+    bool acceptChain(const ChainRequest &chain,
+                     bool source_already_arrived);
+
+    /**
+     * A DRAM fill for @p paddr_line reached this memory controller.
+     * Arms any context waiting on it and refreshes the EMC data cache
+     * (Section 4.1.3: the cache holds the most recent lines
+     * transmitted from DRAM to the chip).
+     */
+    void observeFill(Addr paddr_line);
+
+    /** Completion of an EMC-issued memory request. */
+    void memResponse(std::uint64_t token, bool was_llc_miss);
+
+    /** Cancel a running chain (disambiguation conflict at the core). */
+    void cancelChain(std::uint64_t chain_id, ChainOutcome reason);
+
+    // ---- coherence / virtual memory hooks ----
+
+    /** LLC evicted/invalidated a line the EMC caches (directory bit). */
+    void invalidateLine(Addr paddr_line);
+
+    /** TLB shootdown for @p vpage of @p core. */
+    void tlbShootdown(CoreId core, Addr vpage);
+
+    /** Core-side residence check for the EMC TLB bit. */
+    bool tlbResident(CoreId core, Addr vpage) const;
+
+    /** Train the LLC hit/miss predictor (Section 4.3, [47]). */
+    void missPredUpdate(CoreId core, Addr pc, bool was_miss);
+
+    const EmcStats &stats() const { return stats_; }
+
+    /** Zero the statistics (post-warmup measurement start). */
+    void resetStats() { stats_ = EmcStats{}; }
+    const Cache &dcache() const { return dcache_; }
+    const EmcConfig &config() const { return cfg_; }
+
+  private:
+    /** One EMC physical register. */
+    struct EprReg
+    {
+        std::uint64_t value = 0;
+        bool ready = false;
+    };
+
+    /** Dynamic state of one chain uop inside a context. */
+    struct UopState
+    {
+        bool issued = false;
+        bool completed = false;
+        Cycle complete_cycle = kNoCycle;
+        std::uint64_t value = 0;
+        bool mem_outstanding = false;
+        bool llc_miss = false;
+    };
+
+    /** EMC LSQ entry (register spills awaiting fills). */
+    struct LsqEntry
+    {
+        Addr vaddr = kNoAddr;
+        std::uint64_t value = 0;
+    };
+
+    /** One chain execution context (uop buffer + PRF + LSQ). */
+    struct Context
+    {
+        bool busy = false;
+        bool armed = false;
+        bool halted = false;
+        ChainOutcome halt_reason = ChainOutcome::kCompleted;
+        ChainRequest chain;
+        std::vector<UopState> state;
+        std::vector<EprReg> prf;
+        std::vector<LsqEntry> lsq;
+        Cycle arm_cycle = kNoCycle;
+        std::uint64_t generation = 0;
+    };
+
+    /** Maps an outstanding memory token back to its chain uop. */
+    struct TokenInfo
+    {
+        unsigned ctx = 0;
+        unsigned uop = 0;
+        std::uint64_t generation = 0;
+        Addr line = kNoAddr;
+    };
+
+    bool sourceReady(const Context &c, const ChainUop &cu,
+                     bool first_src, std::uint64_t &value) const;
+    bool uopReady(const Context &c, unsigned idx,
+                  std::uint64_t &a, std::uint64_t &b) const;
+    bool issueUop(unsigned ctx_idx, unsigned uop_idx);
+    void completeUop(Context &c, unsigned idx, std::uint64_t value);
+    void finishContext(unsigned ctx_idx);
+    void haltContext(unsigned ctx_idx, ChainOutcome reason);
+    unsigned predictorIndex(Addr pc) const;
+
+    EmcConfig cfg_;
+    unsigned num_cores_;
+    EmcPort *port_;
+
+    std::vector<Context> contexts_;
+    Cache dcache_;
+    std::vector<EmcTlb> tlbs_;                   ///< per core
+    std::vector<std::vector<std::uint8_t>> miss_pred_;  ///< per core
+    std::unordered_map<std::uint64_t, TokenInfo> tokens_;
+    /// line -> loads merged onto an outstanding request (MSHR-style)
+    std::unordered_map<Addr, std::vector<TokenInfo>> line_waiters_;
+    std::uint64_t next_token_ = 1;
+    std::uint64_t generation_counter_ = 1;
+
+    EmcStats stats_;
+};
+
+} // namespace emc
+
+#endif // EMC_EMC_EMC_HH

@@ -1,0 +1,53 @@
+#include "energy/energy_model.hh"
+
+namespace emc
+{
+
+EnergyBreakdown
+EnergyModel::compute(const EnergyEvents &ev) const
+{
+    constexpr double kNjToMj = 1e-6;
+    EnergyBreakdown out;
+
+    out.core_dynamic_mj =
+        kNjToMj
+        * (static_cast<double>(ev.uops_executed) * p_.uop_exec
+           + static_cast<double>(ev.fp_uops) * p_.fp_uop_extra
+           + static_cast<double>(ev.cdb_broadcasts) * p_.cdb_broadcast
+           + static_cast<double>(ev.rob_reads) * p_.rob_read
+           + static_cast<double>(ev.rrt_accesses) * p_.rrt_access
+           + static_cast<double>(ev.l1_accesses) * p_.l1_access);
+
+    out.uncore_dynamic_mj =
+        kNjToMj
+        * (static_cast<double>(ev.llc_accesses) * p_.llc_access
+           + static_cast<double>(ev.ring_control_hops)
+                 * p_.ring_hop_control
+           + static_cast<double>(ev.ring_data_hops) * p_.ring_hop_data);
+
+    out.dram_dynamic_mj =
+        kNjToMj
+        * (static_cast<double>(ev.dram_activates) * p_.dram_activate
+           + static_cast<double>(ev.dram_bursts) * p_.dram_rw_burst
+           + static_cast<double>(ev.dram_refreshes) * p_.dram_refresh);
+
+    out.emc_dynamic_mj =
+        kNjToMj
+        * (static_cast<double>(ev.emc_uops) * p_.emc_uop_exec
+           + static_cast<double>(ev.emc_dcache_accesses)
+                 * p_.emc_dcache_access);
+
+    const double seconds =
+        static_cast<double>(ev.total_cycles) / (ev.clock_ghz * 1e9);
+    double static_w = num_cores_ * p_.core_static_w
+                      + llc_mb_ * p_.llc_static_w_per_mb
+                      + p_.ring_static_w + num_mcs_ * p_.mc_static_w
+                      + channels_ * p_.dram_static_w_per_channel;
+    if (emc_present_)
+        static_w += num_mcs_ * p_.emc_static_w;
+    out.static_mj = static_w * seconds * 1e3;
+
+    return out;
+}
+
+} // namespace emc

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * McPAT/CACTI-flavored event-energy model (Section 5 of the paper
+ * models chip energy with McPAT and DRAM power with CACTI; we use
+ * order-of-magnitude per-event energies and per-structure static
+ * powers with the same accounting rules).
+ *
+ * Accounting rules mirrored from the paper:
+ *  - shared structures (LLC, ring, MC, EMC, DRAM) dissipate static
+ *    power until the completion of the entire workload;
+ *  - each core's dynamic event counters stop at its own completion;
+ *  - the chain-generation unit charges one extra CDB broadcast per
+ *    chain uop (pseudo wake-up), an RRT read per source operand, an
+ *    RRT write per destination and one ROB read per transmitted uop;
+ *  - EMC static power models a stripped-down core: no front-end, no
+ *    FP pipeline, no rename tables (10.4% of a full core).
+ */
+
+#ifndef EMC_ENERGY_ENERGY_MODEL_HH
+#define EMC_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace emc
+{
+
+/** Per-event dynamic energies (nJ) and static powers (W). */
+struct EnergyParams
+{
+    // Core dynamic events (nJ).
+    double uop_exec = 0.08;
+    double fp_uop_extra = 0.12;
+    double cdb_broadcast = 0.01;
+    double rob_read = 0.004;
+    double rrt_access = 0.002;
+    double l1_access = 0.02;
+
+    // Uncore dynamic events (nJ).
+    double llc_access = 0.35;
+    double ring_hop_control = 0.03;
+    double ring_hop_data = 0.12;
+
+    // DRAM dynamic events (nJ).
+    double dram_activate = 2.5;
+    double dram_rw_burst = 4.0;
+    double dram_refresh = 30.0;
+
+    // EMC dynamic events (nJ) — lightweight 2-wide back-end.
+    double emc_uop_exec = 0.03;
+    double emc_dcache_access = 0.01;
+
+    // Static powers (W) at 3.2 GHz.
+    double core_static_w = 1.8;
+    double llc_static_w_per_mb = 0.25;
+    double ring_static_w = 0.3;
+    double mc_static_w = 0.4;
+    double emc_static_w = 0.1872;  ///< 10.4% of a core (paper §6.6)
+    double dram_static_w_per_channel = 0.9;
+};
+
+/** Event totals the System hands to the model at the end of a run. */
+struct EnergyEvents
+{
+    // Cores (summed over cores; counters stop at each core's finish).
+    std::uint64_t uops_executed = 0;
+    std::uint64_t fp_uops = 0;
+    std::uint64_t cdb_broadcasts = 0;
+    std::uint64_t rob_reads = 0;
+    std::uint64_t rrt_accesses = 0;
+    std::uint64_t l1_accesses = 0;
+
+    // Uncore.
+    std::uint64_t llc_accesses = 0;
+    std::uint64_t ring_control_hops = 0;
+    std::uint64_t ring_data_hops = 0;
+
+    // DRAM.
+    std::uint64_t dram_activates = 0;
+    std::uint64_t dram_bursts = 0;
+    std::uint64_t dram_refreshes = 0;
+
+    // EMC.
+    std::uint64_t emc_uops = 0;
+    std::uint64_t emc_dcache_accesses = 0;
+
+    // Durations.
+    Cycle total_cycles = 0;       ///< whole-workload completion
+    double clock_ghz = 3.2;
+};
+
+/** Breakdown of one run's energy (mJ). */
+struct EnergyBreakdown
+{
+    double core_dynamic_mj = 0;
+    double uncore_dynamic_mj = 0;
+    double dram_dynamic_mj = 0;
+    double emc_dynamic_mj = 0;
+    double static_mj = 0;
+
+    double totalMj() const
+    {
+        return core_dynamic_mj + uncore_dynamic_mj + dram_dynamic_mj
+               + emc_dynamic_mj + static_mj;
+    }
+};
+
+/** The energy model: pure function of events and parameters. */
+class EnergyModel
+{
+  public:
+    /**
+     * @param params per-event energies / static powers
+     * @param num_cores cores on the chip
+     * @param llc_mb total LLC capacity in MB
+     * @param channels DRAM channels
+     * @param emc_present EMC static power included
+     * @param num_mcs memory controllers
+     */
+    EnergyModel(const EnergyParams &params, unsigned num_cores,
+                double llc_mb, unsigned channels, bool emc_present,
+                unsigned num_mcs = 1)
+        : p_(params), num_cores_(num_cores), llc_mb_(llc_mb),
+          channels_(channels), emc_present_(emc_present),
+          num_mcs_(num_mcs)
+    {}
+
+    /** Compute the energy breakdown for @p ev. */
+    EnergyBreakdown compute(const EnergyEvents &ev) const;
+
+    const EnergyParams &params() const { return p_; }
+
+  private:
+    EnergyParams p_;
+    unsigned num_cores_;
+    double llc_mb_;
+    unsigned channels_;
+    bool emc_present_;
+    unsigned num_mcs_;
+};
+
+} // namespace emc
+
+#endif // EMC_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Dynamic micro-op trace record and trace-source interface.
+ *
+ * The workload generator functionally executes the program it emits,
+ * so every dynamic uop carries oracle values (result, effective
+ * address, branch direction). The timing simulator re-executes the
+ * uops through real register files and asserts agreement — this is the
+ * correctness net that keeps the EMC's remote execution honest.
+ */
+
+#ifndef EMC_ISA_TRACE_HH
+#define EMC_ISA_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/uop.hh"
+
+namespace emc
+{
+
+/** One dynamic instance of a uop with generator-oracle annotations. */
+struct DynUop
+{
+    Uop uop;
+
+    /// Oracle result value of the destination register (if any).
+    std::uint64_t result = 0;
+    /// Oracle effective virtual address for loads/stores.
+    Addr vaddr = kNoAddr;
+    /// Oracle loaded/stored value for loads/stores.
+    std::uint64_t mem_value = 0;
+    /// Oracle branch direction.
+    bool taken = false;
+    /// Whether the front-end mispredicts this branch instance.
+    bool mispredicted = false;
+};
+
+/**
+ * A pull-based source of dynamic uops. Cores consume one stream each.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Fetch the next dynamic uop.
+     * @param out the uop record to fill
+     * @retval true a uop was produced
+     * @retval false the trace is exhausted
+     */
+    virtual bool next(DynUop &out) = 0;
+
+    /** Total uops produced so far. */
+    virtual std::uint64_t produced() const = 0;
+};
+
+/** A TraceSource that replays an in-memory vector (used by tests). */
+class VectorTrace : public TraceSource
+{
+  public:
+    explicit VectorTrace(std::vector<DynUop> uops)
+        : uops_(std::move(uops))
+    {}
+
+    bool
+    next(DynUop &out) override
+    {
+        if (pos_ >= uops_.size())
+            return false;
+        out = uops_[pos_++];
+        return true;
+    }
+
+    std::uint64_t produced() const override { return pos_; }
+
+  private:
+    std::vector<DynUop> uops_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace emc
+
+#endif // EMC_ISA_TRACE_HH

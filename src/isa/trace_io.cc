@@ -1,0 +1,162 @@
+#include "isa/trace_io.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace emc
+{
+
+namespace
+{
+
+/** On-disk record: fixed 46-byte little-endian layout. */
+struct PackedUop
+{
+    std::uint8_t op;
+    std::uint8_t dst;
+    std::uint8_t src1;
+    std::uint8_t src2;
+    std::int64_t imm;
+    std::uint64_t pc;
+    std::uint64_t result;
+    std::uint64_t vaddr;
+    std::uint64_t mem_value;
+    std::uint8_t taken;
+    std::uint8_t mispredicted;
+};
+
+constexpr std::size_t kRecordBytes = 4 + 5 * 8 + 2;
+
+void
+pack(const DynUop &d, unsigned char *buf)
+{
+    buf[0] = static_cast<std::uint8_t>(d.uop.op);
+    buf[1] = d.uop.dst;
+    buf[2] = d.uop.src1;
+    buf[3] = d.uop.src2;
+    std::memcpy(buf + 4, &d.uop.imm, 8);
+    std::memcpy(buf + 12, &d.uop.pc, 8);
+    std::memcpy(buf + 20, &d.result, 8);
+    std::memcpy(buf + 28, &d.vaddr, 8);
+    std::memcpy(buf + 36, &d.mem_value, 8);
+    buf[44] = d.taken ? 1 : 0;
+    buf[45] = d.mispredicted ? 1 : 0;
+}
+
+void
+unpack(const unsigned char *buf, DynUop &d)
+{
+    d.uop.op = static_cast<Opcode>(buf[0]);
+    d.uop.dst = buf[1];
+    d.uop.src1 = buf[2];
+    d.uop.src2 = buf[3];
+    std::memcpy(&d.uop.imm, buf + 4, 8);
+    std::memcpy(&d.uop.pc, buf + 12, 8);
+    std::memcpy(&d.result, buf + 20, 8);
+    std::memcpy(&d.vaddr, buf + 28, 8);
+    std::memcpy(&d.mem_value, buf + 36, 8);
+    d.taken = buf[44] != 0;
+    d.mispredicted = buf[45] != 0;
+}
+
+struct Header
+{
+    char magic[4];
+    std::uint32_t version;
+    std::uint64_t count;
+};
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        emc_fatal("cannot open trace file for writing: " + path);
+    Header h;
+    std::memcpy(h.magic, kTraceMagic, 4);
+    h.version = kTraceVersion;
+    h.count = 0;  // back-patched in close()
+    if (std::fwrite(&h, sizeof(h), 1, file_) != 1)
+        emc_fatal("trace header write failed: " + path);
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const DynUop &d)
+{
+    emc_assert(file_ != nullptr, "append after close");
+    unsigned char buf[kRecordBytes];
+    pack(d, buf);
+    if (std::fwrite(buf, kRecordBytes, 1, file_) != 1)
+        emc_fatal("trace record write failed");
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file_)
+        return;
+    Header h;
+    std::memcpy(h.magic, kTraceMagic, 4);
+    h.version = kTraceVersion;
+    h.count = count_;
+    std::fseek(file_, 0, SEEK_SET);
+    if (std::fwrite(&h, sizeof(h), 1, file_) != 1)
+        emc_fatal("trace header rewrite failed");
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+FileTrace::FileTrace(const std::string &path, bool loop) : loop_(loop)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        emc_fatal("cannot open trace file: " + path);
+    Header h;
+    if (std::fread(&h, sizeof(h), 1, file_) != 1)
+        emc_fatal("trace header read failed: " + path);
+    if (std::memcmp(h.magic, kTraceMagic, 4) != 0)
+        emc_fatal("not an EMCT trace file: " + path);
+    if (h.version != kTraceVersion)
+        emc_fatal("unsupported trace version in " + path);
+    total_ = h.count;
+}
+
+FileTrace::~FileTrace()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+FileTrace::rewindToRecords()
+{
+    std::fseek(file_, sizeof(Header), SEEK_SET);
+    read_ = 0;
+}
+
+bool
+FileTrace::next(DynUop &out)
+{
+    if (read_ >= total_) {
+        if (!loop_ || total_ == 0)
+            return false;
+        rewindToRecords();
+    }
+    unsigned char buf[kRecordBytes];
+    if (std::fread(buf, kRecordBytes, 1, file_) != 1)
+        return false;
+    unpack(buf, out);
+    ++read_;
+    ++produced_;
+    return true;
+}
+
+} // namespace emc

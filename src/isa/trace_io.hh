@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Binary trace capture and replay.
+ *
+ * A captured trace freezes a workload (including its oracle values)
+ * so runs are reproducible across machines, shareable, and decoupled
+ * from the generator. The format is a fixed-size little-endian record
+ * per dynamic uop behind a small header.
+ */
+
+#ifndef EMC_ISA_TRACE_IO_HH
+#define EMC_ISA_TRACE_IO_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "isa/trace.hh"
+
+namespace emc
+{
+
+/** Magic bytes + format version of the trace file header. */
+constexpr char kTraceMagic[4] = {'E', 'M', 'C', 'T'};
+constexpr std::uint32_t kTraceVersion = 1;
+
+/** Streams dynamic uops into a trace file. */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing; truncates. Fails fatally on error. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one dynamic uop. */
+    void append(const DynUop &d);
+
+    /** Finalize the header (record count) and close. */
+    void close();
+
+    std::uint64_t written() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+};
+
+/** Replays a trace file as a TraceSource. */
+class FileTrace : public TraceSource
+{
+  public:
+    /**
+     * Open @p path. Fails fatally on a missing file or bad header.
+     * @param loop restart from the beginning when exhausted
+     */
+    explicit FileTrace(const std::string &path, bool loop = false);
+    ~FileTrace() override;
+
+    FileTrace(const FileTrace &) = delete;
+    FileTrace &operator=(const FileTrace &) = delete;
+
+    bool next(DynUop &out) override;
+    std::uint64_t produced() const override { return produced_; }
+
+    /** Total records in the file. */
+    std::uint64_t size() const { return total_; }
+
+  private:
+    void rewindToRecords();
+
+    std::FILE *file_ = nullptr;
+    std::uint64_t total_ = 0;
+    std::uint64_t read_ = 0;
+    std::uint64_t produced_ = 0;
+    bool loop_;
+};
+
+/**
+ * A pass-through TraceSource that captures everything it forwards —
+ * wrap a generator with this to record a run (emcsim --capture).
+ */
+class CapturingTrace : public TraceSource
+{
+  public:
+    CapturingTrace(TraceSource *inner, const std::string &path)
+        : inner_(inner), writer_(path)
+    {}
+
+    bool
+    next(DynUop &out) override
+    {
+        if (!inner_->next(out))
+            return false;
+        writer_.append(out);
+        return true;
+    }
+
+    std::uint64_t produced() const override
+    {
+        return inner_->produced();
+    }
+
+    void finish() { writer_.close(); }
+
+  private:
+    TraceSource *inner_;
+    TraceWriter writer_;
+};
+
+} // namespace emc
+
+#endif // EMC_ISA_TRACE_IO_HH

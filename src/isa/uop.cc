@@ -1,0 +1,79 @@
+#include "isa/uop.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace emc
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::kAdd: return "add";
+      case Opcode::kSub: return "sub";
+      case Opcode::kMov: return "mov";
+      case Opcode::kAnd: return "and";
+      case Opcode::kOr: return "or";
+      case Opcode::kXor: return "xor";
+      case Opcode::kNot: return "not";
+      case Opcode::kShl: return "shl";
+      case Opcode::kShr: return "shr";
+      case Opcode::kSext: return "sext";
+      case Opcode::kLoad: return "load";
+      case Opcode::kStore: return "store";
+      case Opcode::kBranch: return "branch";
+      case Opcode::kFpAdd: return "fpadd";
+      case Opcode::kFpMul: return "fpmul";
+      case Opcode::kVecOp: return "vecop";
+      case Opcode::kNop: return "nop";
+    }
+    return "?";
+}
+
+std::string
+Uop::toString() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%s dst=%d src1=%d src2=%d imm=%lld pc=%llx",
+                  opcodeName(op), dst == kNoReg ? -1 : dst,
+                  src1 == kNoReg ? -1 : src1, src2 == kNoReg ? -1 : src2,
+                  static_cast<long long>(imm),
+                  static_cast<unsigned long long>(pc));
+    return buf;
+}
+
+std::uint64_t
+evalAlu(Opcode op, std::uint64_t a, std::uint64_t b, std::int64_t imm)
+{
+    const auto uimm = static_cast<std::uint64_t>(imm);
+    switch (op) {
+      case Opcode::kAdd: return a + (b ? b : 0) + uimm;
+      case Opcode::kSub: return a - b - uimm;
+      case Opcode::kMov: return a + uimm;
+      case Opcode::kAnd: return a & (b | uimm);
+      case Opcode::kOr: return a | b | uimm;
+      case Opcode::kXor: return a ^ b ^ uimm;
+      case Opcode::kNot: return ~a;
+      case Opcode::kShl: return a << (uimm & 63);
+      case Opcode::kShr: return a >> (uimm & 63);
+      case Opcode::kSext:
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(
+                static_cast<std::int32_t>(a & 0xffffffffu)));
+      case Opcode::kBranch: return a;
+      case Opcode::kNop: return 0;
+      case Opcode::kFpAdd:
+      case Opcode::kFpMul:
+      case Opcode::kVecOp:
+        // Opaque but deterministic mixing so FP dataflow stays
+        // reproducible without modeling IEEE semantics.
+        return (a * 0x9e3779b97f4a7c15ULL) ^ (b + uimm);
+      default:
+        emc_panic("evalAlu on memory opcode");
+    }
+}
+
+} // namespace emc

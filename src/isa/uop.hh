@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The micro-op ISA shared by the out-of-order core and the EMC.
+ *
+ * The EMC executes only a subset of the core's uops (Table 1):
+ * integer add/subtract/move/load/store and logical
+ * and/or/xor/not/shift/sign-extend. Floating point, vector and other
+ * opcodes mark a uop as not EMC-eligible; they execute at the core
+ * only and terminate dataflow walks through themselves.
+ */
+
+#ifndef EMC_ISA_UOP_HH
+#define EMC_ISA_UOP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace emc
+{
+
+/** Architectural register count visible to generated programs. */
+constexpr unsigned kArchRegs = 16;
+
+/** Sentinel meaning "operand not used". */
+constexpr std::uint8_t kNoReg = 0xff;
+
+/** Micro-op opcodes. */
+enum class Opcode : std::uint8_t
+{
+    kAdd,       ///< dst = src1 + src2/imm
+    kSub,       ///< dst = src1 - src2/imm
+    kMov,       ///< dst = src1 (or imm when src1 absent)
+    kAnd,       ///< dst = src1 & src2/imm
+    kOr,        ///< dst = src1 | src2/imm
+    kXor,       ///< dst = src1 ^ src2/imm
+    kNot,       ///< dst = ~src1
+    kShl,       ///< dst = src1 << (imm & 63)
+    kShr,       ///< dst = src1 >> (imm & 63)
+    kSext,      ///< dst = sign-extend low 32 bits of src1
+    kLoad,      ///< dst = mem[src1 + imm]
+    kStore,     ///< mem[src1 + imm] = src2
+    kBranch,    ///< conditional branch, taken iff src1 != 0
+    kFpAdd,     ///< floating-point op (core only; opaque semantics)
+    kFpMul,     ///< floating-point op (core only; opaque semantics)
+    kVecOp,     ///< vector op (core only; opaque semantics)
+    kNop,       ///< no operation
+};
+
+const char *opcodeName(Opcode op);
+
+/** True for opcodes the EMC back-end may execute (Table 1). */
+constexpr bool
+emcAllowed(Opcode op)
+{
+    switch (op) {
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMov:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kNot:
+      case Opcode::kShl:
+      case Opcode::kShr:
+      case Opcode::kSext:
+      case Opcode::kLoad:
+      case Opcode::kStore:
+      case Opcode::kBranch:
+        return true;
+      default:
+        return false;
+    }
+}
+
+constexpr bool
+isLoad(Opcode op)
+{
+    return op == Opcode::kLoad;
+}
+
+constexpr bool
+isStore(Opcode op)
+{
+    return op == Opcode::kStore;
+}
+
+constexpr bool
+isMem(Opcode op)
+{
+    return isLoad(op) || isStore(op);
+}
+
+constexpr bool
+isBranch(Opcode op)
+{
+    return op == Opcode::kBranch;
+}
+
+/** Execution latency at a core ALU, in cycles (memory ops excluded). */
+constexpr unsigned
+execLatency(Opcode op)
+{
+    switch (op) {
+      case Opcode::kFpAdd: return 4;
+      case Opcode::kFpMul: return 6;
+      case Opcode::kVecOp: return 4;
+      default: return 1;
+    }
+}
+
+/**
+ * A static micro-op as produced by the workload generator: opcode,
+ * architectural operands, and an immediate. Dynamic state (values,
+ * renamed registers, timing) lives in the core's ROB entries.
+ */
+struct Uop
+{
+    Opcode op = Opcode::kNop;
+    std::uint8_t dst = kNoReg;   ///< architectural destination
+    std::uint8_t src1 = kNoReg;  ///< architectural source 1
+    std::uint8_t src2 = kNoReg;  ///< architectural source 2
+    std::int64_t imm = 0;        ///< immediate operand
+    std::uint64_t pc = 0;        ///< static program counter (hashing)
+
+    bool hasDst() const { return dst != kNoReg; }
+    bool hasSrc1() const { return src1 != kNoReg; }
+    bool hasSrc2() const { return src2 != kNoReg; }
+
+    std::string toString() const;
+};
+
+/**
+ * Pure functional semantics of a non-memory uop.
+ *
+ * @param op the opcode (must not be a load/store)
+ * @param a value of src1 (0 if unused)
+ * @param b value of src2 (0 if unused)
+ * @param imm immediate operand
+ * @return the destination value
+ */
+std::uint64_t evalAlu(Opcode op, std::uint64_t a, std::uint64_t b,
+                      std::int64_t imm);
+
+/** Branch direction semantics: taken iff the condition value != 0. */
+inline bool
+evalBranch(std::uint64_t cond)
+{
+    return cond != 0;
+}
+
+/** Effective address of a memory uop. */
+inline Addr
+effectiveAddr(std::uint64_t base, std::int64_t imm)
+{
+    return static_cast<Addr>(base + static_cast<std::uint64_t>(imm));
+}
+
+} // namespace emc
+
+#endif // EMC_ISA_UOP_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Sparse functional memory backing the simulated address spaces.
+ *
+ * The timing model never reads data out of the DRAM model — values
+ * come from here, keyed by virtual address, one address space per
+ * core (multi-programmed SPEC-style mixes have disjoint spaces).
+ */
+
+#ifndef EMC_MEM_FUNCTIONAL_MEMORY_HH
+#define EMC_MEM_FUNCTIONAL_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace emc
+{
+
+/**
+ * Word-granular sparse memory. Addresses are 8-byte aligned internally
+ * (the generated programs only do aligned 64-bit accesses).
+ */
+class FunctionalMemory
+{
+  public:
+    /** Read the 64-bit word at @p addr (zero if never written). */
+    std::uint64_t
+    read(Addr addr) const
+    {
+        auto it = words_.find(wordIndex(addr));
+        return it == words_.end() ? 0 : it->second;
+    }
+
+    /** Write the 64-bit word at @p addr. */
+    void
+    write(Addr addr, std::uint64_t value)
+    {
+        words_[wordIndex(addr)] = value;
+    }
+
+    /** Number of distinct words ever written. */
+    std::size_t footprintWords() const { return words_.size(); }
+
+  private:
+    static Addr
+    wordIndex(Addr addr)
+    {
+        return addr >> 3;
+    }
+
+    std::unordered_map<Addr, std::uint64_t> words_;
+};
+
+} // namespace emc
+
+#endif // EMC_MEM_FUNCTIONAL_MEMORY_HH

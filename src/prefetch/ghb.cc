@@ -1,0 +1,89 @@
+#include "prefetch/ghb.hh"
+
+namespace emc
+{
+
+GhbPrefetcher::GhbPrefetcher(unsigned num_cores, unsigned buffer_entries)
+    : buffer_entries_(buffer_entries), cores_(num_cores)
+{
+    for (auto &pc : cores_)
+        pc.buffer.resize(buffer_entries);
+}
+
+bool
+GhbPrefetcher::live(const PerCore &pc, std::uint32_t idx) const
+{
+    if (idx == kNoLink || idx >= buffer_entries_)
+        return false;
+    if (!pc.buffer[idx].valid)
+        return false;
+    // An index is stale once the FIFO has wrapped past it. Compute the
+    // insertion age of the slot relative to the current head.
+    const std::uint64_t slots_behind =
+        (pc.head + buffer_entries_ - idx - 1) % buffer_entries_;
+    return slots_behind < std::min<std::uint64_t>(pc.inserted,
+                                                  buffer_entries_);
+}
+
+void
+GhbPrefetcher::observe(CoreId core, Addr line_addr, Addr pc_addr, bool miss,
+                       unsigned degree)
+{
+    if (!miss)
+        return;  // G/DC trains on the miss stream only
+    PerCore &pc = cores_[core];
+    const std::uint64_t line = lineNum(line_addr);
+
+    std::int64_t delta = 0;
+    if (pc.have_last)
+        delta = static_cast<std::int64_t>(line)
+                - static_cast<std::int64_t>(pc.last_line);
+
+    // Push the miss into the history buffer; link by delta-pair key.
+    const std::uint32_t slot = pc.head;
+    pc.head = (pc.head + 1) % buffer_entries_;
+    ++pc.inserted;
+    Entry &e = pc.buffer[slot];
+    e.line = line;
+    e.valid = true;
+    e.prev = kNoLink;
+
+    if (pc.have_last && pc.have_delta) {
+        const std::uint64_t k = key(pc.last_delta, delta);
+        auto it = pc.index.find(k);
+        if (it != pc.index.end() && live(pc, it->second))
+            e.prev = it->second;
+        pc.index[k] = slot;
+
+        // Predict: walk forward from the previous occurrence of this
+        // delta context, replaying the deltas that followed it.
+        if (e.prev != kNoLink) {
+            std::uint64_t predicted = line;
+            std::uint32_t walk = e.prev;
+            for (unsigned i = 0; i < degree; ++i) {
+                const std::uint32_t next = (walk + 1) % buffer_entries_;
+                if (!live(pc, next) || next == slot)
+                    break;
+                const std::int64_t d =
+                    static_cast<std::int64_t>(pc.buffer[next].line)
+                    - static_cast<std::int64_t>(pc.buffer[walk].line);
+                const std::int64_t pl =
+                    static_cast<std::int64_t>(predicted) + d;
+                if (pl < 0)
+                    break;
+                predicted = static_cast<std::uint64_t>(pl);
+                emit(core, predicted << kLineShift);
+                walk = next;
+            }
+        }
+    }
+
+    if (pc.have_last) {
+        pc.last_delta = delta;
+        pc.have_delta = true;
+    }
+    pc.last_line = line;
+    pc.have_last = true;
+}
+
+} // namespace emc

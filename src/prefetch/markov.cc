@@ -1,0 +1,74 @@
+#include "prefetch/markov.hh"
+
+#include <algorithm>
+
+namespace emc
+{
+
+MarkovPrefetcher::MarkovPrefetcher(unsigned num_cores,
+                                   std::size_t table_bytes,
+                                   unsigned successors)
+    : successors_(successors), cores_(num_cores)
+{
+    // Entry cost: ~8 B tag + 8 B per successor slot.
+    const std::size_t entry_bytes = 8 + 8 * static_cast<std::size_t>(
+                                             successors);
+    max_entries_ = std::max<std::size_t>(16,
+                                         table_bytes / entry_bytes
+                                             / num_cores);
+}
+
+void
+MarkovPrefetcher::touchLru(PerCore &pc, std::uint64_t key)
+{
+    auto it = pc.lru_pos.find(key);
+    if (it != pc.lru_pos.end()) {
+        pc.lru.splice(pc.lru.begin(), pc.lru, it->second);
+        return;
+    }
+    // New key: evict the table's LRU entry if at capacity.
+    if (pc.table.size() >= max_entries_ && !pc.lru.empty()) {
+        const std::uint64_t victim = pc.lru.back();
+        pc.lru.pop_back();
+        pc.lru_pos.erase(victim);
+        pc.table.erase(victim);
+    }
+    pc.lru.push_front(key);
+    pc.lru_pos[key] = pc.lru.begin();
+}
+
+void
+MarkovPrefetcher::observe(CoreId core, Addr line_addr, Addr pc_addr,
+                          bool miss, unsigned degree)
+{
+    if (!miss)
+        return;  // Markov correlates the miss stream
+    PerCore &pc = cores_[core];
+    const std::uint64_t line = lineNum(line_addr);
+
+    // Train: record this miss as a successor of the previous one.
+    if (pc.have_last && pc.last_line != line) {
+        touchLru(pc, pc.last_line);
+        Entry &e = pc.table[pc.last_line];
+        auto pos = std::find(e.succ.begin(), e.succ.end(), line);
+        if (pos != e.succ.end())
+            e.succ.erase(pos);
+        e.succ.insert(e.succ.begin(), line);
+        if (e.succ.size() > successors_)
+            e.succ.resize(successors_);
+    }
+    pc.last_line = line;
+    pc.have_last = true;
+
+    // Predict: prefetch the recorded successors of this miss address.
+    auto it = pc.table.find(line);
+    if (it != pc.table.end()) {
+        touchLru(pc, line);
+        const unsigned n = std::min<unsigned>(
+            degree, static_cast<unsigned>(it->second.succ.size()));
+        for (unsigned i = 0; i < n; ++i)
+            emit(core, it->second.succ[i] << kLineShift);
+    }
+}
+
+} // namespace emc

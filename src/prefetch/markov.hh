@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Markov prefetcher (Joseph & Grunwald [25]): a large correlation
+ * table mapping a miss address to the addresses that historically
+ * followed it. Paper configuration: 1 MB table, 4 successor addresses
+ * per entry; always paired with the stream prefetcher in evaluation.
+ */
+
+#ifndef EMC_PREFETCH_MARKOV_HH
+#define EMC_PREFETCH_MARKOV_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace emc
+{
+
+/** Correlation-table Markov prefetcher trained on the LLC miss stream. */
+class MarkovPrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param num_cores cores (correlation state is per core)
+     * @param table_bytes correlation table capacity (paper: 1 MB)
+     * @param successors successor slots per entry (paper: 4)
+     */
+    MarkovPrefetcher(unsigned num_cores,
+                     std::size_t table_bytes = 1 << 20,
+                     unsigned successors = 4);
+
+    void observe(CoreId core, Addr line_addr, Addr pc, bool miss,
+                 unsigned degree) override;
+
+    const char *name() const override { return "markov"; }
+
+    std::size_t tableEntries() const { return max_entries_; }
+
+  private:
+    /** Correlation-table entry: MRU-ordered successor lines. */
+    struct Entry
+    {
+        std::vector<std::uint64_t> succ;  ///< MRU-ordered successor lines
+    };
+
+    /** Per-core correlation table with LRU bookkeeping. */
+    struct PerCore
+    {
+        std::unordered_map<std::uint64_t, Entry> table;
+        std::list<std::uint64_t> lru;  ///< front = most recent key
+        std::unordered_map<std::uint64_t,
+                           std::list<std::uint64_t>::iterator> lru_pos;
+        std::uint64_t last_line = 0;
+        bool have_last = false;
+    };
+
+    void touchLru(PerCore &pc, std::uint64_t key);
+
+    std::size_t max_entries_;
+    unsigned successors_;
+    std::vector<PerCore> cores_;
+};
+
+} // namespace emc
+
+#endif // EMC_PREFETCH_MARKOV_HH

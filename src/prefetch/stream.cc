@@ -1,0 +1,116 @@
+#include "prefetch/stream.hh"
+
+#include <cstdlib>
+
+namespace emc
+{
+
+StreamPrefetcher::StreamPrefetcher(unsigned num_cores,
+                                   unsigned streams_per_core,
+                                   unsigned distance)
+    : streams_per_core_(streams_per_core), distance_(distance),
+      streams_(num_cores, std::vector<Stream>(streams_per_core))
+{
+}
+
+StreamPrefetcher::Stream *
+StreamPrefetcher::findStream(CoreId core, std::uint64_t line)
+{
+    // A stream matches if the access lands within a small window ahead
+    // of (or behind, for descending streams) the last observed line.
+    constexpr std::int64_t kWindow = 6;
+    for (auto &s : streams_[core]) {
+        if (s.state == State::kInvalid)
+            continue;
+        const std::int64_t delta = static_cast<std::int64_t>(line)
+                                   - static_cast<std::int64_t>(s.last_line);
+        if (delta == 0)
+            continue;
+        if (s.state == State::kAllocated) {
+            if (std::llabs(delta) <= kWindow)
+                return &s;
+        } else if ((delta > 0) == (s.direction > 0)
+                   && std::llabs(delta) <= kWindow) {
+            return &s;
+        }
+    }
+    return nullptr;
+}
+
+StreamPrefetcher::Stream *
+StreamPrefetcher::allocStream(CoreId core, std::uint64_t line)
+{
+    Stream *victim = nullptr;
+    for (auto &s : streams_[core]) {
+        if (s.state == State::kInvalid) {
+            victim = &s;
+            break;
+        }
+        if (!victim || s.lru < victim->lru)
+            victim = &s;
+    }
+    victim->state = State::kAllocated;
+    victim->last_line = line;
+    victim->next_fetch = line;
+    victim->direction = 1;
+    victim->lru = ++lru_tick_;
+    return victim;
+}
+
+void
+StreamPrefetcher::observe(CoreId core, Addr line_addr, Addr pc, bool miss,
+                          unsigned degree)
+{
+    const std::uint64_t line = lineNum(line_addr);
+    Stream *s = findStream(core, line);
+    if (!s) {
+        if (miss)
+            allocStream(core, line);
+        return;
+    }
+
+    s->lru = ++lru_tick_;
+    const std::int64_t delta = static_cast<std::int64_t>(line)
+                               - static_cast<std::int64_t>(s->last_line);
+
+    switch (s->state) {
+      case State::kAllocated:
+        // First confirming access determines the direction.
+        s->direction = delta > 0 ? 1 : -1;
+        s->state = State::kTraining;
+        s->last_line = line;
+        break;
+      case State::kTraining:
+        // Second confirming access arms the stream.
+        s->state = State::kMonitoring;
+        s->last_line = line;
+        s->next_fetch = line + s->direction;
+        [[fallthrough]];
+      case State::kMonitoring: {
+        s->last_line = line;
+        // Keep the prefetch frontier `distance_` lines ahead, issuing
+        // up to `degree` lines per trigger.
+        const std::int64_t frontier_limit =
+            static_cast<std::int64_t>(line)
+            + s->direction * static_cast<std::int64_t>(distance_);
+        unsigned issued = 0;
+        while (issued < degree) {
+            const std::int64_t next =
+                static_cast<std::int64_t>(s->next_fetch);
+            const bool within = s->direction > 0 ? next <= frontier_limit
+                                                 : next >= frontier_limit;
+            if (!within || next < 0)
+                break;
+            emit(core, static_cast<Addr>(next) << kLineShift);
+            s->next_fetch = static_cast<std::uint64_t>(
+                next + s->direction);
+            ++issued;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+} // namespace emc

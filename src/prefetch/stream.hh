@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Stream prefetcher modeled after the IBM POWER4-style engine used in
+ * the paper: 32 stream entries per core, prefetch distance 32 lines,
+ * degree governed by FDP.
+ */
+
+#ifndef EMC_PREFETCH_STREAM_HH
+#define EMC_PREFETCH_STREAM_HH
+
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace emc
+{
+
+/** POWER4-style multi-stream sequential prefetcher. */
+class StreamPrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param num_cores cores sharing the engine (streams are per core)
+     * @param streams_per_core number of concurrent streams tracked
+     * @param distance prefetch distance in lines
+     */
+    StreamPrefetcher(unsigned num_cores, unsigned streams_per_core = 32,
+                     unsigned distance = 32);
+
+    void observe(CoreId core, Addr line_addr, Addr pc, bool miss,
+                 unsigned degree) override;
+
+    const char *name() const override { return "stream"; }
+
+  private:
+    /** Stream training state machine. */
+    enum class State { kInvalid, kAllocated, kTraining, kMonitoring };
+
+    /** One tracked stream. */
+    struct Stream
+    {
+        State state = State::kInvalid;
+        std::uint64_t last_line = 0;   ///< last line observed
+        std::uint64_t next_fetch = 0;  ///< next line to prefetch
+        int direction = 1;
+        std::uint64_t lru = 0;
+    };
+
+    Stream *findStream(CoreId core, std::uint64_t line);
+    Stream *allocStream(CoreId core, std::uint64_t line);
+
+    unsigned streams_per_core_;
+    unsigned distance_;
+    std::vector<std::vector<Stream>> streams_;  ///< [core][entry]
+    std::uint64_t lru_tick_ = 0;
+};
+
+} // namespace emc
+
+#endif // EMC_PREFETCH_STREAM_HH

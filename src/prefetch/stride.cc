@@ -1,0 +1,68 @@
+#include "prefetch/stride.hh"
+
+namespace emc
+{
+
+StridePrefetcher::StridePrefetcher(unsigned num_cores,
+                                   unsigned table_entries)
+    : entries_(table_entries),
+      tables_(num_cores, std::vector<Entry>(table_entries))
+{
+}
+
+void
+StridePrefetcher::observe(CoreId core, Addr line_addr, Addr pc,
+                          bool miss, unsigned degree)
+{
+    if (pc == 0)
+        return;  // no static identity to learn from
+    Entry &e = tables_[core][index(pc)];
+    const std::uint64_t line = lineNum(line_addr);
+    const Addr tag = pc;
+
+    if (!e.valid || e.tag != tag) {
+        e.valid = true;
+        e.tag = tag;
+        e.last_line = line;
+        e.stride = 0;
+        e.state = State::kInitial;
+        return;
+    }
+
+    const std::int64_t delta = static_cast<std::int64_t>(line)
+                               - static_cast<std::int64_t>(e.last_line);
+    e.last_line = line;
+    if (delta == 0)
+        return;  // same line; nothing learned
+
+    switch (e.state) {
+      case State::kInitial:
+        e.stride = delta;
+        e.state = State::kTransient;
+        break;
+      case State::kTransient:
+        if (delta != e.stride) {
+            e.stride = delta;
+            break;
+        }
+        e.state = State::kSteady;
+        [[fallthrough]];
+      case State::kSteady:
+        if (delta != e.stride) {
+            e.state = State::kTransient;
+            e.stride = delta;
+            break;
+        }
+        for (unsigned i = 1; i <= degree; ++i) {
+            const std::int64_t target =
+                static_cast<std::int64_t>(line)
+                + e.stride * static_cast<std::int64_t>(i);
+            if (target < 0)
+                break;
+            emit(core, static_cast<Addr>(target) << kLineShift);
+        }
+        break;
+    }
+}
+
+} // namespace emc

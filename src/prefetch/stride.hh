@@ -1,0 +1,68 @@
+/**
+ * @file
+ * PC-indexed stride prefetcher (Baer-Chen style, the paper's
+ * reference [6] class). Each static load learns its own stride via a
+ * reference prediction table; confirmed strides prefetch ahead by the
+ * FDP-controlled degree. Complements the region-based stream engine:
+ * stride catches large fixed strides that fall outside a stream
+ * window.
+ */
+
+#ifndef EMC_PREFETCH_STRIDE_HH
+#define EMC_PREFETCH_STRIDE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace emc
+{
+
+/** Reference-prediction-table stride prefetcher. */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param num_cores cores sharing the engine (tables are per core)
+     * @param table_entries reference prediction table size
+     */
+    StridePrefetcher(unsigned num_cores, unsigned table_entries = 256);
+
+    void observe(CoreId core, Addr line_addr, Addr pc, bool miss,
+                 unsigned degree) override;
+
+    const char *name() const override { return "stride"; }
+
+  private:
+    /** RPT entry confidence state. */
+    enum class State : std::uint8_t
+    {
+        kInitial,    ///< first sighting
+        kTransient,  ///< one stride observed, unconfirmed
+        kSteady,     ///< stride confirmed; prefetching
+    };
+
+    /** One reference-prediction-table entry. */
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t last_line = 0;
+        std::int64_t stride = 0;
+        State state = State::kInitial;
+    };
+
+    std::size_t
+    index(Addr pc) const
+    {
+        return (pc >> 2) % entries_;
+    }
+
+    unsigned entries_;
+    std::vector<std::vector<Entry>> tables_;  ///< [core][entry]
+};
+
+} // namespace emc
+
+#endif // EMC_PREFETCH_STRIDE_HH

@@ -1,0 +1,110 @@
+#include "ring/ring.hh"
+
+namespace emc
+{
+
+Ring::Ring(unsigned stops, bool is_data)
+    : stops_(stops), is_data_(is_data), inject_q_(stops)
+{
+    emc_assert(stops >= 2, "ring needs at least two stops");
+    cw_.slots.resize(stops);
+    cw_.step = 1;
+    ccw_.slots.resize(stops);
+    ccw_.step = -1;
+}
+
+void
+Ring::send(const RingMsg &msg, Cycle now)
+{
+    emc_assert(msg.src < stops_ && msg.dst < stops_, "bad ring stop");
+    emc_assert(msg.src != msg.dst,
+               "same-stop messages bypass the ring (1-cycle local path)");
+    RingMsg m = msg;
+    m.injected = now;
+    inject_q_[m.src].push_back(m);
+    if (is_data_) {
+        ++stats_.data_msgs;
+        if (m.type == MsgType::kChainTransfer || m.type == MsgType::kLiveOut)
+            ++stats_.data_emc_msgs;
+    } else {
+        ++stats_.control_msgs;
+        if (m.type == MsgType::kLsqPopulate || m.type == MsgType::kEmcLlcQuery)
+            ++stats_.control_emc_msgs;
+    }
+}
+
+std::size_t
+Ring::pending() const
+{
+    std::size_t n = 0;
+    for (const auto &q : inject_q_)
+        n += q.size();
+    for (const auto &s : cw_.slots)
+        n += s.busy ? 1 : 0;
+    for (const auto &s : ccw_.slots)
+        n += s.busy ? 1 : 0;
+    return n;
+}
+
+void
+Ring::advance(Direction &dir, Cycle now)
+{
+    // Rotate slot contents by one stop, then eject arrivals.
+    std::vector<Slot> next(stops_);
+    for (unsigned i = 0; i < stops_; ++i) {
+        if (!dir.slots[i].busy)
+            continue;
+        const unsigned ni = (i + stops_ + dir.step) % stops_;
+        next[ni] = dir.slots[i];
+    }
+    dir.slots = std::move(next);
+    for (unsigned i = 0; i < stops_; ++i) {
+        Slot &s = dir.slots[i];
+        if (s.busy && s.msg.dst == i) {
+            stats_.total_latency +=
+                static_cast<double>(now - s.msg.injected);
+            ++stats_.delivered;
+            if (deliver_)
+                deliver_(s.msg);
+            s.busy = false;
+        }
+    }
+}
+
+void
+Ring::inject(Cycle now)
+{
+    for (unsigned stop = 0; stop < stops_; ++stop) {
+        auto &q = inject_q_[stop];
+        while (!q.empty()) {
+            RingMsg &m = q.front();
+            // Choose the shorter direction; tie goes clockwise.
+            const unsigned fwd = (m.dst + stops_ - stop) % stops_;
+            const unsigned bwd = (stop + stops_ - m.dst) % stops_;
+            Direction &primary = fwd <= bwd ? cw_ : ccw_;
+            Direction &secondary = fwd <= bwd ? ccw_ : cw_;
+            if (!primary.slots[stop].busy) {
+                primary.slots[stop].busy = true;
+                primary.slots[stop].msg = m;
+                q.pop_front();
+            } else if (!secondary.slots[stop].busy && fwd == bwd) {
+                secondary.slots[stop].busy = true;
+                secondary.slots[stop].msg = m;
+                q.pop_front();
+            } else {
+                ++stats_.inject_stalls;
+                break;  // head-of-line blocks this stop this cycle
+            }
+        }
+    }
+}
+
+void
+Ring::tick(Cycle now)
+{
+    advance(cw_, now);
+    advance(ccw_, now);
+    inject(now);
+}
+
+} // namespace emc

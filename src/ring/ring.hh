@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Bidirectional slotted ring interconnect (Section 4, Table 1).
+ *
+ * The chip has two rings: an 8-byte control ring and a 64-byte data
+ * ring, each bidirectional with 1-cycle links. Every core shares a
+ * ring stop with its LLC slice; the memory controller (and the EMC)
+ * occupies one additional stop. A message picks the direction with the
+ * shorter hop count and rides slots that advance one stop per cycle;
+ * injection waits for an empty passing slot, which is where
+ * contention shows up.
+ */
+
+#ifndef EMC_RING_RING_HH
+#define EMC_RING_RING_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace emc
+{
+
+/** Message classes carried by the rings. */
+enum class MsgType : std::uint8_t
+{
+    // control ring (8 B)
+    kMemRead,        ///< core -> LLC slice demand read
+    kLlcMissToMc,    ///< LLC slice -> MC miss request
+    kLsqPopulate,    ///< EMC -> core memory-op notification (Section 4.3)
+    kEmcLlcQuery,    ///< EMC -> LLC slice load that predicted hit
+    kControlMisc,    ///< grants/acks/invalidate traffic
+    // data ring (64 B)
+    kFillToSlice,    ///< MC -> LLC slice fill data
+    kFillToCore,     ///< LLC slice -> core fill data
+    kWriteback,      ///< LLC -> MC dirty eviction / L1 write-through data
+    kChainTransfer,  ///< core -> EMC dependence chain + live-ins
+    kLiveOut,        ///< EMC -> core live-out registers / store data
+    kEmcFillReply,   ///< cross-MC fill data to the issuing EMC (§4.4)
+    kDataMisc,
+};
+
+/** True for message types that ride the 64-byte data ring. */
+constexpr bool
+isDataMsg(MsgType t)
+{
+    switch (t) {
+      case MsgType::kFillToSlice:
+      case MsgType::kFillToCore:
+      case MsgType::kWriteback:
+      case MsgType::kChainTransfer:
+      case MsgType::kLiveOut:
+      case MsgType::kEmcFillReply:
+      case MsgType::kDataMisc:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** A message in flight on a ring. */
+struct RingMsg
+{
+    MsgType type = MsgType::kControlMisc;
+    unsigned src = 0;       ///< source stop
+    unsigned dst = 0;       ///< destination stop
+    std::uint64_t token = 0;///< owner-defined payload handle
+    Cycle injected = kNoCycle;
+};
+
+/** Aggregate ring statistics (Section 6.5 reports these). */
+struct RingStats
+{
+    std::uint64_t control_msgs = 0;
+    std::uint64_t data_msgs = 0;
+    std::uint64_t control_emc_msgs = 0;  ///< EMC-related control traffic
+    std::uint64_t data_emc_msgs = 0;     ///< EMC-related data traffic
+    double total_latency = 0;            ///< inject -> eject, all msgs
+    std::uint64_t delivered = 0;
+    std::uint64_t inject_stalls = 0;     ///< cycles a message waited to inject
+};
+
+/**
+ * One bidirectional slotted ring. Both directions have #stops slots;
+ * slots advance one stop per cycle. tick() moves slots, ejects
+ * arrivals (via the delivery callback) and injects queued messages
+ * into empty slots.
+ */
+class Ring
+{
+  public:
+    using Deliver = std::function<void(const RingMsg &)>;
+
+    /**
+     * @param stops number of ring stops
+     * @param is_data true for the data ring (stats bucketing)
+     */
+    Ring(unsigned stops, bool is_data);
+
+    /** Queue a message for injection at its source stop. */
+    void send(const RingMsg &msg, Cycle now);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    void setDeliver(Deliver d) { deliver_ = std::move(d); }
+
+    const RingStats &stats() const { return stats_; }
+    unsigned stops() const { return stops_; }
+
+    /** Zero the statistics (post-warmup measurement start). */
+    void resetStats() { stats_ = RingStats{}; }
+
+    /** Hop distance with the shorter direction. */
+    unsigned
+    distance(unsigned a, unsigned b) const
+    {
+        const unsigned fwd = (b + stops_ - a) % stops_;
+        const unsigned bwd = (a + stops_ - b) % stops_;
+        return std::min(fwd, bwd);
+    }
+
+    /** Messages currently in flight or waiting (for tests). */
+    std::size_t pending() const;
+
+  private:
+    /** One rotating slot of a ring direction. */
+    struct Slot
+    {
+        bool busy = false;
+        RingMsg msg;
+    };
+
+    /** One rotation direction of the ring. */
+    struct Direction
+    {
+        // slots_[i] is the slot currently at stop i.
+        std::vector<Slot> slots;
+        int step;  ///< +1 or -1 stop per cycle
+    };
+
+    void advance(Direction &dir, Cycle now);
+    void inject(Cycle now);
+
+    unsigned stops_;
+    bool is_data_;
+    Direction cw_;   ///< clockwise
+    Direction ccw_;  ///< counter-clockwise
+    std::vector<std::deque<RingMsg>> inject_q_;  ///< per stop
+    Deliver deliver_;
+    RingStats stats_;
+};
+
+} // namespace emc
+
+#endif // EMC_RING_RING_HH

@@ -1,0 +1,1474 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "prefetch/ghb.hh"
+#include "prefetch/markov.hh"
+#include "emc/chain_codec.hh"
+#include "prefetch/stream.hh"
+#include "prefetch/stride.hh"
+
+namespace emc
+{
+
+const char *
+prefetchConfigName(PrefetchConfig p)
+{
+    switch (p) {
+      case PrefetchConfig::kNone: return "none";
+      case PrefetchConfig::kGhb: return "ghb";
+      case PrefetchConfig::kStream: return "stream";
+      case PrefetchConfig::kMarkovStream: return "markov+stream";
+      case PrefetchConfig::kStride: return "stride";
+    }
+    return "?";
+}
+
+void
+SystemConfig::scaleToEightCores(bool dual_mc)
+{
+    num_cores = 8;
+    num_mcs = dual_mc ? 2 : 1;
+    dram.channels = 4;
+    mc_queue_entries = 256;
+    // Table 1: 8-core EMC has 4 contexts total (2 per EMC when dual).
+    emc.contexts = dual_mc ? 2 : 4;
+}
+
+std::uint64_t
+targetUopsFromEnv(std::uint64_t dflt)
+{
+    const char *env = std::getenv("EMC_SIM_UOPS");
+    if (!env)
+        return dflt;
+    const long long v = std::atoll(env);
+    return v > 0 ? static_cast<std::uint64_t>(v) : dflt;
+}
+
+/** Per-EMC port adapter: tags calls with the owning MC's index. */
+struct EmcPortAdapter : EmcPort
+{
+    System *sys;
+    unsigned mc;
+
+    EmcPortAdapter(System *s, unsigned m) : sys(s), mc(m) {}
+
+    bool
+    emcDirectDram(CoreId core, Addr paddr_line,
+                  std::uint64_t token) override
+    {
+        return sys->emcDirectDram(mc, core, paddr_line, token);
+    }
+
+    bool
+    emcLlcQuery(CoreId core, Addr paddr_line, std::uint64_t token,
+                Addr pc) override
+    {
+        return sys->emcLlcQuery(mc, core, paddr_line, token, pc);
+    }
+
+    void
+    emcLsqPopulate(CoreId core, std::uint64_t rob_seq, Addr paddr,
+                   std::uint64_t chain_id) override
+    {
+        sys->emcLsqPopulate(mc, core, rob_seq, paddr, chain_id);
+    }
+
+    void
+    emcChainResult(const ChainResult &result, unsigned bytes) override
+    {
+        sys->emcChainResult(mc, result, bytes);
+    }
+
+    Cycle now() const override { return sys->now(); }
+};
+
+System::System(const SystemConfig &cfg,
+               const std::vector<std::string> &benchmarks)
+    : cfg_(cfg),
+      control_ring_(cfg.num_cores + cfg.num_mcs, false),
+      data_ring_(cfg.num_cores + cfg.num_mcs, true),
+      benchmark_names_(benchmarks)
+{
+    emc_assert(benchmarks.size() == cfg.num_cores,
+               "need one benchmark per core");
+    emc_assert(cfg.num_mcs == 1 || cfg.num_mcs == 2,
+               "1 or 2 memory controllers supported");
+    emc_assert(cfg.dram.channels % cfg.num_mcs == 0,
+               "channels must split evenly across MCs");
+
+    // Programs, page tables, cores.
+    CoreConfig core_cfg = cfg.core;
+    core_cfg.emc_enabled = cfg.emc_enabled;
+    for (unsigned i = 0; i < cfg.num_cores; ++i) {
+        memories_.push_back(std::make_unique<FunctionalMemory>());
+        page_tables_.push_back(
+            std::make_unique<PageTable>(i, cfg.seed + i));
+        std::unique_ptr<TraceSource> src;
+        if (i < cfg.trace_files.size() && !cfg.trace_files[i].empty()) {
+            // Replay a captured trace (looping so long runs and
+            // warmup never exhaust it).
+            src = std::make_unique<FileTrace>(cfg.trace_files[i], true);
+        } else {
+            src = std::make_unique<SyntheticProgram>(
+                profileByName(benchmarks[i]), *memories_.back(),
+                cfg.seed * 977 + i * 131);
+        }
+        if (!cfg.capture_prefix.empty()) {
+            auto inner = std::move(src);
+            auto cap = std::make_unique<CapturingTrace>(
+                inner.get(), cfg.capture_prefix + ".core"
+                                 + std::to_string(i) + ".emct");
+            capture_inner_.push_back(std::move(inner));
+            src = std::move(cap);
+        }
+        programs_.push_back(std::move(src));
+        cores_.push_back(std::make_unique<Core>(
+            i, core_cfg, programs_.back().get(),
+            page_tables_.back().get(), this));
+    }
+
+    // LLC slices.
+    for (unsigned i = 0; i < cfg.num_cores; ++i) {
+        slices_.push_back(std::make_unique<Cache>(
+            cfg.llc_slice_bytes, cfg.llc_ways, "llc_slice"));
+        slice_next_free_.push_back(0);
+    }
+
+    // Memory controllers, channels, EMCs.
+    const unsigned ch_per_mc = cfg.dram.channels / cfg.num_mcs;
+    const std::size_t q_per_ch =
+        std::max<std::size_t>(8, cfg.mc_queue_entries / cfg.dram.channels);
+    channels_.resize(cfg.num_mcs);
+    for (unsigned m = 0; m < cfg.num_mcs; ++m) {
+        for (unsigned c = 0; c < ch_per_mc; ++c) {
+            auto ch = std::make_unique<DramChannel>(
+                cfg.dram, cfg.timing, cfg.sched, q_per_ch,
+                cfg.num_cores);
+            const unsigned mc_idx = m;
+            ch->setCallback([this, mc_idx](const MemRequest &req) {
+                handleDramDone(mc_idx, req);
+            });
+            channels_[m].push_back(std::move(ch));
+        }
+        if (cfg.emc_enabled) {
+            emc_ports_.push_back(
+                std::make_unique<EmcPortAdapter>(this, m));
+            emcs_.push_back(std::make_unique<Emc>(
+                cfg.emc, cfg.num_cores, emc_ports_.back().get()));
+        }
+    }
+
+    // Prefetchers.
+    switch (cfg.prefetch) {
+      case PrefetchConfig::kNone:
+        break;
+      case PrefetchConfig::kGhb:
+        prefetchers_.push_back(
+            std::make_unique<GhbPrefetcher>(cfg.num_cores, 1024));
+        break;
+      case PrefetchConfig::kStream:
+        prefetchers_.push_back(
+            std::make_unique<StreamPrefetcher>(cfg.num_cores, 32, 32));
+        break;
+      case PrefetchConfig::kMarkovStream:
+        prefetchers_.push_back(
+            std::make_unique<MarkovPrefetcher>(cfg.num_cores));
+        prefetchers_.push_back(
+            std::make_unique<StreamPrefetcher>(cfg.num_cores, 32, 32));
+        break;
+      case PrefetchConfig::kStride:
+        prefetchers_.push_back(
+            std::make_unique<StridePrefetcher>(cfg.num_cores));
+        break;
+    }
+
+    // Ring delivery dispatch: translate message type to event handler.
+    auto dispatch = [this](const RingMsg &msg) {
+        switch (msg.type) {
+          case MsgType::kMemRead:
+            handleSliceArrive(msg.token);
+            break;
+          case MsgType::kLlcMissToMc:
+          case MsgType::kControlMisc:
+            handleMcEnqueue(msg.token);
+            break;
+          case MsgType::kFillToSlice:
+            handleFillAtSlice(msg.token);
+            break;
+          case MsgType::kFillToCore:
+            handleFillAtCore(msg.token);
+            break;
+          case MsgType::kWriteback:
+            handleSliceStore(msg.token);
+            break;
+          case MsgType::kChainTransfer:
+            handleChainArrive(msg.token);
+            break;
+          case MsgType::kLiveOut:
+            handleChainResult(msg.token);
+            break;
+          case MsgType::kLsqPopulate:
+            handleLsqPopulate(msg.token);
+            break;
+          case MsgType::kEmcLlcQuery:
+            handleEmcQueryArrive(msg.token);
+            break;
+          case MsgType::kDataMisc:
+            handleEmcQueryReply(msg.token);
+            break;
+          case MsgType::kEmcFillReply:
+            handleEmcDirectReply(msg.token);
+            break;
+        }
+    };
+    control_ring_.setDeliver(dispatch);
+    data_ring_.setDeliver(dispatch);
+
+    finish_cycle_.assign(cfg.num_cores, kNoCycle);
+    finish_snapshot_.resize(cfg.num_cores);
+    snapshotted_.assign(cfg.num_cores, false);
+}
+
+System::~System() = default;
+
+// --------------------------------------------------------------------
+// Topology helpers
+// --------------------------------------------------------------------
+
+unsigned
+System::sliceOf(Addr line) const
+{
+    // Hash the line number across slices (avoid striding artifacts).
+    const std::uint64_t h = lineNum(line) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<unsigned>(h >> 40) % cfg_.num_cores;
+}
+
+unsigned
+System::mcOfChannel(unsigned channel) const
+{
+    const unsigned ch_per_mc = cfg_.dram.channels / cfg_.num_mcs;
+    return channel / ch_per_mc;
+}
+
+unsigned
+System::mcOfLine(Addr line) const
+{
+    return mcOfChannel(mapAddress(line, cfg_.dram).channel);
+}
+
+void
+System::schedule(Cycle when, EvType type, std::uint64_t token)
+{
+    events_.emplace(std::max(when, now_ + 1), Event{type, token});
+}
+
+void
+System::routeControl(unsigned src, unsigned dst, MsgType mtype,
+                     std::uint64_t token, EvType ev)
+{
+    if (src == dst) {
+        schedule(now_ + 1, ev, token);
+        return;
+    }
+    RingMsg msg;
+    msg.type = mtype;
+    msg.src = src;
+    msg.dst = dst;
+    msg.token = token;
+    control_ring_.send(msg, now_);
+}
+
+void
+System::routeData(unsigned src, unsigned dst, MsgType mtype,
+                  std::uint64_t token, EvType ev)
+{
+    if (src == dst) {
+        schedule(now_ + 1, ev, token);
+        return;
+    }
+    RingMsg msg;
+    msg.type = mtype;
+    msg.src = src;
+    msg.dst = dst;
+    msg.token = token;
+    data_ring_.send(msg, now_);
+}
+
+Cycle
+System::sliceReady(unsigned slice)
+{
+    // Each slice accepts a new lookup every other cycle.
+    Cycle start = std::max(now_, slice_next_free_[slice]);
+    slice_next_free_[slice] = start + 2;
+    return start + cfg_.llc_latency;
+}
+
+// --------------------------------------------------------------------
+// CorePort
+// --------------------------------------------------------------------
+
+bool
+System::requestLine(CoreId core, Addr paddr_line, Addr pc, bool for_store,
+                    bool addr_tainted)
+{
+    Txn txn;
+    txn.id = next_txn_++;
+    txn.core = core;
+    txn.line = paddr_line;
+    txn.pc = pc;
+    txn.for_store = for_store;
+    txn.addr_tainted = addr_tainted;
+    txn.t_start = now_;
+    txns_[txn.id] = txn;
+    ++outstanding_demand_lines_[paddr_line];
+
+    const unsigned slice = sliceOf(paddr_line);
+    routeControl(stopOfCore(core), stopOfCore(slice), MsgType::kMemRead,
+                 txn.id, EvType::kSliceArrive);
+    return true;
+}
+
+void
+System::storeThrough(CoreId core, Addr paddr_line)
+{
+    Txn txn;
+    txn.id = next_txn_++;
+    txn.core = core;
+    txn.line = paddr_line;
+    txn.for_store = true;
+    txn.t_start = now_;
+    txns_[txn.id] = txn;
+
+    const unsigned slice = sliceOf(paddr_line);
+    routeData(stopOfCore(core), stopOfCore(slice), MsgType::kWriteback,
+              txn.id, EvType::kSliceStore);
+}
+
+bool
+System::offloadChain(const ChainRequest &chain)
+{
+    // The chain targets the EMC co-located with the MC owning the
+    // source miss's channel (dual-MC case, Section 4.4).
+    if (emcs_.empty())
+        return false;
+    const unsigned mc = mcOfLine(chain.source_paddr_line)
+                        % static_cast<unsigned>(emcs_.size());
+    if (!emcs_[mc]->hasFreeContext())
+        return false;
+
+    const std::uint64_t id = next_msg_id_++;
+    // Charge the exact wire size of the paper's 6-byte uop format
+    // plus the live-in vector (the codec also validates that the
+    // chain fits the format at all).
+    EncodedChain enc;
+    const bool encodable = encodeChain(chain, enc);
+    emc_assert(encodable, "chain generation produced an unencodable "
+                          "chain");
+    const unsigned bytes = enc.wireBytes();
+    const unsigned msgs =
+        std::max(1u, (bytes + kLineBytes - 1) / kLineBytes);
+    chains_in_flight_[id] = {chain, msgs};
+    for (unsigned m = 0; m < msgs; ++m) {
+        routeData(stopOfCore(chain.core), stopOfMc(mc),
+                  MsgType::kChainTransfer, id, EvType::kChainArrive);
+    }
+    return true;
+}
+
+void
+System::tlbShootdown(CoreId core, Addr vpage)
+{
+    for (auto &e : emcs_)
+        e->tlbShootdown(core, vpage);
+}
+
+bool
+System::emcTlbResident(CoreId core, Addr vpage)
+{
+    for (auto &e : emcs_) {
+        if (e->tlbResident(core, vpage))
+            return true;
+    }
+    return false;
+}
+
+// --------------------------------------------------------------------
+// EmcPort entry points (via adapters)
+// --------------------------------------------------------------------
+
+bool
+System::emcDirectDram(unsigned from_mc, CoreId core, Addr paddr_line,
+                      std::uint64_t token)
+{
+    Txn txn;
+    txn.id = next_txn_++;
+    txn.core = core;
+    txn.line = paddr_line;
+    txn.is_emc = true;
+    txn.emc_token = token;
+    txn.emc_owner = from_mc;
+    txn.t_start = now_;
+
+    // Off-critical-path inclusive-LLC probe: was the bypass correct?
+    const unsigned slice = sliceOf(paddr_line);
+    const bool in_llc = slices_[slice]->peek(paddr_line) != nullptr;
+    txn.llc_missed = !in_llc;
+    if (in_llc)
+        ++emc_bypass_wrong_;
+
+    auto &slot = txns_[txn.id];
+    slot = txn;
+    if (tryMergeFill(slot))
+        return true;  // piggybacks on an in-flight fill
+    pending_fills_[txn.line];
+
+    // Cross-channel dependencies go MC-to-MC directly, cutting the
+    // core out of the path (Section 4.4).
+    const unsigned home_mc = mcOfLine(paddr_line);
+    routeControl(stopOfMc(from_mc), stopOfMc(home_mc),
+                 MsgType::kControlMisc, txn.id, EvType::kMcEnqueue);
+    return true;
+}
+
+bool
+System::emcLlcQuery(unsigned from_mc, CoreId core, Addr paddr_line,
+                    std::uint64_t token, Addr pc)
+{
+    Txn txn;
+    txn.id = next_txn_++;
+    txn.core = core;
+    txn.line = paddr_line;
+    txn.pc = pc;
+    txn.is_emc = true;
+    txn.emc_via_llc = true;
+    txn.emc_token = token;
+    txn.emc_owner = from_mc;
+    txn.t_start = now_;
+    txns_[txn.id] = txn;
+
+    const unsigned slice = sliceOf(paddr_line);
+    routeControl(stopOfMc(from_mc), stopOfCore(slice),
+                 MsgType::kEmcLlcQuery, txn.id, EvType::kEmcQueryArrive);
+    return true;
+}
+
+void
+System::emcLsqPopulate(unsigned from_mc, CoreId core,
+                       std::uint64_t rob_seq, Addr paddr,
+                       std::uint64_t chain_id)
+{
+    const std::uint64_t id = next_msg_id_++;
+    lsq_msgs_[id] = {core, rob_seq, paddr, chain_id};
+    routeControl(stopOfMc(from_mc), stopOfCore(core),
+                 MsgType::kLsqPopulate, id, EvType::kLsqPopulate);
+}
+
+void
+System::emcChainResult(unsigned from_mc, const ChainResult &result,
+                       unsigned bytes)
+{
+    const std::uint64_t id = next_msg_id_++;
+    const unsigned msgs =
+        std::max(1u, (bytes + kLineBytes - 1) / kLineBytes);
+    results_in_flight_[id] = {result, msgs};
+    for (unsigned m = 0; m < msgs; ++m) {
+        routeData(stopOfMc(from_mc), stopOfCore(result.core),
+                  MsgType::kLiveOut, id, EvType::kChainResult);
+    }
+}
+
+// --------------------------------------------------------------------
+// Event handlers
+// --------------------------------------------------------------------
+
+void
+System::handleSliceArrive(std::uint64_t token)
+{
+    auto it = txns_.find(token);
+    if (it == txns_.end())
+        return;
+    const unsigned slice = sliceOf(it->second.line);
+    schedule(sliceReady(slice), EvType::kSliceLookup, token);
+}
+
+void
+System::observeAtLlc(Txn &txn, bool hit)
+{
+    // Train prefetchers on the demand stream at the LLC and feed the
+    // EMC's hit/miss predictor.
+    if (!txn.is_prefetch) {
+        for (auto &pf : prefetchers_)
+            pf->observe(txn.core, txn.line, txn.pc, !hit, fdp_.degree());
+        if (!emcs_.empty() && !txn.for_store) {
+            for (auto &e : emcs_)
+                e->missPredUpdate(txn.core, txn.pc, !hit);
+        }
+    }
+    if (hit && fdp_.isPendingPrefetch(txn.line)) {
+        ++demand_hits_on_prefetch_;
+        if (txn.addr_tainted)
+            ++dep_misses_covered_by_pf_;
+        fdp_.demandTouch(txn.line);
+    }
+}
+
+void
+System::handleSliceLookup(std::uint64_t token)
+{
+    auto it = txns_.find(token);
+    if (it == txns_.end())
+        return;
+    Txn &txn = it->second;
+    const unsigned slice = sliceOf(txn.line);
+    ++llc_total_accesses_;
+
+    const bool hit = slices_[slice]->access(txn.line) != nullptr;
+    ++llc_demand_accesses_;
+    observeAtLlc(txn, hit);
+
+    if (hit) {
+        finalizeToCore(txn, slice);
+        return;
+    }
+
+    // Figure 2's idealization: dependent misses become LLC hits.
+    if (cfg_.ideal_dependent_hits && txn.addr_tainted) {
+        ++ideal_dep_hits_granted_;
+        if (slices_[slice]->peek(txn.line) == nullptr)
+            insertIntoLlc(txn);
+        finalizeToCore(txn, slice);
+        return;
+    }
+
+    txn.llc_missed = true;
+    txn.t_llc_miss = now_;
+    ++llc_demand_misses_;
+    if (txn.addr_tainted)
+        ++llc_dep_misses_;
+    fdp_.demandMiss(txn.line);  // pollution check
+    if (outstanding_prefetch_lines_.count(txn.line))
+        fdp_.lateHit(txn.line);  // useful but untimely
+    cores_[txn.core]->llcMissDetermined(txn.line);
+
+    if (tryMergeFill(txn))
+        return;
+    pending_fills_[txn.line];
+    routeControl(stopOfCore(slice), stopOfMc(mcOfLine(txn.line)),
+                 MsgType::kLlcMissToMc, token, EvType::kMcEnqueue);
+}
+
+void
+System::finalizeToCore(Txn &txn, unsigned slice)
+{
+    routeData(stopOfCore(slice), stopOfCore(txn.core),
+              MsgType::kFillToCore, txn.id, EvType::kFillAtCore);
+}
+
+void
+System::handleSliceStore(std::uint64_t token)
+{
+    auto it = txns_.find(token);
+    if (it == txns_.end())
+        return;
+    Txn &txn = it->second;
+    const unsigned slice = sliceOf(txn.line);
+    ++llc_total_accesses_;
+
+    CacheLineMeta *meta = slices_[slice]->access(txn.line);
+    observeAtLlc(txn, meta != nullptr);
+    if (meta) {
+        meta->dirty = true;
+        txns_.erase(it);
+        return;
+    }
+    // Fetch-on-write: read the line from DRAM, then install dirty.
+    txn.llc_missed = true;
+    txn.t_llc_miss = now_;
+    if (tryMergeFill(txn))
+        return;
+    pending_fills_[txn.line];
+    routeControl(stopOfCore(slice), stopOfMc(mcOfLine(txn.line)),
+                 MsgType::kLlcMissToMc, token, EvType::kMcEnqueue);
+}
+
+void
+System::handleMcEnqueue(std::uint64_t token)
+{
+    auto it = txns_.find(token);
+    if (it == txns_.end())
+        return;
+    Txn &txn = it->second;
+
+    const DramCoord coord = mapAddress(txn.line, cfg_.dram);
+    const unsigned mc = mcOfChannel(coord.channel);
+    const unsigned ch_per_mc = cfg_.dram.channels / cfg_.num_mcs;
+    DramChannel &ch = *channels_[mc][coord.channel % ch_per_mc];
+
+    MemRequest req;
+    req.id = txn.id;
+    req.token = txn.id;
+    req.paddr = txn.line;
+    req.is_write = false;
+    req.core = txn.core;
+    req.cycle_llc_miss = txn.t_llc_miss;
+    if (txn.is_emc)
+        req.origin = ReqOrigin::kEmcDemand;
+    else if (txn.is_prefetch)
+        req.origin = ReqOrigin::kPrefetch;
+    else
+        req.origin = ReqOrigin::kCoreDemand;
+
+    if (!ch.enqueue(req, now_)) {
+        // Queue full: retry shortly (models MC backpressure).
+        schedule(now_ + 4, EvType::kMcEnqueue, token);
+        return;
+    }
+    txn.t_mc_enqueue = now_;
+    switch (req.origin) {
+      case ReqOrigin::kCoreDemand: ++traffic_.core_demand; break;
+      case ReqOrigin::kEmcDemand: ++traffic_.emc_demand; break;
+      case ReqOrigin::kPrefetch: ++traffic_.prefetch; break;
+      case ReqOrigin::kWriteback: ++traffic_.writeback; break;
+    }
+}
+
+void
+System::handleDramDone(unsigned mc, const MemRequest &req)
+{
+    auto it = txns_.find(req.token);
+    if (it == txns_.end())
+        return;
+    Txn &txn = it->second;
+    txn.t_dram_issue = req.cycle_dram_issue;
+    txn.t_dram_data = req.cycle_dram_data;
+
+    // The EMC at this controller snoops every arriving fill
+    // (Section 4.1.3) and may be waiting on it as chain source data.
+    if (!emcs_.empty())
+        emcs_[mc % emcs_.size()]->observeFill(txn.line);
+
+    if (txn.is_emc) {
+        ++emc_generated_misses_;
+        if (cfg_.record_emc_miss_lines)
+            emc_miss_lines_.insert(txn.line);
+        if (txn.t_mc_enqueue != kNoCycle
+            && txn.t_dram_issue != kNoCycle) {
+            lat_queue_emc_.sample(
+                static_cast<double>(txn.t_dram_issue - txn.t_mc_enqueue));
+        }
+        if (txn.emc_owner == mc) {
+            lat_total_emc_.sample(
+                static_cast<double>(now_ - txn.t_start));
+            hist_lat_emc_.sample(
+                static_cast<double>(now_ - txn.t_start));
+            emcs_[txn.emc_owner]->memResponse(txn.emc_token, true);
+        } else {
+            // Cross-MC: data rides the ring to the issuing EMC.
+            const std::uint64_t id = next_msg_id_++;
+            emc_replies_[id] = {txn.emc_owner, txn.emc_token};
+            // Remember start for latency sampling.
+            emc_reply_start_[id] = txn.t_start;
+            routeData(stopOfMc(mc), stopOfMc(txn.emc_owner),
+                      MsgType::kEmcFillReply, id,
+                      EvType::kEmcDirectReply);
+        }
+        // Remaining work for this txn: fill the LLC (inclusive).
+        txn.is_emc = false;
+        txn.emc_llc_fill_only = true;
+    }
+
+    const unsigned slice = sliceOf(txn.line);
+    routeData(stopOfMc(mc), stopOfCore(slice), MsgType::kFillToSlice,
+              req.token, EvType::kFillAtSlice);
+}
+
+
+bool
+System::tryMergeFill(Txn &txn)
+{
+    auto it = pending_fills_.find(txn.line);
+    if (it == pending_fills_.end())
+        return false;
+    it->second.push_back(txn.id);
+    return true;
+}
+
+void
+System::dispatchMergedFill(std::uint64_t token, unsigned slice)
+{
+    auto it = txns_.find(token);
+    if (it == txns_.end())
+        return;
+    Txn &txn = it->second;
+    if (txn.is_prefetch) {
+        outstanding_prefetch_lines_.erase(txn.line);
+        txns_.erase(it);
+        return;
+    }
+    if (txn.is_emc) {
+        // The merged EMC load completes as the shared fill passes.
+        lat_total_emc_.sample(static_cast<double>(now_ - txn.t_start));
+        emcs_[txn.emc_owner]->memResponse(txn.emc_token, true);
+        txns_.erase(it);
+        return;
+    }
+    if (txn.for_store) {
+        if (CacheLineMeta *m = slices_[slice]->peek(txn.line))
+            m->dirty = true;
+        txns_.erase(it);
+        return;
+    }
+    if (CacheLineMeta *m = slices_[slice]->peek(txn.line))
+        m->presence |= (1u << txn.core);
+    routeData(stopOfCore(slice), stopOfCore(txn.core),
+              MsgType::kFillToCore, token, EvType::kFillAtCore);
+}
+
+void
+System::insertIntoLlc(Txn &txn)
+{
+    const unsigned slice = sliceOf(txn.line);
+    if (CacheLineMeta *existing = slices_[slice]->peek(txn.line)) {
+        if (txn.for_store)
+            existing->dirty = true;
+        return;
+    }
+    CacheLineMeta meta;
+    meta.dirty = txn.for_store;
+    Cache::Victim victim = slices_[slice]->insert(txn.line, meta);
+    ++llc_total_accesses_;
+    if (victim.valid) {
+        fdp_.evicted(victim.addr);
+        if (txn.is_prefetch)
+            fdp_.prefetchEvictedVictim(victim.addr);
+        if (victim.meta.emc && !emcs_.empty()) {
+            for (auto &e : emcs_)
+                e->invalidateLine(victim.addr);
+        }
+        // Inclusive hierarchy: back-invalidate L1 copies.
+        for (unsigned c = 0; c < cfg_.num_cores; ++c) {
+            if (victim.meta.presence & (1u << c))
+                cores_[c]->invalidateL1(victim.addr);
+        }
+        if (victim.meta.dirty) {
+            const DramCoord coord = mapAddress(victim.addr, cfg_.dram);
+            const unsigned mc = mcOfChannel(coord.channel);
+            const unsigned ch_per_mc =
+                cfg_.dram.channels / cfg_.num_mcs;
+            MemRequest wb;
+            wb.paddr = victim.addr;
+            wb.is_write = true;
+            wb.origin = ReqOrigin::kWriteback;
+            wb.core = txn.core;
+            channels_[mc][coord.channel % ch_per_mc]->enqueue(wb, now_);
+            ++traffic_.writeback;
+        }
+    }
+}
+
+void
+System::handleFillAtSlice(std::uint64_t token)
+{
+    auto it = txns_.find(token);
+    if (it == txns_.end())
+        return;
+    Txn &txn = it->second;
+    const unsigned slice = sliceOf(txn.line);
+
+    insertIntoLlc(txn);
+
+    // Wake every transaction merged onto this fill and close the
+    // window (cross-agent MSHR semantics).
+    auto pit = pending_fills_.find(txn.line);
+    if (pit != pending_fills_.end()) {
+        const std::vector<std::uint64_t> merged = std::move(pit->second);
+        pending_fills_.erase(pit);
+        for (std::uint64_t m : merged)
+            dispatchMergedFill(m, slice);
+        it = txns_.find(token);
+        if (it == txns_.end())
+            return;
+    }
+
+    if (txn.is_prefetch) {
+        outstanding_prefetch_lines_.erase(txn.line);
+        fdp_.issued(txn.line);
+        if (cfg_.record_prefetch_lines)
+            prefetch_lines_.insert(txn.line);
+        txns_.erase(it);
+        return;
+    }
+    if (txn.emc_llc_fill_only) {
+        // Mark the EMC directory bit: the EMC data cache holds it.
+        if (CacheLineMeta *m = slices_[slice]->peek(txn.line))
+            m->emc = true;
+        txns_.erase(it);
+        return;
+    }
+    if (txn.for_store) {
+        txns_.erase(it);
+        return;
+    }
+
+    if (CacheLineMeta *m = slices_[slice]->peek(txn.line))
+        m->presence |= (1u << txn.core);
+    routeData(stopOfCore(slice), stopOfCore(txn.core),
+              MsgType::kFillToCore, token, EvType::kFillAtCore);
+}
+
+void
+System::handleFillAtCore(std::uint64_t token)
+{
+    auto it = txns_.find(token);
+    if (it == txns_.end())
+        return;
+    Txn &txn = it->second;
+    txn.t_done = now_;
+
+    const unsigned slice = sliceOf(txn.line);
+    if (CacheLineMeta *m = slices_[slice]->peek(txn.line))
+        m->presence |= (1u << txn.core);
+
+    finalizeDemand(txn);
+    cores_[txn.core]->fillArrived(txn.line, txn.llc_missed);
+
+    auto oit = outstanding_demand_lines_.find(txn.line);
+    if (oit != outstanding_demand_lines_.end()) {
+        if (--oit->second == 0)
+            outstanding_demand_lines_.erase(oit);
+    }
+    txns_.erase(it);
+}
+
+void
+System::finalizeDemand(Txn &txn)
+{
+    if (!txn.llc_missed)
+        return;
+    const double total = static_cast<double>(txn.t_done - txn.t_start);
+    lat_total_core_.sample(total);
+    hist_lat_core_.sample(total);
+
+    if (txn.t_dram_data == kNoCycle || txn.t_dram_issue == kNoCycle)
+        return;
+    const double dram =
+        static_cast<double>(txn.t_dram_data - txn.t_dram_issue);
+    const double after_miss =
+        static_cast<double>(txn.t_done - txn.t_llc_miss);
+    lat_dram_core_.sample(dram);
+    lat_onchip_core_.sample(std::max(0.0, after_miss - dram));
+    if (txn.t_mc_enqueue != kNoCycle) {
+        lat_queue_core_.sample(
+            static_cast<double>(txn.t_dram_issue - txn.t_mc_enqueue));
+        const double to_mc =
+            static_cast<double>(txn.t_mc_enqueue - txn.t_start);
+        lat_ring_core_.sample(
+            std::max(0.0, to_mc - static_cast<double>(cfg_.llc_latency))
+            + static_cast<double>(txn.t_done - txn.t_dram_data));
+        lat_llcpath_core_.sample(static_cast<double>(cfg_.llc_latency));
+    }
+}
+
+void
+System::handleChainArrive(std::uint64_t token)
+{
+    auto it = chains_in_flight_.find(token);
+    if (it == chains_in_flight_.end())
+        return;
+    if (--it->second.msgs_remaining > 0)
+        return;
+    ChainRequest chain = std::move(it->second.chain);
+    chains_in_flight_.erase(it);
+
+    const unsigned mc = mcOfLine(chain.source_paddr_line)
+                        % static_cast<unsigned>(emcs_.size());
+    // The context must arm when the source fill crosses the MC. If
+    // every transaction for the line has already passed DRAM (or none
+    // exists), that observeFill has fired — possibly while this chain
+    // was still on the ring — so arm immediately.
+    bool source_arrived = true;
+    for (const auto &[id, t] : txns_) {
+        if (t.line == chain.source_paddr_line && !t.is_prefetch
+            && t.t_dram_data == kNoCycle) {
+            source_arrived = false;
+            break;
+        }
+    }
+
+    if (!emcs_[mc]->acceptChain(chain, source_arrived)) {
+        // Raced out of contexts: bounce a cancel back to the core.
+        ChainResult res;
+        res.chain_id = chain.id;
+        res.core = chain.core;
+        res.outcome = ChainOutcome::kDisambiguation;
+        for (const ChainUop &cu : chain.uops) {
+            if (cu.is_source)
+                continue;
+            LiveOut lo;
+            lo.rob_seq = cu.rob_seq;
+            res.live_outs.push_back(lo);
+        }
+        emcChainResult(mc, res, 8);
+    }
+}
+
+void
+System::handleLsqPopulate(std::uint64_t token)
+{
+    auto it = lsq_msgs_.find(token);
+    if (it == lsq_msgs_.end())
+        return;
+    const LsqMsg msg = it->second;
+    lsq_msgs_.erase(it);
+
+    const bool conflict =
+        cores_[msg.core]->lsqPopulate(msg.rob_seq, msg.paddr);
+    if (conflict) {
+        for (auto &e : emcs_)
+            e->cancelChain(msg.chain_id, ChainOutcome::kDisambiguation);
+    }
+}
+
+void
+System::handleChainResult(std::uint64_t token)
+{
+    auto it = results_in_flight_.find(token);
+    if (it == results_in_flight_.end())
+        return;
+    if (--it->second.msgs_remaining > 0)
+        return;
+    ChainResult res = std::move(it->second.result);
+    results_in_flight_.erase(it);
+    cores_[res.core]->chainResult(res);
+}
+
+void
+System::handleEmcQueryArrive(std::uint64_t token)
+{
+    auto it = txns_.find(token);
+    if (it == txns_.end())
+        return;
+    const unsigned slice = sliceOf(it->second.line);
+    schedule(sliceReady(slice), EvType::kEmcQueryLookup, token);
+}
+
+void
+System::handleEmcQueryLookup(std::uint64_t token)
+{
+    auto it = txns_.find(token);
+    if (it == txns_.end())
+        return;
+    Txn &txn = it->second;
+    const unsigned slice = sliceOf(txn.line);
+    ++llc_total_accesses_;
+
+    const bool hit = slices_[slice]->access(txn.line) != nullptr;
+    observeAtLlc(txn, hit);
+
+    if (hit) {
+        routeData(stopOfCore(slice), stopOfMc(txn.emc_owner),
+                  MsgType::kDataMisc, token, EvType::kEmcQueryReply);
+        return;
+    }
+    txn.llc_missed = true;
+    txn.t_llc_miss = now_;
+    if (cfg_.record_emc_miss_lines)
+        emc_miss_lines_.insert(txn.line);
+    if (tryMergeFill(txn))
+        return;
+    pending_fills_[txn.line];
+    routeControl(stopOfCore(slice), stopOfMc(mcOfLine(txn.line)),
+                 MsgType::kLlcMissToMc, token, EvType::kMcEnqueue);
+}
+
+void
+System::handleEmcQueryReply(std::uint64_t token)
+{
+    auto it = txns_.find(token);
+    if (it == txns_.end())
+        return;
+    Txn &txn = it->second;
+    lat_total_emc_.sample(static_cast<double>(now_ - txn.t_start));
+    emcs_[txn.emc_owner]->memResponse(txn.emc_token, false);
+    txns_.erase(it);
+}
+
+void
+System::handleEmcDirectReply(std::uint64_t token)
+{
+    auto it = emc_replies_.find(token);
+    if (it == emc_replies_.end())
+        return;
+    const EmcReply reply = it->second;
+    emc_replies_.erase(it);
+    auto sit = emc_reply_start_.find(token);
+    if (sit != emc_reply_start_.end()) {
+        lat_total_emc_.sample(static_cast<double>(now_ - sit->second));
+        emc_reply_start_.erase(sit);
+    }
+    emcs_[reply.owner]->memResponse(reply.emc_token, true);
+}
+
+// --------------------------------------------------------------------
+// Prefetch candidate drain
+// --------------------------------------------------------------------
+
+void
+System::drainPrefetchers()
+{
+    for (auto &pf : prefetchers_) {
+        PrefetchCandidate cand;
+        unsigned budget = 4;
+        while (budget > 0 && pf->nextCandidate(cand)) {
+            --budget;
+            const Addr line = cand.line_addr;
+            const unsigned slice = sliceOf(line);
+            if (slices_[slice]->peek(line) != nullptr)
+                continue;
+            if (outstanding_prefetch_lines_.count(line))
+                continue;
+            if (outstanding_demand_lines_.count(line))
+                continue;
+            if (pending_fills_.count(line))
+                continue;
+
+            Txn txn;
+            txn.id = next_txn_++;
+            txn.core = cand.core;
+            txn.line = line;
+            txn.is_prefetch = true;
+            txn.t_start = now_;
+            txn.t_llc_miss = now_;
+            txns_[txn.id] = txn;
+            outstanding_prefetch_lines_.insert(line);
+            pending_fills_[line];
+
+            routeControl(stopOfCore(slice), stopOfMc(mcOfLine(line)),
+                         MsgType::kLlcMissToMc, txn.id,
+                         EvType::kMcEnqueue);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Main loop
+// --------------------------------------------------------------------
+
+void
+System::processEvents()
+{
+    while (!events_.empty() && events_.begin()->first <= now_) {
+        const Event ev = events_.begin()->second;
+        events_.erase(events_.begin());
+        switch (ev.type) {
+          case EvType::kSliceArrive: handleSliceArrive(ev.token); break;
+          case EvType::kSliceLookup: handleSliceLookup(ev.token); break;
+          case EvType::kSliceStore: handleSliceStore(ev.token); break;
+          case EvType::kMcEnqueue: handleMcEnqueue(ev.token); break;
+          case EvType::kFillAtSlice: handleFillAtSlice(ev.token); break;
+          case EvType::kFillAtCore: handleFillAtCore(ev.token); break;
+          case EvType::kChainArrive: handleChainArrive(ev.token); break;
+          case EvType::kLsqPopulate: handleLsqPopulate(ev.token); break;
+          case EvType::kChainResult: handleChainResult(ev.token); break;
+          case EvType::kEmcQueryArrive:
+            handleEmcQueryArrive(ev.token);
+            break;
+          case EvType::kEmcQueryLookup:
+            handleEmcQueryLookup(ev.token);
+            break;
+          case EvType::kEmcQueryReply:
+            handleEmcQueryReply(ev.token);
+            break;
+          case EvType::kEmcDirectReply:
+            handleEmcDirectReply(ev.token);
+            break;
+        }
+    }
+}
+
+void
+System::maybeSnapshotCore(unsigned i)
+{
+    if (snapshotted_[i])
+        return;
+    if (cfg_.warmup_uops > 0 && !warmed_up_)
+        return;
+    if (cores_[i]->retired() < cfg_.target_uops)
+        return;
+    snapshotted_[i] = true;
+    finish_cycle_[i] = now_;
+    finish_snapshot_[i] = cores_[i]->stats();
+}
+
+bool
+System::finished() const
+{
+    for (unsigned i = 0; i < cfg_.num_cores; ++i) {
+        if (!snapshotted_[i])
+            return false;
+    }
+    return true;
+}
+
+void
+System::tickOnce()
+{
+    ++now_;
+    processEvents();
+    for (auto &mc : channels_) {
+        for (auto &ch : mc)
+            ch->tick(now_);
+    }
+    for (auto &e : emcs_)
+        e->tick();
+    control_ring_.tick(now_);
+    data_ring_.tick(now_);
+    for (unsigned i = 0; i < cfg_.num_cores; ++i) {
+        cores_[i]->tick();
+        maybeSnapshotCore(i);
+    }
+    drainPrefetchers();
+}
+
+bool
+System::allRetired(std::uint64_t target) const
+{
+    for (unsigned i = 0; i < cfg_.num_cores; ++i) {
+        if (cores_[i]->retired() < target)
+            return false;
+    }
+    return true;
+}
+
+void
+System::resetMeasurement()
+{
+    for (auto &c : cores_)
+        c->resetStats();
+    for (auto &mcv : channels_) {
+        for (auto &ch : mcv)
+            ch->resetStats();
+    }
+    for (auto &e : emcs_)
+        e->resetStats();
+    control_ring_.resetStats();
+    data_ring_.resetStats();
+    traffic_ = TrafficStats{};
+    lat_total_core_ = Average{};
+    lat_total_emc_ = Average{};
+    lat_onchip_core_ = Average{};
+    lat_dram_core_ = Average{};
+    lat_queue_core_ = Average{};
+    lat_queue_emc_ = Average{};
+    lat_ring_core_ = Average{};
+    lat_llcpath_core_ = Average{};
+    hist_lat_core_.reset();
+    hist_lat_emc_.reset();
+    llc_demand_accesses_ = 0;
+    llc_demand_misses_ = 0;
+    llc_dep_misses_ = 0;
+    dep_misses_covered_by_pf_ = 0;
+    demand_hits_on_prefetch_ = 0;
+    emc_generated_misses_ = 0;
+    emc_bypass_wrong_ = 0;
+    llc_total_accesses_ = 0;
+    ideal_dep_hits_granted_ = 0;
+    warmup_end_cycle_ = now_;
+}
+
+void
+System::run()
+{
+    if (cfg_.warmup_uops > 0 && !warmed_up_) {
+        while (!allRetired(cfg_.warmup_uops) && now_ < cfg_.max_cycles)
+            tickOnce();
+        resetMeasurement();
+        warmed_up_ = true;
+    }
+    while (!finished() && now_ < cfg_.max_cycles)
+        tickOnce();
+    if (!finished()) {
+        emc_warn("simulation hit max_cycles before all cores finished");
+        for (unsigned i = 0; i < cfg_.num_cores; ++i)
+            maybeSnapshotCore(i);
+    }
+}
+
+// --------------------------------------------------------------------
+// Statistics dump
+// --------------------------------------------------------------------
+
+StatDump
+System::dump() const
+{
+    StatDump d;
+    d.put("system.cycles", static_cast<double>(now_));
+    d.put("system.num_cores", cfg_.num_cores);
+
+    double ws_ipc_sum = 0;
+    EnergyEvents ev;
+    for (unsigned i = 0; i < cfg_.num_cores; ++i) {
+        const CoreStats &cs =
+            snapshotted_[i] ? finish_snapshot_[i] : cores_[i]->stats();
+        const std::string p = "core" + std::to_string(i) + ".";
+        // cs.cycles counts ticks since the last stats reset, so IPC is
+        // measured over the post-warmup window.
+        const double cycles = static_cast<double>(cs.cycles);
+        const double ipc =
+            cycles > 0 ? static_cast<double>(cs.retired_uops) / cycles
+                       : 0.0;
+        d.put(p + "ipc", ipc);
+        d.put(p + "retired", static_cast<double>(cs.retired_uops));
+        d.put(p + "cycles", cycles);
+        d.put(p + "llc_misses", static_cast<double>(cs.llc_misses));
+        d.put(p + "dependent_llc_misses",
+              static_cast<double>(cs.dependent_llc_misses));
+        d.put(p + "mpki",
+              cs.retired_uops
+                  ? 1000.0 * cs.llc_misses / cs.retired_uops
+                  : 0.0);
+        d.put(p + "dep_miss_frac",
+              cs.llc_misses ? static_cast<double>(cs.dependent_llc_misses)
+                                  / cs.llc_misses
+                            : 0.0);
+        d.put(p + "dep_distance", cs.dep_distance.mean());
+        d.put(p + "full_window_stalls",
+              static_cast<double>(cs.full_window_stall_cycles));
+        d.put(p + "chains_generated",
+              static_cast<double>(cs.chains_generated));
+        d.put(p + "chain_uops_avg",
+              cs.chains_generated
+                  ? static_cast<double>(cs.chain_uops_total)
+                        / cs.chains_generated
+                  : 0.0);
+        d.put(p + "chain_live_ins_avg",
+              cs.chains_generated
+                  ? static_cast<double>(cs.chain_live_ins_total)
+                        / cs.chains_generated
+                  : 0.0);
+        d.put(p + "branches", static_cast<double>(cs.branches));
+        d.put(p + "mispredicts", static_cast<double>(cs.mispredicts));
+        ws_ipc_sum += ipc;
+
+        ev.uops_executed += cs.uops_executed;
+        ev.fp_uops += cs.fp_uops_executed;
+        ev.cdb_broadcasts += cs.cdb_broadcasts;
+        ev.rob_reads += cs.rob_chain_reads;
+        ev.rrt_accesses += cs.rrt_reads + cs.rrt_writes;
+        ev.l1_accesses += cs.l1d_hits + cs.l1d_misses;
+    }
+    d.put("system.ipc_sum", ws_ipc_sum);
+
+    // LLC aggregates.
+    d.put("llc.demand_accesses",
+          static_cast<double>(llc_demand_accesses_));
+    d.put("llc.demand_misses", static_cast<double>(llc_demand_misses_));
+    d.put("llc.dep_misses", static_cast<double>(llc_dep_misses_));
+    d.put("llc.dep_miss_frac",
+          llc_demand_misses_
+              ? static_cast<double>(llc_dep_misses_) / llc_demand_misses_
+              : 0.0);
+    d.put("llc.demand_hits_on_prefetch",
+          static_cast<double>(demand_hits_on_prefetch_));
+    d.put("llc.dep_misses_covered_by_pf",
+          static_cast<double>(dep_misses_covered_by_pf_));
+    d.put("llc.ideal_dep_hits_granted",
+          static_cast<double>(ideal_dep_hits_granted_));
+    d.put("prefetch.degree", fdp_.degree());
+    d.put("prefetch.issued", static_cast<double>(fdp_.totalIssued()));
+    d.put("prefetch.useful", static_cast<double>(fdp_.totalUseful()));
+    d.put("prefetch.late", static_cast<double>(fdp_.totalLate()));
+    d.put("prefetch.polluted",
+          static_cast<double>(fdp_.totalPolluted()));
+    d.put("prefetch.accuracy", fdp_.accuracy());
+
+    // Miss-latency distribution percentiles (25-cycle buckets).
+    auto percentile = [](const Histogram &h, double q) {
+        const std::uint64_t want = static_cast<std::uint64_t>(
+            q * static_cast<double>(h.samples()));
+        std::uint64_t seen = 0;
+        for (std::size_t b = 0; b < h.buckets(); ++b) {
+            seen += h.bucket(b);
+            if (seen >= want)
+                return (static_cast<double>(b) + 0.5) * h.bucketWidth();
+        }
+        return static_cast<double>(h.buckets()) * h.bucketWidth();
+    };
+    if (hist_lat_core_.samples() > 0) {
+        d.put("lat.core_p50", percentile(hist_lat_core_, 0.50));
+        d.put("lat.core_p90", percentile(hist_lat_core_, 0.90));
+        d.put("lat.core_p99", percentile(hist_lat_core_, 0.99));
+    }
+    if (hist_lat_emc_.samples() > 0) {
+        d.put("lat.emc_p50", percentile(hist_lat_emc_, 0.50));
+        d.put("lat.emc_p90", percentile(hist_lat_emc_, 0.90));
+        d.put("lat.emc_p99", percentile(hist_lat_emc_, 0.99));
+    }
+
+    // DRAM aggregates.
+    std::uint64_t row_hits = 0, row_empty = 0, row_conf = 0;
+    std::uint64_t reads = 0, writes = 0, refreshes = 0;
+    double queue_wait = 0, service = 0;
+    std::uint64_t read_samples = 0;
+    for (const auto &mcv : channels_) {
+        for (const auto &ch : mcv) {
+            const DramChannelStats &cs = ch->stats();
+            row_hits += cs.row_hits;
+            row_empty += cs.row_empty;
+            row_conf += cs.row_conflicts;
+            reads += cs.reads;
+            writes += cs.writes;
+            refreshes += cs.refreshes;
+            queue_wait += cs.total_queue_wait;
+            service += cs.total_service;
+            read_samples += cs.read_samples;
+        }
+    }
+    d.put("dram.reads", static_cast<double>(reads));
+    d.put("dram.writes", static_cast<double>(writes));
+    d.put("dram.row_hits", static_cast<double>(row_hits));
+    d.put("dram.row_empty", static_cast<double>(row_empty));
+    d.put("dram.row_conflicts", static_cast<double>(row_conf));
+    const std::uint64_t row_total = row_hits + row_empty + row_conf;
+    d.put("dram.row_conflict_rate",
+          row_total ? static_cast<double>(row_conf) / row_total : 0.0);
+    d.put("dram.avg_queue_wait",
+          read_samples ? queue_wait / read_samples : 0.0);
+    d.put("dram.avg_service",
+          read_samples ? service / read_samples : 0.0);
+
+    // Traffic by origin.
+    d.put("traffic.core_demand",
+          static_cast<double>(traffic_.core_demand));
+    d.put("traffic.emc_demand", static_cast<double>(traffic_.emc_demand));
+    d.put("traffic.prefetch", static_cast<double>(traffic_.prefetch));
+    d.put("traffic.writeback", static_cast<double>(traffic_.writeback));
+    d.put("traffic.total", static_cast<double>(traffic_.total()));
+
+    // Latency attribution.
+    d.put("lat.core_total", lat_total_core_.mean());
+    d.put("lat.core_onchip", lat_onchip_core_.mean());
+    d.put("lat.core_dram", lat_dram_core_.mean());
+    d.put("lat.core_queue", lat_queue_core_.mean());
+    d.put("lat.core_ring", lat_ring_core_.mean());
+    d.put("lat.core_llcpath", lat_llcpath_core_.mean());
+    d.put("lat.emc_total", lat_total_emc_.mean());
+    d.put("lat.emc_queue", lat_queue_emc_.mean());
+    d.put("lat.emc_samples",
+          static_cast<double>(lat_total_emc_.samples()));
+    d.put("lat.core_samples",
+          static_cast<double>(lat_total_core_.samples()));
+
+    // EMC aggregates.
+    d.put("emc.generated_misses",
+          static_cast<double>(emc_generated_misses_));
+    const double all_misses = static_cast<double>(llc_demand_misses_)
+                              + static_cast<double>(emc_generated_misses_);
+    d.put("emc.miss_fraction",
+          all_misses > 0 ? emc_generated_misses_ / all_misses : 0.0);
+    d.put("emc.bypass_wrong", static_cast<double>(emc_bypass_wrong_));
+    if (!emcs_.empty()) {
+        EmcStats agg;
+        double uops_per_chain = 0, exec_cycles = 0;
+        std::uint64_t upc_samples = 0, exec_samples = 0;
+        for (const auto &e : emcs_) {
+            const EmcStats &s = e->stats();
+            agg.chains_accepted += s.chains_accepted;
+            agg.chains_completed += s.chains_completed;
+            agg.chains_rejected += s.chains_rejected;
+            agg.halts_tlb += s.halts_tlb;
+            agg.halts_mispredict += s.halts_mispredict;
+            agg.halts_disambiguation += s.halts_disambiguation;
+            agg.uops_executed += s.uops_executed;
+            agg.loads_executed += s.loads_executed;
+            agg.stores_executed += s.stores_executed;
+            agg.dcache_hits += s.dcache_hits;
+            agg.dcache_misses += s.dcache_misses;
+            agg.lsq_forwards += s.lsq_forwards;
+            agg.direct_dram_loads += s.direct_dram_loads;
+            agg.llc_query_loads += s.llc_query_loads;
+            agg.live_outs_total += s.live_outs_total;
+            uops_per_chain += s.uops_per_chain.total();
+            upc_samples += s.uops_per_chain.samples();
+            exec_cycles += s.chain_exec_cycles.total();
+            exec_samples += s.chain_exec_cycles.samples();
+        }
+        d.put("emc.chains_accepted",
+              static_cast<double>(agg.chains_accepted));
+        d.put("emc.chains_completed",
+              static_cast<double>(agg.chains_completed));
+        d.put("emc.chains_rejected",
+              static_cast<double>(agg.chains_rejected));
+        d.put("emc.halts_tlb", static_cast<double>(agg.halts_tlb));
+        d.put("emc.halts_mispredict",
+              static_cast<double>(agg.halts_mispredict));
+        d.put("emc.halts_disambiguation",
+              static_cast<double>(agg.halts_disambiguation));
+        d.put("emc.uops_executed",
+              static_cast<double>(agg.uops_executed));
+        d.put("emc.loads", static_cast<double>(agg.loads_executed));
+        d.put("emc.stores", static_cast<double>(agg.stores_executed));
+        d.put("emc.dcache_hits", static_cast<double>(agg.dcache_hits));
+        d.put("emc.dcache_misses",
+              static_cast<double>(agg.dcache_misses));
+        const double dc_total = static_cast<double>(agg.dcache_hits)
+                                + static_cast<double>(agg.dcache_misses);
+        d.put("emc.dcache_hit_rate",
+              dc_total > 0 ? agg.dcache_hits / dc_total : 0.0);
+        d.put("emc.lsq_forwards", static_cast<double>(agg.lsq_forwards));
+        d.put("emc.direct_dram_loads",
+              static_cast<double>(agg.direct_dram_loads));
+        d.put("emc.llc_query_loads",
+              static_cast<double>(agg.llc_query_loads));
+        d.put("emc.live_outs", static_cast<double>(agg.live_outs_total));
+        d.put("emc.uops_per_chain",
+              upc_samples ? uops_per_chain / upc_samples : 0.0);
+        d.put("emc.chain_exec_cycles",
+              exec_samples ? exec_cycles / exec_samples : 0.0);
+
+        ev.emc_uops = agg.uops_executed;
+        ev.emc_dcache_accesses = agg.dcache_hits + agg.dcache_misses;
+    }
+
+    // Ring aggregates (Section 6.5).
+    const RingStats &cr = control_ring_.stats();
+    const RingStats &dr = data_ring_.stats();
+    d.put("ring.control_msgs", static_cast<double>(cr.control_msgs));
+    d.put("ring.data_msgs", static_cast<double>(dr.data_msgs));
+    d.put("ring.control_emc_msgs",
+          static_cast<double>(cr.control_emc_msgs));
+    d.put("ring.data_emc_msgs", static_cast<double>(dr.data_emc_msgs));
+    d.put("ring.avg_latency",
+          (cr.delivered + dr.delivered)
+              ? (cr.total_latency + dr.total_latency)
+                    / (cr.delivered + dr.delivered)
+              : 0.0);
+
+    // Energy.
+    ev.llc_accesses = llc_total_accesses_;
+    ev.ring_control_hops = cr.control_msgs * 2;  // avg hops charged
+    ev.ring_data_hops = dr.data_msgs * 2;
+    ev.dram_activates = row_empty + row_conf;
+    ev.dram_bursts = reads + writes;
+    ev.dram_refreshes = refreshes;
+    ev.total_cycles = now_ - warmup_end_cycle_;
+
+    EnergyModel model(cfg_.energy, cfg_.num_cores,
+                      static_cast<double>(cfg_.llc_slice_bytes)
+                          * cfg_.num_cores / (1 << 20),
+                      cfg_.dram.channels, cfg_.emc_enabled, cfg_.num_mcs);
+    const EnergyBreakdown eb = model.compute(ev);
+    d.put("energy.core_dynamic_mj", eb.core_dynamic_mj);
+    d.put("energy.uncore_dynamic_mj", eb.uncore_dynamic_mj);
+    d.put("energy.dram_dynamic_mj", eb.dram_dynamic_mj);
+    d.put("energy.emc_dynamic_mj", eb.emc_dynamic_mj);
+    d.put("energy.static_mj", eb.static_mj);
+    d.put("energy.total_mj", eb.totalMj());
+
+    return d;
+}
+
+} // namespace emc

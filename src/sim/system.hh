@@ -1,0 +1,328 @@
+/**
+ * @file
+ * The System assembles the whole chip of Figure 7 / Figure 11: cores
+ * with their LLC slices on a bidirectional ring, one or two memory
+ * controllers (each optionally enhanced with an EMC compute engine),
+ * DDR3 channels behind them, and the prefetchers that train at the
+ * LLC. It implements CorePort (and a per-EMC port adapter), owns the
+ * global clock, and produces the StatDump the benches consume.
+ */
+
+#ifndef EMC_SIM_SYSTEM_HH
+#define EMC_SIM_SYSTEM_HH
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/core.hh"
+#include "emc/emc.hh"
+#include "mem/functional_memory.hh"
+#include "prefetch/prefetcher.hh"
+#include "ring/ring.hh"
+#include "sim/config.hh"
+#include "isa/trace_io.hh"
+#include "workload/synthetic.hh"
+
+namespace emc
+{
+
+/** Per-origin DRAM traffic counters (bandwidth accounting, §6.6). */
+struct TrafficStats
+{
+    std::uint64_t core_demand = 0;
+    std::uint64_t emc_demand = 0;
+    std::uint64_t prefetch = 0;
+    std::uint64_t writeback = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return core_demand + emc_demand + prefetch + writeback;
+    }
+};
+
+/** The simulated chip. */
+class System : public CorePort
+{
+  public:
+    /**
+     * @param cfg system configuration
+     * @param benchmarks one profile name per core
+     */
+    System(const SystemConfig &cfg,
+           const std::vector<std::string> &benchmarks);
+    ~System() override;
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Run until every core reaches its uop target (or max_cycles). */
+    void run();
+
+    /** Advance a single cycle (tests). */
+    void tickOnce();
+
+    /** Collect every statistic the benches need. */
+    StatDump dump() const;
+
+    // ---- CorePort ----
+    bool requestLine(CoreId core, Addr paddr_line, Addr pc,
+                     bool for_store, bool addr_tainted) override;
+    void storeThrough(CoreId core, Addr paddr_line) override;
+    bool offloadChain(const ChainRequest &chain) override;
+    bool emcTlbResident(CoreId core, Addr vpage) override;
+    Cycle now() const override { return now_; }
+
+    // ---- accessors for tests and benches ----
+    const Core &core(unsigned i) const { return *cores_[i]; }
+    Core &mutableCore(unsigned i) { return *cores_[i]; }
+    const Emc *emc(unsigned mc = 0) const
+    {
+        return emcs_.empty() ? nullptr : emcs_[mc].get();
+    }
+    const SystemConfig &config() const { return cfg_; }
+    Cycle cycles() const { return now_; }
+    const TrafficStats &traffic() const { return traffic_; }
+    const std::unordered_set<Addr> &emcMissLines() const
+    {
+        return emc_miss_lines_;
+    }
+    const std::unordered_set<Addr> &prefetchLines() const
+    {
+        return prefetch_lines_;
+    }
+    bool finished() const;
+    Cycle coreFinishCycle(unsigned i) const { return finish_cycle_[i]; }
+
+    /**
+     * OS-initiated TLB shootdown for @p vpage of @p core: invalidates
+     * the mapping in every EMC TLB (the per-PTE residence bit the
+     * paper adds makes this targeted in hardware; Section 4.1.4).
+     */
+    void tlbShootdown(CoreId core, Addr vpage);
+
+  private:
+    friend struct EmcPortAdapter;
+
+    // ---- internal event machinery ----
+    enum class EvType : std::uint8_t
+    {
+        kSliceArrive,       ///< request reaches its LLC slice stop
+        kSliceLookup,       ///< LLC slice tag lookup completes
+        kSliceStore,        ///< write-through store reaches its slice
+        kMcEnqueue,         ///< request enters an MC's channel queue
+        kFillAtSlice,       ///< DRAM fill reaches the LLC slice
+        kFillAtCore,        ///< fill data reaches the requesting core
+        kChainArrive,       ///< chain transfer fully received at EMC
+        kLsqPopulate,       ///< EMC memory-op notification at the core
+        kChainResult,       ///< live-outs / cancel reach the core
+        kEmcQueryArrive,    ///< EMC predicted-hit load at slice stop
+        kEmcQueryLookup,    ///< ... its tag lookup completes
+        kEmcQueryReply,     ///< LLC hit data back at the EMC
+        kEmcDirectReply,    ///< cross-MC fill data reaches its EMC
+    };
+
+    /** A scheduled continuation. */
+    struct Event
+    {
+        EvType type;
+        std::uint64_t token;
+    };
+
+    /** One outstanding memory transaction. */
+    struct Txn
+    {
+        std::uint64_t id = 0;
+        CoreId core = 0;
+        Addr line = kNoAddr;
+        Addr pc = 0;
+        bool for_store = false;
+        bool addr_tainted = false;
+        bool is_prefetch = false;
+        bool is_emc = false;        ///< issued by an EMC
+        bool emc_via_llc = false;   ///< EMC predicted-hit query path
+        bool emc_llc_fill_only = false;  ///< remaining work: LLC fill
+        bool llc_missed = false;
+        std::uint64_t emc_token = 0;
+        unsigned emc_owner = 0;     ///< EMC index that issued it
+
+        Cycle t_start = kNoCycle;       ///< left the requestor
+        Cycle t_llc_miss = kNoCycle;    ///< slice lookup missed
+        Cycle t_mc_enqueue = kNoCycle;
+        Cycle t_dram_issue = kNoCycle;
+        Cycle t_dram_data = kNoCycle;
+        Cycle t_done = kNoCycle;
+    };
+
+    /** A chain mid-transfer on the data ring. */
+    struct InFlightChain
+    {
+        ChainRequest chain;
+        unsigned msgs_remaining = 0;
+    };
+
+    /** A chain result mid-transfer on the data ring. */
+    struct InFlightResult
+    {
+        ChainResult result;
+        unsigned msgs_remaining = 0;
+    };
+
+    /** An EMC LSQ-populate notification in flight. */
+    struct LsqMsg
+    {
+        CoreId core;
+        std::uint64_t rob_seq;
+        Addr paddr;
+        std::uint64_t chain_id;
+    };
+
+    /** A cross-MC fill reply heading to its issuing EMC. */
+    struct EmcReply
+    {
+        unsigned owner;
+        std::uint64_t emc_token;
+    };
+
+    // ---- EmcPort entry points (called through the adapters) ----
+    bool emcDirectDram(unsigned from_mc, CoreId core, Addr paddr_line,
+                       std::uint64_t token);
+    bool emcLlcQuery(unsigned from_mc, CoreId core, Addr paddr_line,
+                     std::uint64_t token, Addr pc);
+    void emcLsqPopulate(unsigned from_mc, CoreId core,
+                        std::uint64_t rob_seq, Addr paddr,
+                        std::uint64_t chain_id);
+    void emcChainResult(unsigned from_mc, const ChainResult &result,
+                        unsigned bytes);
+
+    // Topology helpers.
+    unsigned sliceOf(Addr line) const;
+    unsigned stopOfCore(CoreId c) const { return c; }
+    unsigned stopOfMc(unsigned mc) const { return cfg_.num_cores + mc; }
+    unsigned mcOfChannel(unsigned channel) const;
+    unsigned mcOfLine(Addr line) const;
+
+    void schedule(Cycle when, EvType type, std::uint64_t token);
+    void routeControl(unsigned src, unsigned dst, MsgType mtype,
+                      std::uint64_t token, EvType ev);
+    void routeData(unsigned src, unsigned dst, MsgType mtype,
+                   std::uint64_t token, EvType ev);
+
+    void processEvents();
+    void resetMeasurement();
+    bool allRetired(std::uint64_t target) const;
+    void handleSliceArrive(std::uint64_t token);
+    void handleSliceLookup(std::uint64_t token);
+    void handleSliceStore(std::uint64_t token);
+    void handleMcEnqueue(std::uint64_t token);
+    void handleFillAtSlice(std::uint64_t token);
+    void handleFillAtCore(std::uint64_t token);
+    void handleChainArrive(std::uint64_t token);
+    void handleLsqPopulate(std::uint64_t token);
+    void handleChainResult(std::uint64_t token);
+    void handleEmcQueryArrive(std::uint64_t token);
+    void handleEmcQueryLookup(std::uint64_t token);
+    void handleEmcQueryReply(std::uint64_t token);
+    void handleEmcDirectReply(std::uint64_t token);
+
+    void handleDramDone(unsigned mc, const MemRequest &req);
+    void insertIntoLlc(Txn &txn);
+    void drainPrefetchers();
+    void observeAtLlc(Txn &txn, bool hit);
+    void finalizeToCore(Txn &txn, unsigned slice);
+    void finalizeDemand(Txn &txn);
+    void maybeSnapshotCore(unsigned i);
+
+    Cycle sliceReady(unsigned slice);
+
+    SystemConfig cfg_;
+    Cycle now_ = 0;
+    bool warmed_up_ = false;
+    Cycle warmup_end_cycle_ = 0;
+
+    // Programs and cores.
+    std::vector<std::unique_ptr<FunctionalMemory>> memories_;
+    std::vector<std::unique_ptr<PageTable>> page_tables_;
+    std::vector<std::unique_ptr<TraceSource>> programs_;
+    std::vector<std::unique_ptr<TraceSource>> capture_inner_;
+    std::vector<std::unique_ptr<Core>> cores_;
+
+    // Interconnect.
+    Ring control_ring_;
+    Ring data_ring_;
+
+    std::vector<std::string> benchmark_names_;
+
+    // LLC slices (slice i shares core i's ring stop).
+    std::vector<std::unique_ptr<Cache>> slices_;
+    std::vector<Cycle> slice_next_free_;
+
+    // Memory controllers, channels, EMCs (and their port adapters).
+    std::vector<std::vector<std::unique_ptr<DramChannel>>> channels_;
+    std::vector<std::unique_ptr<EmcPort>> emc_ports_;
+    std::vector<std::unique_ptr<Emc>> emcs_;
+
+    // Prefetching.
+    std::vector<std::unique_ptr<Prefetcher>> prefetchers_;
+    FdpThrottle fdp_;
+    std::unordered_set<Addr> outstanding_prefetch_lines_;
+
+    // Transactions and in-flight protocol state.
+    std::unordered_map<std::uint64_t, Txn> txns_;
+    std::uint64_t next_txn_ = 1;
+    std::multimap<Cycle, Event> events_;
+    std::unordered_map<std::uint64_t, InFlightChain> chains_in_flight_;
+    std::unordered_map<std::uint64_t, InFlightResult> results_in_flight_;
+    std::unordered_map<std::uint64_t, LsqMsg> lsq_msgs_;
+    std::unordered_map<std::uint64_t, EmcReply> emc_replies_;
+    std::unordered_map<std::uint64_t, Cycle> emc_reply_start_;
+    std::uint64_t next_msg_id_ = 1;
+    std::unordered_map<Addr, unsigned> outstanding_demand_lines_;
+    /// Cross-agent MSHR at the LLC: line -> txns merged onto the
+    /// in-flight fill (primary txn excluded). Prevents the core, the
+    /// EMC and the prefetchers from fetching the same line twice.
+    std::unordered_map<Addr, std::vector<std::uint64_t>> pending_fills_;
+
+    /** Register @p txn against an in-flight fill. @retval true merged. */
+    bool tryMergeFill(Txn &txn);
+    void dispatchMergedFill(std::uint64_t token, unsigned slice);
+
+    // Bookkeeping for benches.
+    TrafficStats traffic_;
+    std::vector<Cycle> finish_cycle_;
+    std::vector<CoreStats> finish_snapshot_;
+    std::vector<bool> snapshotted_;
+    std::unordered_set<Addr> emc_miss_lines_;
+    std::unordered_set<Addr> prefetch_lines_;
+
+    // Latency attribution accumulators.
+    Average lat_total_core_;     ///< L1-miss issue -> data at core
+    Average lat_total_emc_;      ///< EMC issue -> data at EMC
+    Average lat_onchip_core_;    ///< Figure 1 on-chip component
+    Average lat_dram_core_;      ///< Figure 1 DRAM component
+    Average lat_queue_core_;     ///< MC queue wait, core requests
+    Average lat_queue_emc_;
+    Average lat_ring_core_;      ///< interconnect portion, core reqs
+    Average lat_llcpath_core_;   ///< LLC lookup + fill-path portion
+    Histogram hist_lat_core_{40, 25.0};  ///< miss-latency distribution
+    Histogram hist_lat_emc_{40, 25.0};
+
+    // Aggregate counters.
+    std::uint64_t llc_demand_accesses_ = 0;
+    std::uint64_t llc_demand_misses_ = 0;
+    std::uint64_t llc_dep_misses_ = 0;
+    std::uint64_t dep_misses_covered_by_pf_ = 0;
+    std::uint64_t demand_hits_on_prefetch_ = 0;
+    std::uint64_t emc_generated_misses_ = 0;
+    std::uint64_t emc_bypass_wrong_ = 0;
+    std::uint64_t llc_total_accesses_ = 0;  ///< energy accounting
+    std::uint64_t ideal_dep_hits_granted_ = 0;
+};
+
+} // namespace emc
+
+#endif // EMC_SIM_SYSTEM_HH

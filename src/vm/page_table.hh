@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Per-core page table with allocate-on-first-touch and a page-frame
+ * allocator that scatters frames so physical addresses spread across
+ * DRAM channels/banks the way a real OS allocation would.
+ */
+
+#ifndef EMC_VM_PAGE_TABLE_HH
+#define EMC_VM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace emc
+{
+
+/** A page table entry as shipped to TLBs (and to the EMC TLB). */
+struct Pte
+{
+    Addr vpage = kNoAddr;
+    Addr pframe = kNoAddr;
+    bool valid = false;
+};
+
+/**
+ * Single-level logical page table (the walk latency is modeled by the
+ * TLB, not by the table itself).
+ */
+class PageTable
+{
+  public:
+    /**
+     * @param core the owning core (frames are tagged with it so
+     *             distinct programs never collide in physical space)
+     * @param seed RNG seed for frame scattering
+     */
+    PageTable(CoreId core, std::uint64_t seed)
+        : core_(core), rng_(seed ^ (0xabcdULL + core))
+    {}
+
+    /** Translate @p vaddr, allocating a frame on first touch. */
+    Addr
+    translate(Addr vaddr)
+    {
+        const Addr vp = pageNum(vaddr);
+        const Pte &pte = lookup(vp);
+        return (pte.pframe << kPageShift) | (vaddr & (kPageBytes - 1));
+    }
+
+    /** Find (or create) the PTE covering @p vpage. */
+    const Pte &
+    lookup(Addr vpage)
+    {
+        auto it = table_.find(vpage);
+        if (it == table_.end()) {
+            Pte pte;
+            pte.vpage = vpage;
+            pte.pframe = allocFrame();
+            pte.valid = true;
+            it = table_.emplace(vpage, pte).first;
+        }
+        return it->second;
+    }
+
+    std::size_t mappedPages() const { return table_.size(); }
+
+  private:
+    /**
+     * Allocate the next physical frame. Frames interleave a sequential
+     * component (locality) with random bits (bank/row scatter), and
+     * embed the core id high in the address so address spaces are
+     * disjoint across cores.
+     */
+    Addr
+    allocFrame()
+    {
+        const Addr seq = next_seq_++;
+        const Addr scatter = rng_.below(8);
+        // Keep core spaces in disjoint 1 TB regions.
+        return (static_cast<Addr>(core_) << 28) | (seq * 8 + scatter);
+    }
+
+    CoreId core_;
+    Rng rng_;
+    Addr next_seq_ = 1;
+    std::unordered_map<Addr, Pte> table_;
+};
+
+} // namespace emc
+
+#endif // EMC_VM_PAGE_TABLE_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Benchmark profiles: parameter sets that make the synthetic program
+ * generator behave like the SPEC CPU2006 applications the paper
+ * evaluates (Table 2's high/low memory-intensity split, Figure 2's
+ * dependent-miss character). See DESIGN.md §4 for the substitution
+ * rationale — we have no SPEC binaries, so each benchmark becomes a
+ * generated program whose measured MPKI class and dependent-miss
+ * fraction match the paper's characterization.
+ */
+
+#ifndef EMC_WORKLOAD_PROFILE_HH
+#define EMC_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emc
+{
+
+/** Knobs consumed by SyntheticProgram. Weights need not sum to 1. */
+struct BenchmarkProfile
+{
+    std::string name;
+
+    // Kernel mix weights.
+    double mix_chase = 0.0;    ///< pointer chasing (dependent misses)
+    double mix_stream = 0.0;   ///< sequential streaming
+    double mix_random = 0.0;   ///< independent (data-independent) misses
+    double mix_compute = 0.0;  ///< ILP-rich ALU work, few memory ops
+
+    std::uint64_t ws_bytes = 1ull << 22;  ///< working-set footprint
+    unsigned chase_streams = 1;     ///< independent pointer chains (MLP)
+    unsigned chase_interop = 3;     ///< ALU uops between indirections
+    unsigned chase_field_loads = 1; ///< extra dependent loads per node
+    double fp_frac = 0.0;           ///< FP share of compute uops
+    double store_frac = 0.15;       ///< store probability per iteration
+    double spill_rate = 0.05;       ///< spill/fill pair rate (EMC stores)
+    double mispredict_rate = 0.02;  ///< branch misprediction probability
+    unsigned compute_ops = 8;       ///< uops per compute iteration
+    bool high_intensity = false;    ///< paper Table 2 class
+};
+
+/** Look up a profile by SPEC-style name ("mcf", "lbm", ...). */
+const BenchmarkProfile &profileByName(const std::string &name);
+
+/** All profiles, paper Table 2 order (high intensity first). */
+const std::vector<BenchmarkProfile> &allProfiles();
+
+/** The high-memory-intensity names (paper Table 2). */
+const std::vector<std::string> &highIntensityNames();
+
+/** The low-memory-intensity names (paper Table 2). */
+const std::vector<std::string> &lowIntensityNames();
+
+/** The paper's Table 3 quad-core workload mixes H1..H10. */
+const std::vector<std::vector<std::string>> &quadWorkloads();
+
+/** Name of mix i (0-based) — "H1".."H10". */
+std::string quadWorkloadName(std::size_t i);
+
+} // namespace emc
+
+#endif // EMC_WORKLOAD_PROFILE_HH

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Unit and property tests for the DDR3 channel model: address mapping,
+ * bank timing, row-buffer outcomes, scheduling policies, write drain
+ * and refresh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "dram/dram_channel.hh"
+
+namespace emc
+{
+namespace
+{
+
+DramGeometry
+quadGeo()
+{
+    DramGeometry g;
+    g.channels = 2;
+    g.ranks_per_channel = 1;
+    g.banks_per_rank = 8;
+    g.row_bytes = 8192;
+    return g;
+}
+
+TEST(DramMapTest, ChannelInterleavesByLine)
+{
+    const DramGeometry g = quadGeo();
+    const DramCoord a = mapAddress(0, g);
+    const DramCoord b = mapAddress(64, g);
+    EXPECT_NE(a.channel, b.channel);
+    EXPECT_EQ(mapAddress(128, g).channel, a.channel);
+}
+
+TEST(DramMapTest, RowHoldsManyLines)
+{
+    const DramGeometry g = quadGeo();
+    // Two lines in the same channel+bank separated by less than a row
+    // must map to the same row.
+    const Addr a = 0;
+    const Addr b = a + 64 * g.channels * g.banks_per_rank;  // next column
+    const DramCoord ca = mapAddress(a, g);
+    const DramCoord cb = mapAddress(b, g);
+    EXPECT_EQ(ca.channel, cb.channel);
+    EXPECT_EQ(ca.bank, cb.bank);
+    EXPECT_EQ(ca.row, cb.row);
+    EXPECT_NE(ca.column, cb.column);
+}
+
+TEST(DramMapTest, CoordinatesWithinBounds)
+{
+    const DramGeometry g = quadGeo();
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = rng.next() & ~0x3full;
+        const DramCoord c = mapAddress(a, g);
+        EXPECT_LT(c.channel, g.channels);
+        EXPECT_LT(c.rank, g.ranks_per_channel);
+        EXPECT_LT(c.bank, g.banks_per_rank);
+        EXPECT_LT(c.column, g.linesPerRow());
+    }
+}
+
+TEST(BankTest, RowOutcomeSequence)
+{
+    Bank b;
+    DramTiming t;
+    EXPECT_EQ(b.classify(5), RowOutcome::kEmpty);
+    RowOutcome out;
+    const Cycle d1 = b.access(5, 0, t, false, out);
+    EXPECT_EQ(out, RowOutcome::kEmpty);
+    EXPECT_EQ(d1, t.tRCD + t.tCL);
+
+    const Cycle earliest = b.readyCycle();
+    const Cycle d2 = b.access(5, earliest, t, false, out);
+    EXPECT_EQ(out, RowOutcome::kHit);
+    EXPECT_EQ(d2, earliest + t.tCL);
+
+    const Cycle before = d2;
+    const Cycle d3 = b.access(9, b.readyCycle(), t, false, out);
+    EXPECT_EQ(out, RowOutcome::kConflict);
+    EXPECT_GT(d3, before);
+}
+
+TEST(BankTest, ConflictRespectsTras)
+{
+    Bank b;
+    DramTiming t;
+    RowOutcome out;
+    b.access(1, 0, t, false, out);  // activate at 0
+    // Immediately conflicting access: precharge cannot start before
+    // tRAS from the activate.
+    const Cycle d = b.access(2, t.tCCD, t, false, out);
+    EXPECT_EQ(out, RowOutcome::kConflict);
+    EXPECT_GE(d, t.tRAS + t.tRP + t.tRCD + t.tCL);
+}
+
+TEST(BankTest, RefreshClosesRow)
+{
+    Bank b;
+    DramTiming t;
+    RowOutcome out;
+    b.access(1, 0, t, false, out);
+    b.refresh(100, t);
+    EXPECT_FALSE(b.rowOpen());
+    EXPECT_GE(b.readyCycle(), 100 + t.tRFC);
+}
+
+TEST(BankTest, WriteRecoveryLongerThanRead)
+{
+    Bank br, bw;
+    DramTiming t;
+    RowOutcome out;
+    br.access(1, 0, t, false, out);
+    bw.access(1, 0, t, true, out);
+    EXPECT_GT(bw.readyCycle(), br.readyCycle());
+}
+
+class DramChannelTest : public ::testing::Test
+{
+  protected:
+    DramChannelTest()
+        : chan_(quadGeo(), DramTiming{}, SchedPolicy::kFrFcfs, 64, 4)
+    {
+        chan_.setCallback([this](const MemRequest &req) {
+            done_.push_back(req);
+        });
+    }
+
+    void
+    runTo(Cycle end)
+    {
+        for (; now_ <= end; ++now_)
+            chan_.tick(now_);
+    }
+
+    MemRequest
+    read(Addr a, CoreId core = 0)
+    {
+        MemRequest r;
+        r.paddr = a;
+        r.core = core;
+        r.token = next_token_++;
+        return r;
+    }
+
+    DramChannel chan_;
+    std::vector<MemRequest> done_;
+    Cycle now_ = 1;
+    std::uint64_t next_token_ = 1;
+};
+
+TEST_F(DramChannelTest, SingleReadCompletes)
+{
+    ASSERT_TRUE(chan_.enqueue(read(0), now_));
+    runTo(500);
+    ASSERT_EQ(done_.size(), 1u);
+    const MemRequest &r = done_[0];
+    EXPECT_NE(r.cycle_dram_issue, kNoCycle);
+    EXPECT_GT(r.cycle_dram_data, r.cycle_dram_issue);
+    EXPECT_EQ(r.outcome, RowOutcome::kEmpty);
+}
+
+TEST_F(DramChannelTest, RowHitFasterThanConflict)
+{
+    const DramGeometry g = quadGeo();
+    const Addr same_row = 64 * g.channels * g.banks_per_rank;
+    ASSERT_TRUE(chan_.enqueue(read(0), now_));
+    runTo(400);
+    done_.clear();
+
+    // Row hit.
+    ASSERT_TRUE(chan_.enqueue(read(same_row), now_));
+    runTo(now_ + 400);
+    ASSERT_EQ(done_.size(), 1u);
+    const Cycle hit_latency =
+        done_[0].cycle_dram_data - done_[0].cycle_dram_issue;
+    EXPECT_EQ(done_[0].outcome, RowOutcome::kHit);
+    done_.clear();
+
+    // Conflict: same bank, different row.
+    const Addr other_row =
+        static_cast<Addr>(g.linesPerRow()) * 64 * g.channels
+        * g.banks_per_rank * 4;
+    const DramCoord c0 = mapAddress(0, g);
+    const DramCoord c1 = mapAddress(other_row, g);
+    ASSERT_EQ(c0.bank, c1.bank);
+    ASSERT_NE(c0.row, c1.row);
+    ASSERT_TRUE(chan_.enqueue(read(other_row), now_));
+    runTo(now_ + 800);
+    ASSERT_EQ(done_.size(), 1u);
+    const Cycle conf_latency =
+        done_[0].cycle_dram_data - done_[0].cycle_dram_issue;
+    EXPECT_EQ(done_[0].outcome, RowOutcome::kConflict);
+    EXPECT_GT(conf_latency, hit_latency);
+}
+
+TEST_F(DramChannelTest, FrFcfsPrefersRowHit)
+{
+    const DramGeometry g = quadGeo();
+    const Addr same_row = 64 * g.channels * g.banks_per_rank;
+    // Open a row.
+    ASSERT_TRUE(chan_.enqueue(read(0), now_));
+    runTo(400);
+    done_.clear();
+
+    // Enqueue a conflict (older) and a row hit (younger) to the same
+    // bank: the hit must be serviced first.
+    const Addr conflict_addr =
+        static_cast<Addr>(g.linesPerRow()) * 64 * g.channels
+        * g.banks_per_rank * 8;
+    ASSERT_EQ(mapAddress(conflict_addr, g).bank, mapAddress(0, g).bank);
+    MemRequest older = read(conflict_addr);
+    MemRequest younger = read(same_row);
+    ASSERT_TRUE(chan_.enqueue(older, now_));
+    ASSERT_TRUE(chan_.enqueue(younger, now_));
+    runTo(now_ + 1200);
+    ASSERT_EQ(done_.size(), 2u);
+    EXPECT_EQ(done_[0].token, younger.token);
+    EXPECT_EQ(done_[1].token, older.token);
+}
+
+TEST_F(DramChannelTest, QueueLimitEnforced)
+{
+    DramChannel small(quadGeo(), DramTiming{}, SchedPolicy::kFrFcfs, 2, 4);
+    EXPECT_TRUE(small.enqueue(read(0), 1));
+    EXPECT_TRUE(small.enqueue(read(64 * 2), 1));
+    EXPECT_FALSE(small.enqueue(read(64 * 4), 1));
+    EXPECT_FALSE(small.canAccept());
+}
+
+TEST_F(DramChannelTest, WritesDoNotStarveReads)
+{
+    // Saturate with writes below the drain watermark; reads must still
+    // complete promptly.
+    for (int i = 0; i < 8; ++i) {
+        MemRequest w = read(static_cast<Addr>(i) * 4096);
+        w.is_write = true;
+        ASSERT_TRUE(chan_.enqueue(w, now_));
+    }
+    ASSERT_TRUE(chan_.enqueue(read(1 << 20), now_));
+    runTo(600);
+    ASSERT_GE(done_.size(), 1u);
+}
+
+TEST_F(DramChannelTest, WriteDrainAtWatermark)
+{
+    // Push writes past the high watermark; they must eventually issue
+    // even with a continuous trickle of reads.
+    for (int i = 0; i < 40; ++i) {
+        MemRequest w = read(static_cast<Addr>(i) * 4096);
+        w.is_write = true;
+        ASSERT_TRUE(chan_.enqueue(w, now_));
+    }
+    runTo(20000);
+    EXPECT_LT(chan_.writeQueueDepth(), 40u);
+    EXPECT_GT(chan_.stats().writes, 0u);
+}
+
+TEST_F(DramChannelTest, BatchSchedulerServesAllCores)
+{
+    DramChannel batch(quadGeo(), DramTiming{}, SchedPolicy::kBatch, 64, 4);
+    std::vector<MemRequest> finished;
+    batch.setCallback([&](const MemRequest &r) { finished.push_back(r); });
+    // Core 0 floods one bank; core 1 has a single request. PAR-BS
+    // marking must bound core 0's lead.
+    for (int i = 0; i < 16; ++i) {
+        MemRequest r = read(static_cast<Addr>(i) * 4096
+                            * quadGeo().banks_per_rank, 0);
+        r.token = 100 + i;
+        batch.enqueue(r, 1);
+    }
+    MemRequest lone = read(1 << 22, 1);
+    lone.token = 999;
+    batch.enqueue(lone, 1);
+    for (Cycle c = 1; c < 30000 && finished.size() < 17; ++c)
+        batch.tick(c);
+    ASSERT_EQ(finished.size(), 17u);
+    // The lone request must not finish last.
+    EXPECT_NE(finished.back().token, 999u);
+}
+
+TEST_F(DramChannelTest, RefreshHappensPeriodically)
+{
+    runTo(3 * DramTiming{}.tREFI + 10);
+    EXPECT_GE(chan_.stats().refreshes, 3u);
+}
+
+/** Property: every enqueued read completes exactly once. */
+TEST_F(DramChannelTest, AllReadsCompleteOnce)
+{
+    Rng rng(77);
+    std::vector<std::uint64_t> tokens;
+    unsigned enqueued = 0;
+    for (Cycle c = 1; c < 60000; ++c) {
+        if (enqueued < 200 && rng.chance(0.02) && chan_.canAccept()) {
+            MemRequest r = read(rng.below(1 << 22) << kLineShift,
+                                static_cast<CoreId>(rng.below(4)));
+            if (chan_.enqueue(r, c)) {
+                tokens.push_back(r.token);
+                ++enqueued;
+            }
+        }
+        chan_.tick(c);
+    }
+    ASSERT_EQ(done_.size(), tokens.size());
+    std::vector<std::uint64_t> got;
+    for (const auto &r : done_)
+        got.push_back(r.token);
+    std::sort(got.begin(), got.end());
+    std::sort(tokens.begin(), tokens.end());
+    EXPECT_EQ(got, tokens);
+}
+
+/** Property: data timestamps are monotone per bank bus occupancy. */
+TEST_F(DramChannelTest, DataBusNeverOverlaps)
+{
+    Rng rng(5);
+    for (Cycle c = 1; c < 40000; ++c) {
+        if (rng.chance(0.05) && chan_.canAccept())
+            chan_.enqueue(read(rng.below(1 << 20) << kLineShift), c);
+        chan_.tick(c);
+    }
+    std::vector<Cycle> ends;
+    for (const auto &r : done_)
+        ends.push_back(r.cycle_dram_data);
+    std::sort(ends.begin(), ends.end());
+    for (std::size_t i = 1; i < ends.size(); ++i)
+        EXPECT_GE(ends[i] - ends[i - 1], DramTiming{}.tBurst)
+            << "bursts overlap on the data bus";
+}
+
+} // namespace
+} // namespace emc

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the event-energy model (Section 5 accounting rules).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+namespace emc
+{
+namespace
+{
+
+EnergyEvents
+baseEvents()
+{
+    EnergyEvents ev;
+    ev.uops_executed = 1'000'000;
+    ev.cdb_broadcasts = 500'000;
+    ev.l1_accesses = 300'000;
+    ev.llc_accesses = 50'000;
+    ev.ring_control_hops = 40'000;
+    ev.ring_data_hops = 30'000;
+    ev.dram_activates = 10'000;
+    ev.dram_bursts = 20'000;
+    ev.dram_refreshes = 100;
+    ev.total_cycles = 10'000'000;
+    return ev;
+}
+
+TEST(EnergyTest, AllComponentsPositive)
+{
+    EnergyModel m(EnergyParams{}, 4, 4.0, 2, false);
+    const EnergyBreakdown b = m.compute(baseEvents());
+    EXPECT_GT(b.core_dynamic_mj, 0.0);
+    EXPECT_GT(b.uncore_dynamic_mj, 0.0);
+    EXPECT_GT(b.dram_dynamic_mj, 0.0);
+    EXPECT_GT(b.static_mj, 0.0);
+    EXPECT_DOUBLE_EQ(b.emc_dynamic_mj, 0.0);
+    EXPECT_NEAR(b.totalMj(),
+                b.core_dynamic_mj + b.uncore_dynamic_mj
+                    + b.dram_dynamic_mj + b.static_mj,
+                1e-9);
+}
+
+TEST(EnergyTest, StaticScalesWithTime)
+{
+    EnergyModel m(EnergyParams{}, 4, 4.0, 2, false);
+    EnergyEvents ev = baseEvents();
+    const double s1 = m.compute(ev).static_mj;
+    ev.total_cycles *= 2;
+    const double s2 = m.compute(ev).static_mj;
+    EXPECT_NEAR(s2, 2 * s1, 1e-9);
+}
+
+TEST(EnergyTest, EmcAddsStaticAndDynamic)
+{
+    EnergyModel without(EnergyParams{}, 4, 4.0, 2, false);
+    EnergyModel with(EnergyParams{}, 4, 4.0, 2, true);
+    EnergyEvents ev = baseEvents();
+    ev.emc_uops = 100'000;
+    ev.emc_dcache_accesses = 40'000;
+    const EnergyBreakdown b0 = without.compute(ev);
+    const EnergyBreakdown b1 = with.compute(ev);
+    EXPECT_GT(b1.static_mj, b0.static_mj);
+    EXPECT_GT(b1.emc_dynamic_mj, 0.0);
+    // The EMC's static overhead is small: ~10.4% of one core among
+    // four cores plus uncore (paper Section 6.6).
+    EXPECT_LT((b1.static_mj - b0.static_mj) / b0.static_mj, 0.03);
+}
+
+TEST(EnergyTest, DramEnergyTracksActivates)
+{
+    EnergyModel m(EnergyParams{}, 4, 4.0, 2, false);
+    EnergyEvents ev = baseEvents();
+    const double d1 = m.compute(ev).dram_dynamic_mj;
+    ev.dram_activates *= 3;
+    const double d2 = m.compute(ev).dram_dynamic_mj;
+    EXPECT_GT(d2, d1);
+}
+
+TEST(EnergyTest, ChainGenerationEventsCharged)
+{
+    // RRT accesses and ROB reads from chain generation show up in
+    // core dynamic energy (paper Section 5).
+    EnergyModel m(EnergyParams{}, 4, 4.0, 2, true);
+    EnergyEvents ev = baseEvents();
+    const double c1 = m.compute(ev).core_dynamic_mj;
+    ev.rrt_accesses = 200'000;
+    ev.rob_reads = 100'000;
+    const double c2 = m.compute(ev).core_dynamic_mj;
+    EXPECT_GT(c2, c1);
+}
+
+TEST(EnergyTest, EightCoreStaticHigherThanQuad)
+{
+    EnergyModel quad(EnergyParams{}, 4, 4.0, 2, false);
+    EnergyModel eight(EnergyParams{}, 8, 8.0, 4, false);
+    const EnergyEvents ev = baseEvents();
+    EXPECT_GT(eight.compute(ev).static_mj, quad.compute(ev).static_mj);
+}
+
+} // namespace
+} // namespace emc

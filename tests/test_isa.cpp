@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the micro-op ISA: functional semantics, EMC
+ * eligibility filtering (Table 1), and trace plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/trace.hh"
+#include "isa/uop.hh"
+
+namespace emc
+{
+namespace
+{
+
+TEST(UopTest, AluSemantics)
+{
+    EXPECT_EQ(evalAlu(Opcode::kAdd, 2, 3, 4), 9u);
+    EXPECT_EQ(evalAlu(Opcode::kSub, 10, 3, 2), 5u);
+    EXPECT_EQ(evalAlu(Opcode::kMov, 7, 0, 1), 8u);
+    EXPECT_EQ(evalAlu(Opcode::kAnd, 0xff, 0x0f, 0), 0x0fu);
+    EXPECT_EQ(evalAlu(Opcode::kOr, 0xf0, 0x0f, 0), 0xffu);
+    EXPECT_EQ(evalAlu(Opcode::kXor, 0xff, 0x0f, 0), 0xf0u);
+    EXPECT_EQ(evalAlu(Opcode::kNot, 0, 0, 0), ~0ull);
+    EXPECT_EQ(evalAlu(Opcode::kShl, 1, 0, 4), 16u);
+    EXPECT_EQ(evalAlu(Opcode::kShr, 16, 0, 4), 1u);
+}
+
+TEST(UopTest, SignExtendSemantics)
+{
+    EXPECT_EQ(evalAlu(Opcode::kSext, 0xffffffffull, 0, 0),
+              0xffffffffffffffffull);
+    EXPECT_EQ(evalAlu(Opcode::kSext, 0x7fffffffull, 0, 0),
+              0x7fffffffull);
+}
+
+TEST(UopTest, AluIsDeterministicForFp)
+{
+    const auto a = evalAlu(Opcode::kFpAdd, 123, 456, 7);
+    const auto b = evalAlu(Opcode::kFpAdd, 123, 456, 7);
+    EXPECT_EQ(a, b);
+}
+
+TEST(UopTest, BranchSemantics)
+{
+    EXPECT_TRUE(evalBranch(1));
+    EXPECT_TRUE(evalBranch(0xdeadbeef));
+    EXPECT_FALSE(evalBranch(0));
+}
+
+TEST(UopTest, EffectiveAddress)
+{
+    EXPECT_EQ(effectiveAddr(0x1000, 0x18), 0x1018u);
+    EXPECT_EQ(effectiveAddr(0x1000, -8), 0xff8u);
+}
+
+TEST(UopTest, EmcEligibilityMatchesTable1)
+{
+    // Allowed: integer add/sub/move/load/store and logical ops.
+    EXPECT_TRUE(emcAllowed(Opcode::kAdd));
+    EXPECT_TRUE(emcAllowed(Opcode::kSub));
+    EXPECT_TRUE(emcAllowed(Opcode::kMov));
+    EXPECT_TRUE(emcAllowed(Opcode::kAnd));
+    EXPECT_TRUE(emcAllowed(Opcode::kOr));
+    EXPECT_TRUE(emcAllowed(Opcode::kXor));
+    EXPECT_TRUE(emcAllowed(Opcode::kNot));
+    EXPECT_TRUE(emcAllowed(Opcode::kShl));
+    EXPECT_TRUE(emcAllowed(Opcode::kShr));
+    EXPECT_TRUE(emcAllowed(Opcode::kSext));
+    EXPECT_TRUE(emcAllowed(Opcode::kLoad));
+    EXPECT_TRUE(emcAllowed(Opcode::kStore));
+    // Disallowed: floating point and vector.
+    EXPECT_FALSE(emcAllowed(Opcode::kFpAdd));
+    EXPECT_FALSE(emcAllowed(Opcode::kFpMul));
+    EXPECT_FALSE(emcAllowed(Opcode::kVecOp));
+    EXPECT_FALSE(emcAllowed(Opcode::kNop));
+}
+
+TEST(UopTest, Classification)
+{
+    EXPECT_TRUE(isLoad(Opcode::kLoad));
+    EXPECT_FALSE(isLoad(Opcode::kStore));
+    EXPECT_TRUE(isStore(Opcode::kStore));
+    EXPECT_TRUE(isMem(Opcode::kLoad));
+    EXPECT_TRUE(isMem(Opcode::kStore));
+    EXPECT_FALSE(isMem(Opcode::kAdd));
+    EXPECT_TRUE(isBranch(Opcode::kBranch));
+}
+
+TEST(UopTest, ExecLatencies)
+{
+    EXPECT_EQ(execLatency(Opcode::kAdd), 1u);
+    EXPECT_GT(execLatency(Opcode::kFpMul), execLatency(Opcode::kFpAdd));
+}
+
+TEST(UopTest, ToStringContainsOpcode)
+{
+    Uop u;
+    u.op = Opcode::kLoad;
+    u.dst = 3;
+    u.src1 = 1;
+    EXPECT_NE(u.toString().find("load"), std::string::npos);
+}
+
+TEST(UopTest, OpcodeNamesUnique)
+{
+    EXPECT_STRNE(opcodeName(Opcode::kAdd), opcodeName(Opcode::kSub));
+    EXPECT_STREQ(opcodeName(Opcode::kBranch), "branch");
+}
+
+TEST(VectorTraceTest, ReplaysInOrder)
+{
+    std::vector<DynUop> uops(3);
+    uops[0].uop.op = Opcode::kAdd;
+    uops[1].uop.op = Opcode::kLoad;
+    uops[2].uop.op = Opcode::kBranch;
+    VectorTrace t(uops);
+
+    DynUop d;
+    ASSERT_TRUE(t.next(d));
+    EXPECT_EQ(d.uop.op, Opcode::kAdd);
+    ASSERT_TRUE(t.next(d));
+    EXPECT_EQ(d.uop.op, Opcode::kLoad);
+    ASSERT_TRUE(t.next(d));
+    EXPECT_EQ(d.uop.op, Opcode::kBranch);
+    EXPECT_FALSE(t.next(d));
+    EXPECT_EQ(t.produced(), 3u);
+}
+
+} // namespace
+} // namespace emc

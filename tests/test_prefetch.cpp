@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Unit tests for the stream, GHB G/DC and Markov prefetchers and the
+ * FDP throttle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "prefetch/ghb.hh"
+#include "prefetch/markov.hh"
+#include "prefetch/prefetcher.hh"
+#include "prefetch/stream.hh"
+#include "prefetch/stride.hh"
+
+namespace emc
+{
+namespace
+{
+
+std::vector<Addr>
+drain(Prefetcher &pf)
+{
+    std::vector<Addr> out;
+    PrefetchCandidate c;
+    while (pf.nextCandidate(c))
+        out.push_back(c.line_addr);
+    return out;
+}
+
+Addr
+line(std::uint64_t n)
+{
+    return n << kLineShift;
+}
+
+// ---------------------------------------------------------------
+// Stream prefetcher
+// ---------------------------------------------------------------
+
+TEST(StreamPfTest, DetectsAscendingStream)
+{
+    StreamPrefetcher pf(1);
+    pf.observe(0, line(100), 0, true, 4);   // allocate
+    pf.observe(0, line(101), 0, true, 4);   // direction
+    pf.observe(0, line(102), 0, true, 4);   // armed: prefetches
+    const auto cands = drain(pf);
+    ASSERT_FALSE(cands.empty());
+    for (Addr a : cands)
+        EXPECT_GT(lineNum(a), 102u);
+}
+
+TEST(StreamPfTest, DetectsDescendingStream)
+{
+    StreamPrefetcher pf(1);
+    pf.observe(0, line(500), 0, true, 4);
+    pf.observe(0, line(499), 0, true, 4);
+    pf.observe(0, line(498), 0, true, 4);
+    const auto cands = drain(pf);
+    ASSERT_FALSE(cands.empty());
+    for (Addr a : cands)
+        EXPECT_LT(lineNum(a), 498u);
+}
+
+TEST(StreamPfTest, RandomAccessesDoNotTrain)
+{
+    StreamPrefetcher pf(1);
+    pf.observe(0, line(100), 0, true, 4);
+    pf.observe(0, line(5000), 0, true, 4);
+    pf.observe(0, line(90000), 0, true, 4);
+    EXPECT_TRUE(drain(pf).empty());
+}
+
+TEST(StreamPfTest, RespectsDegree)
+{
+    StreamPrefetcher pf(1);
+    pf.observe(0, line(10), 0, true, 2);
+    pf.observe(0, line(11), 0, true, 2);
+    pf.observe(0, line(12), 0, true, 2);
+    EXPECT_LE(drain(pf).size(), 2u + 2u);  // arming emits at most 2x
+}
+
+TEST(StreamPfTest, PerCoreIsolation)
+{
+    StreamPrefetcher pf(2);
+    pf.observe(0, line(10), 0, true, 4);
+    pf.observe(1, line(11), 0, true, 4);
+    pf.observe(0, line(12), 0, true, 4);  // not adjacent to core 0's 10
+    // Interleaved cores must not accidentally arm a stream from mixed
+    // accesses at the same addresses.
+    pf.observe(1, line(13), 0, true, 4);
+    // No strong assertion on emptiness (10->12 is within the window),
+    // but candidates must carry the right core.
+    PrefetchCandidate c;
+    while (pf.nextCandidate(c))
+        EXPECT_LT(c.core, 2u);
+}
+
+TEST(StreamPfTest, TracksManyConcurrentStreams)
+{
+    StreamPrefetcher pf(1, 32, 32);
+    // Train 8 interleaved streams far apart.
+    for (int round = 0; round < 3; ++round) {
+        for (std::uint64_t s = 0; s < 8; ++s)
+            pf.observe(0, line(s * 100000 + round), 0, true, 2);
+    }
+    const auto cands = drain(pf);
+    std::set<std::uint64_t> regions;
+    for (Addr a : cands)
+        regions.insert(lineNum(a) / 100000);
+    EXPECT_GE(regions.size(), 6u);
+}
+
+// ---------------------------------------------------------------
+// Stride (Baer-Chen RPT)
+// ---------------------------------------------------------------
+
+TEST(StridePfTest, LearnsFixedStrideAfterConfirmation)
+{
+    StridePrefetcher pf(1);
+    // Large stride (100 lines) that a stream window would never catch.
+    pf.observe(0, line(0), 0x400, true, 2);      // initial
+    pf.observe(0, line(100), 0x400, true, 2);    // transient
+    pf.observe(0, line(200), 0x400, true, 2);    // steady -> prefetch
+    const auto cands = drain(pf);
+    ASSERT_EQ(cands.size(), 2u);
+    EXPECT_EQ(lineNum(cands[0]), 300u);
+    EXPECT_EQ(lineNum(cands[1]), 400u);
+}
+
+TEST(StridePfTest, NegativeStride)
+{
+    StridePrefetcher pf(1);
+    pf.observe(0, line(1000), 0x404, true, 1);
+    pf.observe(0, line(900), 0x404, true, 1);
+    pf.observe(0, line(800), 0x404, true, 1);
+    const auto cands = drain(pf);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(lineNum(cands[0]), 700u);
+}
+
+TEST(StridePfTest, StrideChangeResetsToTransient)
+{
+    StridePrefetcher pf(1);
+    pf.observe(0, line(0), 0x408, true, 2);
+    pf.observe(0, line(10), 0x408, true, 2);
+    pf.observe(0, line(20), 0x408, true, 2);
+    drain(pf);
+    pf.observe(0, line(25), 0x408, true, 2);  // break the stride
+    EXPECT_TRUE(drain(pf).empty());
+    pf.observe(0, line(30), 0x408, true, 2);  // re-confirmed: emits
+    const auto cands = drain(pf);
+    ASSERT_FALSE(cands.empty());
+    EXPECT_EQ(lineNum(cands[0]), 35u);  // new stride (5), not old (10)
+}
+
+TEST(StridePfTest, DistinctPcsLearnIndependently)
+{
+    StridePrefetcher pf(1);
+    for (int i = 0; i < 4; ++i) {
+        pf.observe(0, line(i * 7), 0x500, true, 1);
+        pf.observe(0, line(1000 + i * 3), 0x504, true, 1);
+    }
+    const auto cands = drain(pf);
+    bool saw7 = false, saw3 = false;
+    for (Addr a : cands) {
+        if (lineNum(a) == 3 * 7 + 7)
+            saw7 = true;
+        if (lineNum(a) == 1000 + 3 * 3 + 3)
+            saw3 = true;
+    }
+    EXPECT_TRUE(saw7);
+    EXPECT_TRUE(saw3);
+}
+
+TEST(StridePfTest, IgnoresPcZero)
+{
+    StridePrefetcher pf(1);
+    for (int i = 0; i < 6; ++i)
+        pf.observe(0, line(i * 4), 0, true, 4);
+    EXPECT_TRUE(drain(pf).empty());
+}
+
+// ---------------------------------------------------------------
+// GHB G/DC
+// ---------------------------------------------------------------
+
+TEST(GhbPfTest, LearnsRepeatingDeltaPattern)
+{
+    GhbPrefetcher pf(1, 256);
+    // Miss stream with deltas +3, +5 repeating.
+    std::uint64_t a = 1000;
+    for (int i = 0; i < 12; ++i) {
+        pf.observe(0, line(a), 0, true, 4);
+        a += (i % 2) ? 5 : 3;
+    }
+    const auto cands = drain(pf);
+    ASSERT_FALSE(cands.empty());
+    // Predictions must follow the delta pattern from the current head.
+    std::set<std::uint64_t> lines;
+    for (Addr c : cands)
+        lines.insert(lineNum(c));
+    bool plausible = false;
+    for (std::uint64_t l : lines) {
+        if (l > a - 8 && l < a + 64)
+            plausible = true;
+    }
+    EXPECT_TRUE(plausible);
+}
+
+TEST(GhbPfTest, IgnoresHits)
+{
+    GhbPrefetcher pf(1, 64);
+    for (int i = 0; i < 10; ++i)
+        pf.observe(0, line(100 + i), 0, false, 4);
+    EXPECT_TRUE(drain(pf).empty());
+}
+
+TEST(GhbPfTest, NoPredictionWithoutHistory)
+{
+    GhbPrefetcher pf(1, 64);
+    pf.observe(0, line(1), 0, true, 4);
+    pf.observe(0, line(100), 0, true, 4);
+    EXPECT_TRUE(drain(pf).empty());
+}
+
+TEST(GhbPfTest, BufferWrapInvalidatesStaleLinks)
+{
+    GhbPrefetcher pf(1, 8);  // tiny buffer forces wrap
+    std::uint64_t a = 0;
+    for (int i = 0; i < 64; ++i) {
+        pf.observe(0, line(a), 0, true, 2);
+        a += 7;
+        drain(pf);  // discard, just exercising wrap safety
+    }
+    SUCCEED();  // no crash / no assert
+}
+
+// ---------------------------------------------------------------
+// Markov
+// ---------------------------------------------------------------
+
+TEST(MarkovPfTest, RecallsSuccessor)
+{
+    MarkovPrefetcher pf(1);
+    pf.observe(0, line(10), 0, true, 4);
+    pf.observe(0, line(777), 0, true, 4);   // 10 -> 777 recorded
+    pf.observe(0, line(5000), 0, true, 4);
+    drain(pf);
+    pf.observe(0, line(10), 0, true, 4);    // revisit 10
+    const auto cands = drain(pf);
+    ASSERT_FALSE(cands.empty());
+    EXPECT_EQ(lineNum(cands[0]), 777u);
+}
+
+TEST(MarkovPfTest, KeepsMultipleSuccessorsMru)
+{
+    MarkovPrefetcher pf(1, 1 << 20, 4);
+    // 10 -> 20, then 10 -> 30: both successors remembered, 30 MRU.
+    pf.observe(0, line(10), 0, true, 4);
+    pf.observe(0, line(20), 0, true, 4);
+    pf.observe(0, line(10), 0, true, 4);
+    drain(pf);
+    pf.observe(0, line(30), 0, true, 4);
+    pf.observe(0, line(10), 0, true, 4);
+    const auto cands = drain(pf);
+    ASSERT_GE(cands.size(), 2u);
+    EXPECT_EQ(lineNum(cands[0]), 30u);  // MRU first
+}
+
+TEST(MarkovPfTest, SuccessorListBounded)
+{
+    MarkovPrefetcher pf(1, 1 << 20, 2);
+    for (std::uint64_t s = 0; s < 6; ++s) {
+        pf.observe(0, line(10), 0, true, 8);
+        drain(pf);
+        pf.observe(0, line(100 + s), 0, true, 8);
+        drain(pf);
+    }
+    pf.observe(0, line(10), 0, true, 8);
+    EXPECT_LE(drain(pf).size(), 2u);
+}
+
+TEST(MarkovPfTest, TableCapacityEviction)
+{
+    MarkovPrefetcher pf(1, 4096, 4);  // tiny table
+    const std::size_t cap = pf.tableEntries();
+    // Fill way beyond capacity; no crash and old entries evicted.
+    for (std::uint64_t i = 0; i < cap * 4; ++i) {
+        pf.observe(0, line(i * 2), 0, true, 1);
+        drain(pf);
+    }
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------
+// FDP throttle
+// ---------------------------------------------------------------
+
+TEST(FdpTest, DegreeRisesWithAccuracy)
+{
+    FdpThrottle fdp;
+    const unsigned d0 = fdp.degree();
+    for (int i = 0; i < 600; ++i) {
+        fdp.issued(line(i));
+        fdp.demandTouch(line(i));
+    }
+    EXPECT_GT(fdp.degree(), d0);
+}
+
+TEST(FdpTest, DegreeFallsWithInaccuracy)
+{
+    FdpThrottle fdp;
+    // First rise…
+    for (int i = 0; i < 600; ++i) {
+        fdp.issued(line(i));
+        fdp.demandTouch(line(i));
+    }
+    const unsigned high = fdp.degree();
+    // …then pollute: no touches at all.
+    for (int i = 1000; i < 2200; ++i)
+        fdp.issued(line(i));
+    EXPECT_LT(fdp.degree(), high);
+    EXPECT_GE(fdp.degree(), 1u);
+}
+
+TEST(FdpTest, DegreeBounds)
+{
+    FdpThrottle fdp;
+    for (int i = 0; i < 40000; ++i) {
+        fdp.issued(line(i));
+        fdp.demandTouch(line(i));
+    }
+    EXPECT_LE(fdp.degree(), 32u);
+    FdpThrottle bad;
+    for (int i = 0; i < 40000; ++i)
+        bad.issued(line(i));
+    EXPECT_GE(bad.degree(), 1u);
+}
+
+TEST(FdpTest, EvictionRemovesPending)
+{
+    FdpThrottle fdp;
+    fdp.issued(line(5));
+    EXPECT_TRUE(fdp.isPendingPrefetch(line(5)));
+    fdp.evicted(line(5));
+    EXPECT_FALSE(fdp.isPendingPrefetch(line(5)));
+    fdp.demandTouch(line(5));  // no credit after eviction
+    EXPECT_EQ(fdp.totalUseful(), 0u);
+}
+
+TEST(FdpTest, LatePrefetchesRampDegreeFaster)
+{
+    FdpThrottle slow, fast;
+    // Both accurate; one also chronically late.
+    for (int i = 0; i < 600; ++i) {
+        slow.issued(line(i));
+        slow.demandTouch(line(i));
+        fast.issued(line(10000 + i));
+        fast.lateHit(line(10000 + i));
+        fast.demandTouch(line(10000 + i));
+    }
+    EXPECT_GE(fast.degree(), slow.degree());
+    EXPECT_GT(fast.totalLate(), 0u);
+}
+
+TEST(FdpTest, PollutionThrottlesDown)
+{
+    FdpThrottle fdp;
+    // Ramp up first.
+    for (int i = 0; i < 600; ++i) {
+        fdp.issued(line(i));
+        fdp.demandTouch(line(i));
+    }
+    const unsigned high = fdp.degree();
+    // Now every prefetch evicts a line that demand then misses on.
+    for (int i = 0; i < 1200; ++i) {
+        fdp.issued(line(5000 + i));
+        fdp.demandTouch(line(5000 + i));  // accurate...
+        fdp.prefetchEvictedVictim(line(90000 + i));
+        fdp.demandMiss(line(90000 + i));  // ...but polluting
+    }
+    EXPECT_LT(fdp.degree(), high);
+    EXPECT_GT(fdp.totalPolluted(), 0u);
+}
+
+TEST(FdpTest, VictimSetBounded)
+{
+    FdpThrottle fdp;
+    for (int i = 0; i < 10000; ++i)
+        fdp.prefetchEvictedVictim(line(i));
+    // Old victims aged out: a demand miss on the first victim is no
+    // longer attributed to pollution.
+    EXPECT_FALSE(fdp.demandMiss(line(0)));
+    EXPECT_TRUE(fdp.demandMiss(line(9999)));
+}
+
+TEST(FdpTest, AccuracyAccounting)
+{
+    FdpThrottle fdp;
+    fdp.issued(line(1));
+    fdp.issued(line(2));
+    fdp.demandTouch(line(1));
+    EXPECT_DOUBLE_EQ(fdp.accuracy(), 0.5);
+}
+
+} // namespace
+} // namespace emc

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit and property tests for the bidirectional slotted ring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "ring/ring.hh"
+
+namespace emc
+{
+namespace
+{
+
+struct Harness
+{
+    explicit Harness(unsigned stops, bool data = false)
+        : ring(stops, data)
+    {
+        ring.setDeliver([this](const RingMsg &m) {
+            delivered.push_back({m, now});
+        });
+    }
+
+    void
+    run(Cycle until)
+    {
+        for (; now <= until; ++now)
+            ring.tick(now);
+    }
+
+    RingMsg
+    msg(unsigned src, unsigned dst, std::uint64_t token = 0)
+    {
+        RingMsg m;
+        m.src = src;
+        m.dst = dst;
+        m.token = token;
+        m.type = MsgType::kMemRead;
+        return m;
+    }
+
+    Ring ring;
+    std::vector<std::pair<RingMsg, Cycle>> delivered;
+    Cycle now = 1;
+};
+
+TEST(RingTest, DistanceShortestPath)
+{
+    Ring r(5, false);
+    EXPECT_EQ(r.distance(0, 1), 1u);
+    EXPECT_EQ(r.distance(0, 4), 1u);
+    EXPECT_EQ(r.distance(0, 2), 2u);
+    EXPECT_EQ(r.distance(1, 4), 2u);
+    EXPECT_EQ(r.distance(3, 3), 0u);
+}
+
+TEST(RingTest, DeliversAtHopDistance)
+{
+    Harness h(5);
+    h.ring.send(h.msg(0, 2), h.now);
+    h.run(10);
+    ASSERT_EQ(h.delivered.size(), 1u);
+    // Injection next tick, then one tick per hop: 2 hops.
+    EXPECT_EQ(h.delivered[0].second - 1, 2u);
+}
+
+TEST(RingTest, ChoosesShorterDirection)
+{
+    Harness h(8);
+    h.ring.send(h.msg(0, 7), h.now);  // 1 hop counter-clockwise
+    h.run(10);
+    ASSERT_EQ(h.delivered.size(), 1u);
+    EXPECT_LE(h.delivered[0].second, 3u);
+}
+
+TEST(RingTest, RejectsSameStop)
+{
+    Ring r(4, false);
+    RingMsg m;
+    m.src = 2;
+    m.dst = 2;
+    EXPECT_DEATH(r.send(m, 0), "same-stop");
+}
+
+TEST(RingTest, ContentionDelaysInjection)
+{
+    // Saturate stop 0 with messages: later ones wait for free slots.
+    Harness h(4);
+    for (int i = 0; i < 6; ++i)
+        h.ring.send(h.msg(0, 2, i), h.now);
+    h.run(30);
+    ASSERT_EQ(h.delivered.size(), 6u);
+    EXPECT_GT(h.delivered.back().second, h.delivered.front().second);
+    EXPECT_GT(h.ring.stats().inject_stalls, 0u);
+}
+
+TEST(RingTest, StatsCountMessages)
+{
+    Harness hc(4, false);
+    hc.ring.send(hc.msg(0, 1), hc.now);
+    EXPECT_EQ(hc.ring.stats().control_msgs, 1u);
+    EXPECT_EQ(hc.ring.stats().data_msgs, 0u);
+
+    Harness hd(4, true);
+    RingMsg m = hd.msg(0, 1);
+    m.type = MsgType::kChainTransfer;
+    hd.ring.send(m, hd.now);
+    EXPECT_EQ(hd.ring.stats().data_msgs, 1u);
+    EXPECT_EQ(hd.ring.stats().data_emc_msgs, 1u);
+}
+
+TEST(RingTest, EmcMessageClassification)
+{
+    EXPECT_TRUE(isDataMsg(MsgType::kChainTransfer));
+    EXPECT_TRUE(isDataMsg(MsgType::kLiveOut));
+    EXPECT_TRUE(isDataMsg(MsgType::kFillToCore));
+    EXPECT_FALSE(isDataMsg(MsgType::kMemRead));
+    EXPECT_FALSE(isDataMsg(MsgType::kLsqPopulate));
+}
+
+/** Property: every sent message is delivered exactly once. */
+TEST(RingProperty, AllMessagesDeliveredOnce)
+{
+    Harness h(6);
+    Rng rng(42);
+    std::map<std::uint64_t, std::pair<unsigned, unsigned>> sent;
+    std::uint64_t token = 1;
+    for (Cycle c = 1; c < 2000; ++c) {
+        if (rng.chance(0.3)) {
+            const unsigned src = static_cast<unsigned>(rng.below(6));
+            unsigned dst = static_cast<unsigned>(rng.below(6));
+            if (dst == src)
+                dst = (dst + 1) % 6;
+            sent[token] = {src, dst};
+            h.ring.send(h.msg(src, dst, token), c);
+            ++token;
+        }
+        h.ring.tick(c);
+        h.now = c + 1;
+    }
+    h.run(h.now + 200);
+    ASSERT_EQ(h.delivered.size(), sent.size());
+    std::map<std::uint64_t, int> seen;
+    for (const auto &[m, cyc] : h.delivered) {
+        ++seen[m.token];
+        auto it = sent.find(m.token);
+        ASSERT_NE(it, sent.end());
+        EXPECT_EQ(m.src, it->second.first);
+        EXPECT_EQ(m.dst, it->second.second);
+    }
+    for (const auto &[tok, count] : seen)
+        EXPECT_EQ(count, 1) << "token " << tok;
+}
+
+/** Property: latency is at least the hop distance. */
+TEST(RingProperty, LatencyLowerBound)
+{
+    Harness h(9);
+    Rng rng(9);
+    std::map<std::uint64_t, Cycle> inject_cycle;
+    std::map<std::uint64_t, unsigned> dist;
+    std::uint64_t token = 1;
+    for (Cycle c = 1; c < 1500; ++c) {
+        if (rng.chance(0.2)) {
+            const unsigned src = static_cast<unsigned>(rng.below(9));
+            unsigned dst = static_cast<unsigned>(rng.below(9));
+            if (dst == src)
+                dst = (dst + 1) % 9;
+            inject_cycle[token] = c;
+            dist[token] = h.ring.distance(src, dst);
+            h.ring.send(h.msg(src, dst, token), c);
+            ++token;
+        }
+        h.ring.tick(c);
+        h.now = c + 1;
+    }
+    h.run(h.now + 200);
+    for (const auto &[m, cyc] : h.delivered)
+        EXPECT_GE(cyc - inject_cycle[m.token], dist[m.token]);
+}
+
+} // namespace
+} // namespace emc

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for binary trace capture/replay and the chain wire codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "emc/chain_codec.hh"
+#include "isa/trace_io.hh"
+#include "sim/system.hh"
+#include "mem/functional_memory.hh"
+#include "workload/profile.hh"
+#include "workload/synthetic.hh"
+
+namespace emc
+{
+namespace
+{
+
+std::string
+tmpPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+DynUop
+sampleUop(int i)
+{
+    DynUop d;
+    d.uop.op = (i % 3) ? Opcode::kAdd : Opcode::kLoad;
+    d.uop.dst = static_cast<std::uint8_t>(i % 14);
+    d.uop.src1 = static_cast<std::uint8_t>((i + 1) % 14);
+    d.uop.src2 = (i % 5) ? kNoReg : static_cast<std::uint8_t>(i % 7);
+    d.uop.imm = i * 123456789LL - 42;
+    d.uop.pc = 0x400000 + i * 4;
+    d.result = 0xdeadbeef00ull + i;
+    d.vaddr = 0x1000 + i * 64;
+    d.mem_value = 0xfeedface00ull + i;
+    d.taken = (i % 2) == 0;
+    d.mispredicted = (i % 7) == 0;
+    return d;
+}
+
+TEST(TraceIoTest, RoundTripPreservesEveryField)
+{
+    const std::string path = tmpPath("roundtrip.emct");
+    {
+        TraceWriter w(path);
+        for (int i = 0; i < 100; ++i)
+            w.append(sampleUop(i));
+        w.close();
+    }
+    FileTrace t(path);
+    EXPECT_EQ(t.size(), 100u);
+    for (int i = 0; i < 100; ++i) {
+        DynUop d;
+        ASSERT_TRUE(t.next(d)) << i;
+        const DynUop ref = sampleUop(i);
+        EXPECT_EQ(d.uop.op, ref.uop.op);
+        EXPECT_EQ(d.uop.dst, ref.uop.dst);
+        EXPECT_EQ(d.uop.src1, ref.uop.src1);
+        EXPECT_EQ(d.uop.src2, ref.uop.src2);
+        EXPECT_EQ(d.uop.imm, ref.uop.imm);
+        EXPECT_EQ(d.uop.pc, ref.uop.pc);
+        EXPECT_EQ(d.result, ref.result);
+        EXPECT_EQ(d.vaddr, ref.vaddr);
+        EXPECT_EQ(d.mem_value, ref.mem_value);
+        EXPECT_EQ(d.taken, ref.taken);
+        EXPECT_EQ(d.mispredicted, ref.mispredicted);
+    }
+    DynUop d;
+    EXPECT_FALSE(t.next(d));
+}
+
+TEST(TraceIoTest, LoopModeWraps)
+{
+    const std::string path = tmpPath("loop.emct");
+    {
+        TraceWriter w(path);
+        for (int i = 0; i < 5; ++i)
+            w.append(sampleUop(i));
+    }
+    FileTrace t(path, true);
+    DynUop d;
+    for (int i = 0; i < 17; ++i)
+        ASSERT_TRUE(t.next(d));
+    EXPECT_EQ(t.produced(), 17u);
+}
+
+TEST(TraceIoTest, CapturedGeneratorReplaysIdentically)
+{
+    const std::string path = tmpPath("capture.emct");
+    FunctionalMemory mem;
+    SyntheticProgram gen(profileByName("mcf"), mem, 5);
+    {
+        CapturingTrace cap(&gen, path);
+        DynUop d;
+        for (int i = 0; i < 2000; ++i)
+            ASSERT_TRUE(cap.next(d));
+        cap.finish();
+    }
+    // Fresh generator with the same seed == the captured stream.
+    FunctionalMemory mem2;
+    SyntheticProgram gen2(profileByName("mcf"), mem2, 5);
+    FileTrace t(path);
+    for (int i = 0; i < 2000; ++i) {
+        DynUop a, b;
+        ASSERT_TRUE(t.next(a));
+        ASSERT_TRUE(gen2.next(b));
+        EXPECT_EQ(a.vaddr, b.vaddr);
+        EXPECT_EQ(a.result, b.result);
+        EXPECT_EQ(static_cast<int>(a.uop.op),
+                  static_cast<int>(b.uop.op));
+    }
+}
+
+// ---------------------------------------------------------------
+// Chain wire codec
+// ---------------------------------------------------------------
+
+ChainRequest
+buildTestChain()
+{
+    ChainRequest c;
+    c.id = 42;
+    c.core = 2;
+    c.source_paddr_line = 0x7fc0;
+    c.source_value = 0xabcdef;
+
+    ChainUop src;
+    src.d.uop.op = Opcode::kLoad;
+    src.d.uop.dst = 1;
+    src.d.uop.src1 = 1;
+    src.d.vaddr = 0x7fc8;
+    src.d.mem_value = 0xabcdef;
+    src.is_source = true;
+    src.epr_dst = 0;
+    src.rob_seq = 100;
+    c.uops.push_back(src);
+    c.source_epr = 0;
+
+    ChainUop add;
+    add.d.uop.op = Opcode::kAdd;
+    add.d.uop.dst = 2;
+    add.d.uop.src1 = 1;
+    add.d.uop.imm = 0x18;
+    add.epr_dst = 1;
+    add.epr_src1 = 0;
+    add.rob_seq = 101;
+    c.uops.push_back(add);
+
+    ChainUop mix;
+    mix.d.uop.op = Opcode::kXor;
+    mix.d.uop.dst = 3;
+    mix.d.uop.src1 = 2;
+    mix.d.uop.src2 = 4;
+    mix.epr_dst = 2;
+    mix.epr_src1 = 1;
+    mix.src2_live_in = true;
+    mix.src2_val = 0x123456789abcdef0ull;
+    mix.rob_seq = 102;
+    c.uops.push_back(mix);
+    c.live_in_count = 1;
+
+    ChainUop wide;
+    wide.d.uop.op = Opcode::kMov;
+    wide.d.uop.dst = 5;
+    wide.d.uop.imm = 0x40000000;  // does not fit 16 bits
+    wide.epr_dst = 3;
+    wide.rob_seq = 103;
+    c.uops.push_back(wide);
+
+    ChainUop ld;
+    ld.d.uop.op = Opcode::kLoad;
+    ld.d.uop.dst = 6;
+    ld.d.uop.src1 = 2;
+    ld.d.uop.imm = -8;
+    ld.d.vaddr = 0xbeef00;
+    ld.epr_dst = 4;
+    ld.epr_src1 = 1;
+    ld.rob_seq = 104;
+    c.uops.push_back(ld);
+
+    ChainUop st;
+    st.d.uop.op = Opcode::kStore;
+    st.d.uop.src1 = 2;
+    st.d.uop.src2 = 6;
+    st.epr_src1 = 1;
+    st.epr_src2 = 4;
+    st.is_spill_store = true;
+    st.d.taken = false;
+    st.rob_seq = 105;
+    c.uops.push_back(st);
+
+    ChainUop br;
+    br.d.uop.op = Opcode::kBranch;
+    br.d.uop.src1 = 2;
+    br.epr_src1 = 1;
+    br.d.taken = true;
+    br.rob_seq = 106;
+    c.uops.push_back(br);
+    return c;
+}
+
+TEST(ChainCodecTest, SixBytesPerUop)
+{
+    const ChainRequest c = buildTestChain();
+    EncodedChain enc;
+    ASSERT_TRUE(encodeChain(c, enc));
+    EXPECT_EQ(enc.uop_bytes.size(), 6 * c.uops.size());
+    // One captured live-in plus one wide immediate.
+    EXPECT_EQ(enc.live_ins.size(), 2u);
+    EXPECT_EQ(enc.wireBytes(), 6 * c.uops.size() + 16);
+}
+
+TEST(ChainCodecTest, RoundTripPreservesExecutableFields)
+{
+    const ChainRequest c = buildTestChain();
+    EncodedChain enc;
+    ASSERT_TRUE(encodeChain(c, enc));
+    const ChainRequest d = decodeChain(enc);
+
+    ASSERT_EQ(d.uops.size(), c.uops.size());
+    EXPECT_EQ(d.id, c.id);
+    EXPECT_EQ(d.core, c.core);
+    EXPECT_EQ(d.source_paddr_line, c.source_paddr_line);
+    EXPECT_EQ(d.source_epr, c.source_epr);
+    EXPECT_EQ(d.live_in_count, c.live_in_count + 0u);
+    for (std::size_t i = 0; i < c.uops.size(); ++i) {
+        const ChainUop &a = c.uops[i];
+        const ChainUop &b = d.uops[i];
+        EXPECT_EQ(b.d.uop.op, a.d.uop.op) << i;
+        EXPECT_EQ(b.d.uop.imm, a.d.uop.imm) << i;
+        EXPECT_EQ(b.epr_dst, a.epr_dst) << i;
+        EXPECT_EQ(b.epr_src1, a.epr_src1) << i;
+        EXPECT_EQ(b.epr_src2, a.epr_src2) << i;
+        EXPECT_EQ(b.src1_live_in, a.src1_live_in) << i;
+        EXPECT_EQ(b.src2_live_in, a.src2_live_in) << i;
+        if (a.src2_live_in)
+            EXPECT_EQ(b.src2_val, a.src2_val) << i;
+        EXPECT_EQ(b.is_source, a.is_source) << i;
+        EXPECT_EQ(b.is_spill_store, a.is_spill_store) << i;
+        EXPECT_EQ(b.d.taken, a.d.taken) << i;
+        EXPECT_EQ(b.rob_seq, a.rob_seq) << i;
+    }
+}
+
+TEST(ChainCodecTest, NegativeImmediateInline)
+{
+    ChainRequest c = buildTestChain();
+    EncodedChain enc;
+    ASSERT_TRUE(encodeChain(c, enc));
+    const ChainRequest d = decodeChain(enc);
+    EXPECT_EQ(d.uops[4].d.uop.imm, -8);
+}
+
+TEST(ChainCodecTest, GeneratedChainsAlwaysEncodable)
+{
+    // Every chain the core generates for real workloads must fit the
+    // paper's wire format (this is asserted in the System too; here
+    // it is exercised directly via a quick simulation).
+    SystemConfig cfg;
+    cfg.emc_enabled = true;
+    cfg.target_uops = 4000;
+    cfg.max_cycles = 4'000'000;
+    System sys(cfg, {"mcf", "omnetpp", "mcf", "omnetpp"});
+    sys.run();  // emc_assert inside offloadChain would panic on failure
+    EXPECT_GT(sys.dump().get("emc.chains_accepted"), 0.0);
+}
+
+} // namespace
+} // namespace emc

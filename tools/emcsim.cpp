@@ -1,0 +1,299 @@
+/**
+ * @file
+ * emcsim — command-line driver for the simulator.
+ *
+ * Runs any mix of benchmark profiles under any of the paper's
+ * configurations and prints (or exports) the full statistics dump.
+ *
+ *   emcsim --workload mcf,sphinx3,soplex,libquantum --emc --pf ghb
+ *   emcsim --mix H4 --emc --uops 50000 --warmup 25000 --csv out.csv
+ *   emcsim --workload mcf --cores 1 --runahead --stats lat,emc
+ *   emcsim --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "workload/profile.hh"
+
+namespace
+{
+
+using namespace emc;
+
+void
+usage()
+{
+    std::printf(
+        "emcsim — Enhanced Memory Controller simulator driver\n"
+        "\n"
+        "workload selection (one of):\n"
+        "  --workload a,b,c,...   benchmark per core (repeat last to"
+        " fill)\n"
+        "  --mix H1..H10          a paper Table 3 mix\n"
+        "  --list                 list benchmark profiles and mixes\n"
+        "\n"
+        "configuration:\n"
+        "  --cores N              core count (default 4; 8 supported)\n"
+        "  --dual-mc              two memory controllers (8-core)\n"
+        "  --pf none|ghb|stream|markov|stride  prefetcher\n"
+        "  --emc                  enable the Enhanced Memory"
+        " Controller\n"
+        "  --runahead             enable runahead execution\n"
+        "  --ideal-dep-hits       Figure 2 idealization\n"
+        "  --channels N --ranks N DRAM geometry\n"
+        "  --sched batch|frfcfs   memory scheduler (default batch)\n"
+        "  --emc-contexts N       EMC issue contexts\n"
+        "  --chain-cap N          max uops per chain\n"
+        "  --indirection N        max new lines per chain\n"
+        "\n"
+        "run control:\n"
+        "  --uops N               retired uops per core (default"
+        " 50000)\n"
+        "  --capture PREFIX       record traces to"
+        " PREFIX.coreN.emct\n"
+        "  --trace f1,f2,...      replay captured trace files\n"
+        "  --warmup N             warmup uops (default uops/2)\n"
+        "  --seed N               RNG seed\n"
+        "\n"
+        "output:\n"
+        "  --stats prefix[,..]    print only stats matching prefixes\n"
+        "  --csv FILE             append name,value rows\n"
+        "  --json FILE            write the full dump as JSON\n"
+        "  --quiet                print only the summary line\n");
+}
+
+bool
+parseU64(const char *s, std::uint64_t &out)
+{
+    char *end = nullptr;
+    out = std::strtoull(s, &end, 10);
+    return end && *end == '\0';
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(pos));
+            break;
+        }
+        out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+void
+listWorkloads()
+{
+    std::printf("high-intensity benchmarks (MPKI >= 10):\n ");
+    for (const auto &n : highIntensityNames())
+        std::printf(" %s", n.c_str());
+    std::printf("\nlow-intensity benchmarks:\n ");
+    for (const auto &n : lowIntensityNames())
+        std::printf(" %s", n.c_str());
+    std::printf("\nmixes (Table 3):\n");
+    for (std::size_t h = 0; h < quadWorkloads().size(); ++h) {
+        std::printf("  %-4s", quadWorkloadName(h).c_str());
+        for (const auto &b : quadWorkloads()[h])
+            std::printf(" %s", b.c_str());
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace emc;
+
+    SystemConfig cfg;
+    cfg.target_uops = 50000;
+    std::uint64_t warmup = ~0ull;
+    std::vector<std::string> workload;
+    std::vector<std::string> stat_prefixes;
+    std::string csv_path;
+    std::string json_path;
+    bool quiet = false;
+    bool dual_mc = false;
+    unsigned cores = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto need = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires an argument\n", what);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (a == "--list") {
+            listWorkloads();
+            return 0;
+        } else if (a == "--workload") {
+            workload = splitCommas(need("--workload"));
+        } else if (a == "--mix") {
+            const std::string m = need("--mix");
+            bool found = false;
+            for (std::size_t h = 0; h < quadWorkloads().size(); ++h) {
+                if (quadWorkloadName(h) == m) {
+                    workload = quadWorkloads()[h];
+                    found = true;
+                }
+            }
+            if (!found) {
+                std::fprintf(stderr, "unknown mix %s\n", m.c_str());
+                return 2;
+            }
+        } else if (a == "--cores") {
+            std::uint64_t v;
+            if (!parseU64(need("--cores"), v)) return 2;
+            cores = static_cast<unsigned>(v);
+        } else if (a == "--dual-mc") {
+            dual_mc = true;
+        } else if (a == "--pf") {
+            const std::string p = need("--pf");
+            if (p == "none") cfg.prefetch = PrefetchConfig::kNone;
+            else if (p == "ghb") cfg.prefetch = PrefetchConfig::kGhb;
+            else if (p == "stream")
+                cfg.prefetch = PrefetchConfig::kStream;
+            else if (p == "markov")
+                cfg.prefetch = PrefetchConfig::kMarkovStream;
+            else if (p == "stride")
+                cfg.prefetch = PrefetchConfig::kStride;
+            else {
+                std::fprintf(stderr, "unknown prefetcher %s\n",
+                             p.c_str());
+                return 2;
+            }
+        } else if (a == "--emc") {
+            cfg.emc_enabled = true;
+        } else if (a == "--runahead") {
+            cfg.core.runahead_enabled = true;
+        } else if (a == "--ideal-dep-hits") {
+            cfg.ideal_dependent_hits = true;
+        } else if (a == "--channels") {
+            std::uint64_t v;
+            if (!parseU64(need("--channels"), v)) return 2;
+            cfg.dram.channels = static_cast<unsigned>(v);
+        } else if (a == "--ranks") {
+            std::uint64_t v;
+            if (!parseU64(need("--ranks"), v)) return 2;
+            cfg.dram.ranks_per_channel = static_cast<unsigned>(v);
+        } else if (a == "--sched") {
+            const std::string p = need("--sched");
+            cfg.sched = p == "frfcfs" ? SchedPolicy::kFrFcfs
+                                      : SchedPolicy::kBatch;
+        } else if (a == "--emc-contexts") {
+            std::uint64_t v;
+            if (!parseU64(need("--emc-contexts"), v)) return 2;
+            cfg.emc.contexts = static_cast<unsigned>(v);
+        } else if (a == "--chain-cap") {
+            std::uint64_t v;
+            if (!parseU64(need("--chain-cap"), v)) return 2;
+            cfg.core.chain_max_uops = static_cast<unsigned>(v);
+        } else if (a == "--indirection") {
+            std::uint64_t v;
+            if (!parseU64(need("--indirection"), v)) return 2;
+            cfg.core.chain_max_indirection = static_cast<unsigned>(v);
+        } else if (a == "--uops") {
+            if (!parseU64(need("--uops"), cfg.target_uops)) return 2;
+        } else if (a == "--warmup") {
+            if (!parseU64(need("--warmup"), warmup)) return 2;
+        } else if (a == "--seed") {
+            if (!parseU64(need("--seed"), cfg.seed)) return 2;
+        } else if (a == "--stats") {
+            stat_prefixes = splitCommas(need("--stats"));
+        } else if (a == "--capture") {
+            cfg.capture_prefix = need("--capture");
+        } else if (a == "--trace") {
+            cfg.trace_files = splitCommas(need("--trace"));
+        } else if (a == "--json") {
+            json_path = need("--json");
+        } else if (a == "--csv") {
+            csv_path = need("--csv");
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown flag %s (try --help)\n",
+                         a.c_str());
+            return 2;
+        }
+    }
+
+    if (workload.empty() && !cfg.trace_files.empty())
+        workload.assign(cfg.trace_files.size(), "mcf");
+    if (workload.empty()) {
+        usage();
+        return 2;
+    }
+
+    if (cores == 0)
+        cores = static_cast<unsigned>(workload.size());
+    if (cores == 8 || dual_mc)
+        cfg.scaleToEightCores(dual_mc);
+    cfg.num_cores = cores;
+    while (workload.size() < cores)
+        workload.push_back(workload.back());
+    workload.resize(cores);
+    cfg.warmup_uops = warmup == ~0ull ? cfg.target_uops / 2 : warmup;
+
+    System sys(cfg, workload);
+    sys.run();
+    const StatDump d = sys.dump();
+
+    if (!quiet) {
+        if (stat_prefixes.empty()) {
+            std::fputs(d.format().c_str(), stdout);
+        } else {
+            for (const auto &[name, value] : d.all()) {
+                for (const auto &prefix : stat_prefixes) {
+                    if (name.rfind(prefix, 0) == 0) {
+                        std::printf("%-56s %18.6f\n", name.c_str(),
+                                    value);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    std::printf("summary: cycles=%.0f ipc_sum=%.4f llc_misses=%.0f "
+                "emc_frac=%.3f energy_mj=%.2f\n",
+                d.get("system.cycles"), d.get("system.ipc_sum"),
+                d.get("llc.demand_misses"), d.get("emc.miss_fraction"),
+                d.get("energy.total_mj"));
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+            return 1;
+        }
+        out << d.toJson();
+    }
+    if (!csv_path.empty()) {
+        std::ofstream out(csv_path, std::ios::app);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
+            return 1;
+        }
+        for (const auto &[name, value] : d.all())
+            out << name << "," << value << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * emcstat — compare two statistics dumps produced by `emcsim --csv`.
+ *
+ *   emcsim --mix H4 --uops 50000 --csv base.csv
+ *   emcsim --mix H4 --uops 50000 --emc --csv emc.csv
+ *   emcstat base.csv emc.csv            # all deltas
+ *   emcstat base.csv emc.csv lat. emc.  # filtered by prefix
+ *
+ * Prints absolute and relative deltas, sorted by relative magnitude,
+ * so the interesting movements surface first.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+using Stats = std::map<std::string, double>;
+
+bool
+loadCsv(const std::string &path, Stats &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t comma = line.rfind(',');
+        if (comma == std::string::npos)
+            continue;
+        const std::string name = line.substr(0, comma);
+        try {
+            out[name] = std::stod(line.substr(comma + 1));
+        } catch (...) {
+            // Skip header or malformed rows.
+        }
+    }
+    return true;
+}
+
+bool
+matchesAny(const std::string &name,
+           const std::vector<std::string> &prefixes)
+{
+    if (prefixes.empty())
+        return true;
+    for (const auto &p : prefixes) {
+        if (name.rfind(p, 0) == 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: emcstat BASE.csv OTHER.csv [prefix...]\n");
+        return 2;
+    }
+    Stats base, other;
+    if (!loadCsv(argv[1], base)) {
+        std::fprintf(stderr, "cannot read %s\n", argv[1]);
+        return 1;
+    }
+    if (!loadCsv(argv[2], other)) {
+        std::fprintf(stderr, "cannot read %s\n", argv[2]);
+        return 1;
+    }
+    std::vector<std::string> prefixes;
+    for (int i = 3; i < argc; ++i)
+        prefixes.push_back(argv[i]);
+
+    struct Row
+    {
+        std::string name;
+        double a, b, rel;
+    };
+    std::vector<Row> rows;
+    for (const auto &[name, a] : base) {
+        if (!matchesAny(name, prefixes))
+            continue;
+        auto it = other.find(name);
+        if (it == other.end())
+            continue;
+        const double b = it->second;
+        const double rel = a != 0 ? (b - a) / std::fabs(a)
+                                  : (b != 0 ? 1.0 : 0.0);
+        rows.push_back({name, a, b, rel});
+    }
+    std::sort(rows.begin(), rows.end(), [](const Row &x, const Row &y) {
+        return std::fabs(x.rel) > std::fabs(y.rel);
+    });
+
+    std::printf("%-44s %16s %16s %10s\n", "stat", "base", "other",
+                "delta");
+    for (const Row &r : rows) {
+        std::printf("%-44s %16.4f %16.4f %+9.1f%%\n", r.name.c_str(),
+                    r.a, r.b, 100 * r.rel);
+    }
+
+    // Keys present in only one dump are worth flagging.
+    for (const auto &[name, v] : other) {
+        if (matchesAny(name, prefixes) && !base.count(name))
+            std::printf("%-44s %16s %16.4f      (new)\n", name.c_str(),
+                        "-", v);
+    }
+    return 0;
+}
