@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_emc_params.dir/ablation_emc_params.cpp.o"
+  "CMakeFiles/ablation_emc_params.dir/ablation_emc_params.cpp.o.d"
+  "ablation_emc_params"
+  "ablation_emc_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_emc_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/emc_bench_util.dir/bench_util.cc.o.d"
+  "libemc_bench_util.a"
+  "libemc_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

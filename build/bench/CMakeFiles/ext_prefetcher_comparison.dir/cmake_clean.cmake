@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_prefetcher_comparison.dir/ext_prefetcher_comparison.cpp.o"
+  "CMakeFiles/ext_prefetcher_comparison.dir/ext_prefetcher_comparison.cpp.o.d"
+  "ext_prefetcher_comparison"
+  "ext_prefetcher_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_prefetcher_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

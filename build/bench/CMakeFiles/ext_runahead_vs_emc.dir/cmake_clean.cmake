@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_runahead_vs_emc.dir/ext_runahead_vs_emc.cpp.o"
+  "CMakeFiles/ext_runahead_vs_emc.dir/ext_runahead_vs_emc.cpp.o.d"
+  "ext_runahead_vs_emc"
+  "ext_runahead_vs_emc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_runahead_vs_emc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_runahead_vs_emc.
+# This may be replaced when dependencies are built.

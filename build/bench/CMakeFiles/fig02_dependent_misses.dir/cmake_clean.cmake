@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_dependent_misses.dir/fig02_dependent_misses.cpp.o"
+  "CMakeFiles/fig02_dependent_misses.dir/fig02_dependent_misses.cpp.o.d"
+  "fig02_dependent_misses"
+  "fig02_dependent_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_dependent_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_prefetch_coverage.dir/fig03_prefetch_coverage.cpp.o"
+  "CMakeFiles/fig03_prefetch_coverage.dir/fig03_prefetch_coverage.cpp.o.d"
+  "fig03_prefetch_coverage"
+  "fig03_prefetch_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_prefetch_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

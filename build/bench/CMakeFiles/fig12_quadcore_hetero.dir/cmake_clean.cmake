@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_quadcore_hetero.dir/fig12_quadcore_hetero.cpp.o"
+  "CMakeFiles/fig12_quadcore_hetero.dir/fig12_quadcore_hetero.cpp.o.d"
+  "fig12_quadcore_hetero"
+  "fig12_quadcore_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_quadcore_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

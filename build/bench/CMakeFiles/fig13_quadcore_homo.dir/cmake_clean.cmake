@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_quadcore_homo.dir/fig13_quadcore_homo.cpp.o"
+  "CMakeFiles/fig13_quadcore_homo.dir/fig13_quadcore_homo.cpp.o.d"
+  "fig13_quadcore_homo"
+  "fig13_quadcore_homo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_quadcore_homo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

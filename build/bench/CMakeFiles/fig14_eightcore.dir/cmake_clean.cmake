@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_eightcore.dir/fig14_eightcore.cpp.o"
+  "CMakeFiles/fig14_eightcore.dir/fig14_eightcore.cpp.o.d"
+  "fig14_eightcore"
+  "fig14_eightcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_eightcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_emc_miss_fraction.dir/fig15_emc_miss_fraction.cpp.o"
+  "CMakeFiles/fig15_emc_miss_fraction.dir/fig15_emc_miss_fraction.cpp.o.d"
+  "fig15_emc_miss_fraction"
+  "fig15_emc_miss_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_emc_miss_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_rowbuffer_conflicts.dir/fig16_rowbuffer_conflicts.cpp.o"
+  "CMakeFiles/fig16_rowbuffer_conflicts.dir/fig16_rowbuffer_conflicts.cpp.o.d"
+  "fig16_rowbuffer_conflicts"
+  "fig16_rowbuffer_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_rowbuffer_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

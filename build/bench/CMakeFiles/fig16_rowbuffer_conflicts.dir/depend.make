@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_rowbuffer_conflicts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_emc_cache_hitrate.dir/fig17_emc_cache_hitrate.cpp.o"
+  "CMakeFiles/fig17_emc_cache_hitrate.dir/fig17_emc_cache_hitrate.cpp.o.d"
+  "fig17_emc_cache_hitrate"
+  "fig17_emc_cache_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_emc_cache_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

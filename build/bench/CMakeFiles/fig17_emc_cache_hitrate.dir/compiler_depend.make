@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_emc_cache_hitrate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_miss_latency.dir/fig18_miss_latency.cpp.o"
+  "CMakeFiles/fig18_miss_latency.dir/fig18_miss_latency.cpp.o.d"
+  "fig18_miss_latency"
+  "fig18_miss_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_miss_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_latency_savings.dir/fig19_latency_savings.cpp.o"
+  "CMakeFiles/fig19_latency_savings.dir/fig19_latency_savings.cpp.o.d"
+  "fig19_latency_savings"
+  "fig19_latency_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_latency_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

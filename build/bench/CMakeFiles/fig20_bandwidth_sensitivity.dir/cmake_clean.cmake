@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_bandwidth_sensitivity.dir/fig20_bandwidth_sensitivity.cpp.o"
+  "CMakeFiles/fig20_bandwidth_sensitivity.dir/fig20_bandwidth_sensitivity.cpp.o.d"
+  "fig20_bandwidth_sensitivity"
+  "fig20_bandwidth_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_bandwidth_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_prefetch_emc_overlap.dir/fig21_prefetch_emc_overlap.cpp.o"
+  "CMakeFiles/fig21_prefetch_emc_overlap.dir/fig21_prefetch_emc_overlap.cpp.o.d"
+  "fig21_prefetch_emc_overlap"
+  "fig21_prefetch_emc_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_prefetch_emc_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_chain_stats.dir/fig22_chain_stats.cpp.o"
+  "CMakeFiles/fig22_chain_stats.dir/fig22_chain_stats.cpp.o.d"
+  "fig22_chain_stats"
+  "fig22_chain_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_chain_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_energy_hetero.dir/fig23_energy_hetero.cpp.o"
+  "CMakeFiles/fig23_energy_hetero.dir/fig23_energy_hetero.cpp.o.d"
+  "fig23_energy_hetero"
+  "fig23_energy_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_energy_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_energy_homo.dir/fig24_energy_homo.cpp.o"
+  "CMakeFiles/fig24_energy_homo.dir/fig24_energy_homo.cpp.o.d"
+  "fig24_energy_homo"
+  "fig24_energy_homo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_energy_homo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

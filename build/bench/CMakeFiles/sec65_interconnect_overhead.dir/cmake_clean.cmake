@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec65_interconnect_overhead.dir/sec65_interconnect_overhead.cpp.o"
+  "CMakeFiles/sec65_interconnect_overhead.dir/sec65_interconnect_overhead.cpp.o.d"
+  "sec65_interconnect_overhead"
+  "sec65_interconnect_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec65_interconnect_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

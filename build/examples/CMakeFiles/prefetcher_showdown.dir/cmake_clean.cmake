@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetcher_showdown.dir/prefetcher_showdown.cpp.o"
+  "CMakeFiles/prefetcher_showdown.dir/prefetcher_showdown.cpp.o.d"
+  "prefetcher_showdown"
+  "prefetcher_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetcher_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_cache.dir/cache.cc.o"
+  "CMakeFiles/emc_cache.dir/cache.cc.o.d"
+  "libemc_cache.a"
+  "libemc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

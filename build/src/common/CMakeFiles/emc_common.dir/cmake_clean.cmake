@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_common.dir/stats.cc.o"
+  "CMakeFiles/emc_common.dir/stats.cc.o.d"
+  "libemc_common.a"
+  "libemc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_core.dir/branch_predictor.cc.o"
+  "CMakeFiles/emc_core.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/emc_core.dir/core.cc.o"
+  "CMakeFiles/emc_core.dir/core.cc.o.d"
+  "libemc_core.a"
+  "libemc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_dram.dir/dram_channel.cc.o"
+  "CMakeFiles/emc_dram.dir/dram_channel.cc.o.d"
+  "libemc_dram.a"
+  "libemc_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

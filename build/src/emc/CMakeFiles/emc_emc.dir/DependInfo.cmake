@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emc/chain_codec.cc" "src/emc/CMakeFiles/emc_emc.dir/chain_codec.cc.o" "gcc" "src/emc/CMakeFiles/emc_emc.dir/chain_codec.cc.o.d"
+  "/root/repo/src/emc/emc.cc" "src/emc/CMakeFiles/emc_emc.dir/emc.cc.o" "gcc" "src/emc/CMakeFiles/emc_emc.dir/emc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/emc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/emc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/emc_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_emc.dir/chain_codec.cc.o"
+  "CMakeFiles/emc_emc.dir/chain_codec.cc.o.d"
+  "CMakeFiles/emc_emc.dir/emc.cc.o"
+  "CMakeFiles/emc_emc.dir/emc.cc.o.d"
+  "libemc_emc.a"
+  "libemc_emc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_emc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

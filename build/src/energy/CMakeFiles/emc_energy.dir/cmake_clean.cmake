@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_energy.dir/energy_model.cc.o"
+  "CMakeFiles/emc_energy.dir/energy_model.cc.o.d"
+  "libemc_energy.a"
+  "libemc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_isa.dir/trace_io.cc.o"
+  "CMakeFiles/emc_isa.dir/trace_io.cc.o.d"
+  "CMakeFiles/emc_isa.dir/uop.cc.o"
+  "CMakeFiles/emc_isa.dir/uop.cc.o.d"
+  "libemc_isa.a"
+  "libemc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

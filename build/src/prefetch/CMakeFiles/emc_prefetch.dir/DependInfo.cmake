@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/ghb.cc" "src/prefetch/CMakeFiles/emc_prefetch.dir/ghb.cc.o" "gcc" "src/prefetch/CMakeFiles/emc_prefetch.dir/ghb.cc.o.d"
+  "/root/repo/src/prefetch/markov.cc" "src/prefetch/CMakeFiles/emc_prefetch.dir/markov.cc.o" "gcc" "src/prefetch/CMakeFiles/emc_prefetch.dir/markov.cc.o.d"
+  "/root/repo/src/prefetch/stream.cc" "src/prefetch/CMakeFiles/emc_prefetch.dir/stream.cc.o" "gcc" "src/prefetch/CMakeFiles/emc_prefetch.dir/stream.cc.o.d"
+  "/root/repo/src/prefetch/stride.cc" "src/prefetch/CMakeFiles/emc_prefetch.dir/stride.cc.o" "gcc" "src/prefetch/CMakeFiles/emc_prefetch.dir/stride.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/emc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_prefetch.dir/ghb.cc.o"
+  "CMakeFiles/emc_prefetch.dir/ghb.cc.o.d"
+  "CMakeFiles/emc_prefetch.dir/markov.cc.o"
+  "CMakeFiles/emc_prefetch.dir/markov.cc.o.d"
+  "CMakeFiles/emc_prefetch.dir/stream.cc.o"
+  "CMakeFiles/emc_prefetch.dir/stream.cc.o.d"
+  "CMakeFiles/emc_prefetch.dir/stride.cc.o"
+  "CMakeFiles/emc_prefetch.dir/stride.cc.o.d"
+  "libemc_prefetch.a"
+  "libemc_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

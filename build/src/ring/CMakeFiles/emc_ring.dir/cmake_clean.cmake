@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_ring.dir/ring.cc.o"
+  "CMakeFiles/emc_ring.dir/ring.cc.o.d"
+  "libemc_ring.a"
+  "libemc_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

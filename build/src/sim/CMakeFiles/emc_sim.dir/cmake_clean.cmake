@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_sim.dir/system.cc.o"
+  "CMakeFiles/emc_sim.dir/system.cc.o.d"
+  "libemc_sim.a"
+  "libemc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

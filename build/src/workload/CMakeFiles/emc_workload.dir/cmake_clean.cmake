@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_workload.dir/profile.cc.o"
+  "CMakeFiles/emc_workload.dir/profile.cc.o.d"
+  "CMakeFiles/emc_workload.dir/synthetic.cc.o"
+  "CMakeFiles/emc_workload.dir/synthetic.cc.o.d"
+  "libemc_workload.a"
+  "libemc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

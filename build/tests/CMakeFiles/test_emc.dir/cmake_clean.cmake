@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emc.dir/test_emc.cpp.o"
+  "CMakeFiles/test_emc.dir/test_emc.cpp.o.d"
+  "test_emc"
+  "test_emc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

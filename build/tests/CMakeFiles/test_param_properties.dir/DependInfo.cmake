@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_param_properties.cpp" "tests/CMakeFiles/test_param_properties.dir/test_param_properties.cpp.o" "gcc" "tests/CMakeFiles/test_param_properties.dir/test_param_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/emc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/emc/CMakeFiles/emc_emc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/emc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/emc_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/emc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/emc_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/emc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/emc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/emc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/emc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emcsim.dir/emcsim.cpp.o"
+  "CMakeFiles/emcsim.dir/emcsim.cpp.o.d"
+  "emcsim"
+  "emcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for emcsim.
+# This may be replaced when dependencies are built.

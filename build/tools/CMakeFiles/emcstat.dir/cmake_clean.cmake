@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emcstat.dir/emcstat.cpp.o"
+  "CMakeFiles/emcstat.dir/emcstat.cpp.o.d"
+  "emcstat"
+  "emcstat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emcstat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
