@@ -22,66 +22,78 @@ main()
            "sensitivity analysis");
 
     const auto &mix = quadWorkloads()[3];  // H4: mcf+sphinx3+soplex+libq
-    const StatDump base = run(quadConfig(), mix);
 
-    auto report = [&](const char *name, SystemConfig cfg) {
-        const StatDump d = run(cfg, mix);
-        std::printf("%-28s perf=%7.3f emcfrac=%5.1f%% "
-                    "chains=%6.0f lat_emc=%6.1f\n",
-                    name, relPerf(d, base, 4),
-                    100 * d.get("emc.miss_fraction"),
-                    d.get("emc.chains_accepted"),
-                    d.get("lat.emc_total"));
+    // Build the whole variant list first so every run (baseline
+    // included) can fan out across threads in one batch.
+    std::vector<std::string> names;
+    std::vector<RunJob> jobs;
+    auto add = [&](const std::string &name, const SystemConfig &c) {
+        names.push_back(name);
+        jobs.push_back({c, mix});
     };
 
-    std::printf("%-28s perf=%7.3f (no EMC baseline)\n", "baseline",
-                1.0);
+    jobs.push_back({quadConfig(), mix});  // no-EMC baseline
 
-    SystemConfig cfg = quadConfig(PrefetchConfig::kNone, true);
-    report("emc (paper config)", cfg);
+    const SystemConfig cfg = quadConfig(PrefetchConfig::kNone, true);
+    add("emc (paper config)", cfg);
 
     for (unsigned ctx : {1u, 4u}) {
         SystemConfig c = cfg;
         c.emc.contexts = ctx;
         char name[64];
         std::snprintf(name, sizeof(name), "contexts=%u", ctx);
-        report(name, c);
+        add(name, c);
     }
     for (unsigned cap : {4u, 8u}) {
         SystemConfig c = cfg;
         c.core.chain_max_uops = cap;
         char name[64];
         std::snprintf(name, sizeof(name), "chain_cap=%u uops", cap);
-        report(name, c);
+        add(name, c);
     }
     for (unsigned ind : {2u, 3u}) {
         SystemConfig c = cfg;
         c.core.chain_max_indirection = ind;
         char name[64];
         std::snprintf(name, sizeof(name), "indirection=%u lines", ind);
-        report(name, c);
+        add(name, c);
     }
     for (unsigned kb : {1u, 16u}) {
         SystemConfig c = cfg;
         c.emc.dcache_bytes = kb * 1024;
         char name[64];
         std::snprintf(name, sizeof(name), "dcache=%u KB", kb);
-        report(name, c);
+        add(name, c);
     }
     {
         SystemConfig c = cfg;
         c.emc.miss_predictor_enabled = false;
-        report("no miss predictor", c);
+        add("no miss predictor", c);
     }
     {
         SystemConfig c = cfg;
         c.emc.direct_dram = false;
-        report("no direct-DRAM bypass", c);
+        add("no direct-DRAM bypass", c);
     }
     {
         SystemConfig c = cfg;
         c.emc.tlb_entries = 8;
-        report("emc tlb=8 entries", c);
+        add("emc tlb=8 entries", c);
+    }
+
+    const std::vector<StatDump> res = runMany(jobs);
+    const StatDump &base = res[0];
+
+    std::printf("%-28s perf=%7.3f (no EMC baseline)\n", "baseline",
+                1.0);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const StatDump &d = res[i + 1];
+        std::printf("%-28s perf=%7.3f emcfrac=%5.1f%% "
+                    "chains=%6.0f lat_emc=%6.1f\n",
+                    names[i].c_str(), relPerf(d, base, 4),
+                    100 * d.get("emc.miss_fraction"),
+                    d.get("emc.chains_accepted"),
+                    d.get("lat.emc_total"));
     }
     note("");
     note("expected shape: the paper config is near the knee; removing"

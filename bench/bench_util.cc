@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/thread_pool.hh"
 #include "workload/profile.hh"
 
 namespace emc::bench
@@ -43,6 +44,27 @@ run(const SystemConfig &cfg, const std::vector<std::string> &benchmarks)
     System sys(cfg, benchmarks);
     sys.run();
     return sys.dump();
+}
+
+unsigned
+benchThreads()
+{
+    return ThreadPool::defaultThreads();
+}
+
+std::vector<StatDump>
+runMany(const std::vector<RunJob> &jobs)
+{
+    std::vector<StatDump> results(jobs.size());
+    ThreadPool pool(benchThreads());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const RunJob &job = jobs[i];
+        pool.submit([&results, &job, i] {
+            results[i] = run(job.cfg, job.benchmarks);
+        });
+    }
+    pool.waitAll();
+    return results;
 }
 
 double

@@ -33,6 +33,27 @@ SystemConfig eightConfig(PrefetchConfig pf, bool emc, bool dual_mc);
 StatDump run(const SystemConfig &cfg,
              const std::vector<std::string> &benchmarks);
 
+/** One independent simulation for runMany(). */
+struct RunJob
+{
+    SystemConfig cfg;
+    std::vector<std::string> benchmarks;
+};
+
+/**
+ * Worker threads runMany() fans across: EMC_BENCH_THREADS if set,
+ * else the hardware concurrency.
+ */
+unsigned benchThreads();
+
+/**
+ * Run every job to completion, fanning independent System instances
+ * across benchThreads() hardware threads. Results come back indexed
+ * by job — result[i] belongs to jobs[i] no matter which worker ran
+ * it or in what order jobs finished, so output is deterministic.
+ */
+std::vector<StatDump> runMany(const std::vector<RunJob> &jobs);
+
 /**
  * Performance metric used throughout the benches: geometric mean over
  * cores of per-core IPC normalized to the same core in @p base.

@@ -35,15 +35,25 @@ main()
         PrefetchConfig::kGhb, PrefetchConfig::kStream,
         PrefetchConfig::kStride, PrefetchConfig::kMarkovStream};
 
+    // 5 independent runs per workload (baseline + 4 engines).
+    std::vector<RunJob> jobs;
     for (const auto &w : workloads) {
-        const StatDump base = run(quadConfig(), w.mix);
+        jobs.push_back({quadConfig(), w.mix});
+        for (PrefetchConfig pf : pfs)
+            jobs.push_back({quadConfig(pf), w.mix});
+    }
+    const std::vector<StatDump> res = runMany(jobs);
+
+    std::size_t job = 0;
+    for (const auto &w : workloads) {
+        const StatDump &base = res[job++];
         const double traffic0 = base.get("traffic.total");
         std::printf("\n%s\n", w.label);
         std::printf("  %-14s %8s %9s %9s %8s %8s %9s\n", "engine",
                     "perf", "accuracy", "late", "pollut", "degree",
                     "traffic");
         for (PrefetchConfig pf : pfs) {
-            const StatDump d = run(quadConfig(pf), w.mix);
+            const StatDump &d = res[job++];
             const double issued =
                 std::max(1.0, d.get("prefetch.issued"));
             std::printf("  %-14s %8.3f %8.1f%% %8.1f%% %7.1f%% %8.0f"

@@ -36,18 +36,29 @@ main()
     }
     std::printf("\n");
 
+    // Every (mix, prefetcher, emc) run is independent: 8 jobs per
+    // mix, fanned across threads, printed in job order.
+    std::vector<RunJob> jobs;
+    for (std::size_t h = 0; h < quadWorkloads().size(); ++h) {
+        const auto &mix = quadWorkloads()[h];
+        for (unsigned p = 0; p < 4; ++p)
+            jobs.push_back({quadConfig(pfs[p], false), mix});
+        for (unsigned p = 0; p < 4; ++p)
+            jobs.push_back({quadConfig(pfs[p], true), mix});
+    }
+    const std::vector<StatDump> res = runMany(jobs);
+
     // Geometric means of the EMC gain per prefetcher config.
     double gain_log[4] = {0, 0, 0, 0};
     unsigned count = 0;
 
     for (std::size_t h = 0; h < quadWorkloads().size(); ++h) {
-        const auto &mix = quadWorkloads()[h];
-        const StatDump base = run(quadConfig(), mix);
+        const StatDump *mix_res = &res[8 * h];
+        const StatDump &base = mix_res[0];
         std::printf("%-5s", quadWorkloadName(h).c_str());
         for (unsigned p = 0; p < 4; ++p) {
-            const StatDump noemc =
-                p == 0 ? base : run(quadConfig(pfs[p], false), mix);
-            const StatDump emc = run(quadConfig(pfs[p], true), mix);
+            const StatDump &noemc = mix_res[p];
+            const StatDump &emc = mix_res[4 + p];
             const double perf_noemc = relPerf(noemc, base, 4);
             const double perf_emc = relPerf(emc, base, 4);
             std::printf(" %9.3f %9.3f", perf_noemc, perf_emc);

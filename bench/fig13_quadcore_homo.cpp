@@ -25,19 +25,32 @@ main()
 
     std::printf("%-12s %9s %9s %9s %9s\n", "benchmark", "base",
                 "+emc", "ghb", "ghb+emc");
+
+    // All (app, config) runs are independent: build the full job
+    // list and fan it across threads, then print in job order.
+    const auto apps = highIntensityNames();
+    std::vector<RunJob> jobs;
+    for (const auto &app : apps) {
+        jobs.push_back({quadConfig(), homo(app)});
+        jobs.push_back(
+            {quadConfig(PrefetchConfig::kNone, true), homo(app)});
+        jobs.push_back(
+            {quadConfig(PrefetchConfig::kGhb, false), homo(app)});
+        jobs.push_back(
+            {quadConfig(PrefetchConfig::kGhb, true), homo(app)});
+    }
+    const std::vector<StatDump> res = runMany(jobs);
+
     double log_gain = 0;
     unsigned n = 0;
-    for (const auto &app : highIntensityNames()) {
-        const StatDump base = run(quadConfig(), homo(app));
-        const StatDump emc =
-            run(quadConfig(PrefetchConfig::kNone, true), homo(app));
-        const StatDump ghb =
-            run(quadConfig(PrefetchConfig::kGhb, false), homo(app));
-        const StatDump ghb_emc =
-            run(quadConfig(PrefetchConfig::kGhb, true), homo(app));
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const StatDump &base = res[4 * a];
+        const StatDump &emc = res[4 * a + 1];
+        const StatDump &ghb = res[4 * a + 2];
+        const StatDump &ghb_emc = res[4 * a + 3];
         const double g = relPerf(emc, base, 4);
-        std::printf("%-12s %9.3f %9.3f %9.3f %9.3f\n", app.c_str(),
-                    1.0, g, relPerf(ghb, base, 4),
+        std::printf("%-12s %9.3f %9.3f %9.3f %9.3f\n",
+                    apps[a].c_str(), 1.0, g, relPerf(ghb, base, 4),
                     relPerf(ghb_emc, base, 4));
         log_gain += std::log(g);
         ++n;

@@ -29,25 +29,37 @@ main()
     std::printf("%-5s %9s %9s %9s %9s\n", "mix", "1MC", "1MC+emc",
                 "2MC", "2MC+emc");
 
+    // A subset of the mixes keeps this bench tractable on one host;
+    // lengthen with EMC_SIM_UOPS for the full sweep. The 16 runs are
+    // independent, so fan them across threads.
+    const std::size_t mixes[] = {2u, 3u, 4u, 7u};  // H3, H4, H5, H8
+    std::vector<RunJob> jobs;
+    for (std::size_t h : mixes) {
+        const auto mix = eightCoreMix(h);
+        jobs.push_back(
+            {eightConfig(PrefetchConfig::kNone, false, false), mix});
+        jobs.push_back(
+            {eightConfig(PrefetchConfig::kNone, true, false), mix});
+        jobs.push_back(
+            {eightConfig(PrefetchConfig::kNone, false, true), mix});
+        jobs.push_back(
+            {eightConfig(PrefetchConfig::kNone, true, true), mix});
+    }
+    const std::vector<StatDump> res = runMany(jobs);
+
     double g1 = 0, g2 = 0, base2 = 0;
     unsigned n = 0;
-    // A subset of the mixes keeps this bench tractable on one host;
-    // lengthen with EMC_SIM_UOPS for the full sweep.
-    for (std::size_t h : {2u, 3u, 4u, 7u}) {  // H3, H4, H5, H8
-        const auto mix = eightCoreMix(h);
-        const StatDump s1 = run(eightConfig(PrefetchConfig::kNone,
-                                            false, false), mix);
-        const StatDump s1e = run(eightConfig(PrefetchConfig::kNone,
-                                             true, false), mix);
-        const StatDump s2 = run(eightConfig(PrefetchConfig::kNone,
-                                            false, true), mix);
-        const StatDump s2e = run(eightConfig(PrefetchConfig::kNone,
-                                             true, true), mix);
+    for (std::size_t m = 0; m < std::size(mixes); ++m) {
+        const StatDump &s1 = res[4 * m];
+        const StatDump &s1e = res[4 * m + 1];
+        const StatDump &s2 = res[4 * m + 2];
+        const StatDump &s2e = res[4 * m + 3];
         const double p1e = relPerf(s1e, s1, 8);
         const double p2 = relPerf(s2, s1, 8);
         const double p2e = relPerf(s2e, s1, 8);
         std::printf("%-5s %9.3f %9.3f %9.3f %9.3f\n",
-                    quadWorkloadName(h).c_str(), 1.0, p1e, p2, p2e);
+                    quadWorkloadName(mixes[m]).c_str(), 1.0, p1e, p2,
+                    p2e);
         g1 += std::log(p1e);
         g2 += std::log(p2e / p2);
         base2 += std::log(p2);

@@ -35,11 +35,8 @@ main()
     // A contended, dependent-miss-heavy mix (H4).
     const auto &mix = quadWorkloads()[3];
 
-    StatDump base_1c1r;
-    bool have_base = false;
-
-    std::printf("%-8s %10s %10s %10s\n", "config", "base",
-                "+emc", "emc-gain");
+    // Each (dram config, emc) pair is an independent run.
+    std::vector<RunJob> jobs;
     for (const Point &pt : points) {
         SystemConfig b = quadConfig();
         b.dram.channels = pt.channels;
@@ -47,17 +44,22 @@ main()
         b.mc_queue_entries = 64 * pt.channels;
         SystemConfig e = b;
         e.emc_enabled = true;
+        jobs.push_back({b, mix});
+        jobs.push_back({e, mix});
+    }
+    const std::vector<StatDump> res = runMany(jobs);
 
-        const StatDump db = run(b, mix);
-        const StatDump de = run(e, mix);
-        if (!have_base) {
-            base_1c1r = db;
-            have_base = true;
-        }
+    std::printf("%-8s %10s %10s %10s\n", "config", "base",
+                "+emc", "emc-gain");
+    const StatDump &base_1c1r = res[0];
+    for (std::size_t p = 0; p < std::size(points); ++p) {
+        const StatDump &db = res[2 * p];
+        const StatDump &de = res[2 * p + 1];
         const double pb = relPerf(db, base_1c1r, 4);
         const double pe = relPerf(de, base_1c1r, 4);
-        std::printf("%uC%uR     %10.3f %10.3f %+9.1f%%\n", pt.channels,
-                    pt.ranks, pb, pe, 100 * (pe / pb - 1.0));
+        std::printf("%uC%uR     %10.3f %10.3f %+9.1f%%\n",
+                    points[p].channels, points[p].ranks, pb, pe,
+                    100 * (pe / pb - 1.0));
     }
     note("");
     note("expected shape: monotone performance growth with DRAM"

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Event-loop fast-path microbench (BENCH_eventloop.json).
+ *
+ * Part 1 isolates the event queue: the same synthetic schedule —
+ * shaped like the simulator's (short ring/LLC latencies, occasional
+ * far-future DRAM completions) — is replayed through the former
+ * std::multimap<Cycle, Event> representation and through the
+ * CalendarQueue that replaced it, reporting simulated cycles/sec for
+ * each.
+ *
+ * Part 2 times the whole simulator: one quad-core EMC+GHB System run,
+ * with and without idle-cycle skipping (EMC_NO_CYCLE_SKIP), reporting
+ * wall-clock and simulated cycles/sec.
+ *
+ * Usage: micro_eventloop [--smoke] [output.json]
+ *   --smoke   tiny iteration counts (CI sanity run)
+ *   default output path: BENCH_eventloop.json
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "bench/bench_util.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using emc::Cycle;
+
+struct Event
+{
+    std::uint8_t type;
+    std::uint64_t token;
+};
+
+/**
+ * Deterministic xorshift so both queue implementations see the exact
+ * same schedule (no std::rand state, no libc variance).
+ */
+struct Rng
+{
+    std::uint64_t s = 0x9e3779b97f4a7c15ULL;
+
+    std::uint64_t
+    next()
+    {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+};
+
+/** Delay distribution shaped like the simulator's schedules. */
+Cycle
+eventDelay(Rng &rng)
+{
+    const std::uint64_t r = rng.next() % 100;
+    if (r < 55)
+        return 1 + rng.next() % 4;       // ring hop / slice arrival
+    if (r < 85)
+        return 5 + rng.next() % 30;      // LLC lookup, MC retry
+    if (r < 98)
+        return 50 + rng.next() % 250;    // DRAM service
+    return 1000 + rng.next() % 4000;     // beyond the wheel horizon
+}
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/**
+ * Drive @p cycles of a synthetic event loop: each delivered event
+ * reschedules @p fanout successors, keeping a steady population, with
+ * a fresh injection per cycle mimicking core requests.
+ */
+double
+runMultimap(std::uint64_t cycles, unsigned fanout)
+{
+    std::multimap<Cycle, Event> q;
+    Rng rng;
+    std::uint64_t token = 0;
+    std::uint64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (Cycle now = 1; now <= cycles; ++now) {
+        q.emplace(now + eventDelay(rng), Event{0, token++});
+        while (!q.empty() && q.begin()->first <= now) {
+            const Event ev = q.begin()->second;
+            q.erase(q.begin());
+            sink += ev.token;
+            // 3 offspring at 30% each = 0.9 expected children per
+            // event: subcritical, so the injection keeps a steady
+            // population (~10 deliveries/cycle) instead of exploding.
+            for (unsigned f = 0; f < fanout; ++f) {
+                if (rng.next() % 100 < 30) {
+                    q.emplace(now + eventDelay(rng),
+                              Event{0, token++});
+                }
+            }
+        }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    // Keep the sink live so the loop isn't optimized away.
+    if (sink == 0xdeadbeef)
+        std::printf("!\n");
+    return static_cast<double>(cycles) / seconds(t0, t1);
+}
+
+double
+runCalendar(std::uint64_t cycles, unsigned fanout)
+{
+    emc::CalendarQueue<Event> q;
+    Rng rng;
+    std::uint64_t token = 0;
+    std::uint64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (Cycle now = 1; now <= cycles; ++now) {
+        q.push(now + eventDelay(rng), Event{0, token++});
+        Event ev;
+        while (q.popUpTo(now, ev)) {
+            sink += ev.token;
+            for (unsigned f = 0; f < fanout; ++f) {
+                if (rng.next() % 100 < 30)
+                    q.push(now + eventDelay(rng), Event{0, token++});
+            }
+        }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    if (sink == 0xdeadbeef)
+        std::printf("!\n");
+    return static_cast<double>(cycles) / seconds(t0, t1);
+}
+
+/** One full-System run; @return simulated cycles per second. */
+double
+runSystem(bool cycle_skip, std::uint64_t uops, double *wall_out,
+          std::uint64_t *cycles_out)
+{
+    if (cycle_skip)
+        unsetenv("EMC_NO_CYCLE_SKIP");
+    else
+        setenv("EMC_NO_CYCLE_SKIP", "1", 1);
+    emc::SystemConfig cfg;
+    cfg.prefetch = emc::PrefetchConfig::kGhb;
+    cfg.emc_enabled = true;
+    cfg.target_uops = uops;
+    cfg.warmup_uops = uops / 2;
+    emc::System sys(cfg, emc::bench::homo("mcf"));
+    const auto t0 = std::chrono::steady_clock::now();
+    sys.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    unsetenv("EMC_NO_CYCLE_SKIP");
+    const double wall = seconds(t0, t1);
+    if (wall_out)
+        *wall_out = wall;
+    if (cycles_out)
+        *cycles_out = sys.cycles();
+    return static_cast<double>(sys.cycles()) / wall;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_eventloop.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else
+            out_path = argv[i];
+    }
+
+    const std::uint64_t q_cycles = smoke ? 20'000 : 2'000'000;
+    const unsigned fanout = 3;
+    const std::uint64_t sys_uops = smoke ? 500 : 4000;
+
+    std::printf("event queue microbench (%llu cycles, fanout %u)\n",
+                static_cast<unsigned long long>(q_cycles), fanout);
+    // Warm each implementation once, then measure.
+    runMultimap(q_cycles / 10, fanout);
+    const double mm = runMultimap(q_cycles, fanout);
+    runCalendar(q_cycles / 10, fanout);
+    const double cal = runCalendar(q_cycles, fanout);
+    std::printf("  multimap:  %12.0f cycles/sec\n", mm);
+    std::printf("  calendar:  %12.0f cycles/sec\n", cal);
+    std::printf("  speedup:   %12.2fx\n", cal / mm);
+
+    std::printf("full-system run (4x mcf, EMC+GHB, %llu uops/core)\n",
+                static_cast<unsigned long long>(sys_uops));
+    double wall_noskip = 0, wall_skip = 0;
+    std::uint64_t cyc_noskip = 0, cyc_skip = 0;
+    const double sys_noskip =
+        runSystem(false, sys_uops, &wall_noskip, &cyc_noskip);
+    const double sys_skip =
+        runSystem(true, sys_uops, &wall_skip, &cyc_skip);
+    std::printf("  no skip:   %12.0f sim-cycles/sec (%.2fs)\n",
+                sys_noskip, wall_noskip);
+    std::printf("  skip:      %12.0f sim-cycles/sec (%.2fs)\n",
+                sys_skip, wall_skip);
+    if (cyc_noskip != cyc_skip) {
+        std::printf("ERROR: cycle-skip changed simulated time "
+                    "(%llu vs %llu)\n",
+                    static_cast<unsigned long long>(cyc_noskip),
+                    static_cast<unsigned long long>(cyc_skip));
+        return 1;
+    }
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::perror("fopen");
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"host_hw_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"queue\": {\n");
+    std::fprintf(f, "    \"cycles\": %llu,\n",
+                 static_cast<unsigned long long>(q_cycles));
+    std::fprintf(f, "    \"multimap_cycles_per_sec\": %.0f,\n", mm);
+    std::fprintf(f, "    \"calendar_cycles_per_sec\": %.0f,\n", cal);
+    std::fprintf(f, "    \"speedup\": %.3f\n", cal / mm);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"system\": {\n");
+    std::fprintf(f, "    \"uops_per_core\": %llu,\n",
+                 static_cast<unsigned long long>(sys_uops));
+    std::fprintf(f, "    \"sim_cycles\": %llu,\n",
+                 static_cast<unsigned long long>(cyc_skip));
+    std::fprintf(f, "    \"noskip_sim_cycles_per_sec\": %.0f,\n",
+                 sys_noskip);
+    std::fprintf(f, "    \"skip_sim_cycles_per_sec\": %.0f,\n",
+                 sys_skip);
+    std::fprintf(f, "    \"skip_speedup\": %.3f\n",
+                 sys_skip / sys_noskip);
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Slab allocator for short-lived objects keyed by a monotonically
+ * increasing 64-bit id (the System's memory transactions). Objects
+ * live in fixed-size slabs (stable addresses, reused through a free
+ * list) and an id -> slot window replaces the former per-object
+ * unordered_map: because ids are handed out in order and most objects
+ * retire quickly, the window from the oldest live id to the newest is
+ * short, making lookup an array index instead of a hash probe.
+ */
+
+#ifndef EMC_COMMON_SLAB_POOL_HH
+#define EMC_COMMON_SLAB_POOL_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace emc
+{
+
+template <typename T>
+class IdSlabPool
+{
+  public:
+    /**
+     * Allocate the object for @p id. Ids must be strictly increasing
+     * across the pool's lifetime (the caller owns the counter).
+     * @return reference valid until erase(id)
+     */
+    T &
+    create(std::uint64_t id)
+    {
+        emc_assert(id >= base_ + window_.size(),
+                   "IdSlabPool ids must be strictly increasing");
+        if (window_.empty())
+            base_ = id;
+        // Ids are normally dense; tolerate gaps by padding.
+        while (base_ + window_.size() < id)
+            window_.push_back(kNoSlot);
+
+        std::uint32_t slot;
+        if (!free_.empty()) {
+            slot = free_.back();
+            free_.pop_back();
+        } else {
+            slot = static_cast<std::uint32_t>(slot_count_++);
+            if (slot % kSlabSize == 0)
+                slabs_.push_back(std::make_unique<Entry[]>(kSlabSize));
+        }
+        window_.push_back(slot);
+        Entry &e = entry(slot);
+        e.live = true;
+        e.value = T{};
+        ++live_;
+        return e.value;
+    }
+
+    /** @return the object for @p id, or nullptr if absent/erased */
+    T *
+    find(std::uint64_t id)
+    {
+        const std::uint32_t slot = slotOf(id);
+        return slot == kNoSlot ? nullptr : &entry(slot).value;
+    }
+
+    const T *
+    find(std::uint64_t id) const
+    {
+        const std::uint32_t slot = slotOf(id);
+        return slot == kNoSlot ? nullptr : &entry(slot).value;
+    }
+
+    /** Release @p id's object (no-op when absent). */
+    void
+    erase(std::uint64_t id)
+    {
+        if (id < base_ || id - base_ >= window_.size())
+            return;
+        std::uint32_t &ref = window_[id - base_];
+        if (ref == kNoSlot)
+            return;
+        entry(ref).live = false;
+        free_.push_back(ref);
+        ref = kNoSlot;
+        --live_;
+        // Advance the window past retired ids so it tracks the live
+        // span rather than the full id history.
+        while (!window_.empty() && window_.front() == kNoSlot) {
+            window_.pop_front();
+            ++base_;
+        }
+    }
+
+    std::size_t size() const { return live_; }
+    bool empty() const { return live_ == 0; }
+
+    /** @return true if any live object satisfies @p pred */
+    template <typename Pred>
+    bool
+    anyOf(Pred pred) const
+    {
+        std::size_t seen = 0;
+        for (std::size_t s = 0; s < slot_count_ && seen < live_; ++s) {
+            const Entry &e = entry(static_cast<std::uint32_t>(s));
+            if (!e.live)
+                continue;
+            ++seen;
+            if (pred(e.value))
+                return true;
+        }
+        return false;
+    }
+
+    /** Peak concurrently-live objects (capacity actually allocated). */
+    std::size_t capacity() const { return slot_count_; }
+
+  private:
+    static constexpr std::size_t kSlabSize = 256;
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+    struct Entry
+    {
+        T value{};
+        bool live = false;
+    };
+
+    Entry &
+    entry(std::uint32_t slot)
+    {
+        return slabs_[slot / kSlabSize][slot % kSlabSize];
+    }
+
+    const Entry &
+    entry(std::uint32_t slot) const
+    {
+        return slabs_[slot / kSlabSize][slot % kSlabSize];
+    }
+
+    std::uint32_t
+    slotOf(std::uint64_t id) const
+    {
+        if (id < base_ || id - base_ >= window_.size())
+            return kNoSlot;
+        return window_[id - base_];
+    }
+
+    std::vector<std::unique_ptr<Entry[]>> slabs_;
+    std::vector<std::uint32_t> free_;
+    std::deque<std::uint32_t> window_;  ///< id - base_ -> slot
+    std::uint64_t base_ = 0;
+    std::size_t slot_count_ = 0;
+    std::size_t live_ = 0;
+};
+
+} // namespace emc
+
+#endif // EMC_COMMON_SLAB_POOL_HH

@@ -1,0 +1,91 @@
+#include "common/thread_pool.hh"
+
+#include <cstdlib>
+
+namespace emc
+{
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("EMC_BENCH_THREADS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads > 0 ? threads : defaultThreads())
+{
+    if (threads_ < 2)
+        return;  // inline mode: no workers
+    workers_.reserve(threads_);
+    for (unsigned i = 0; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    waitAll();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopping_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    if (workers_.empty()) {
+        job();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        queue_.push_back(std::move(job));
+        ++in_flight_;
+    }
+    cv_work_.notify_one();
+}
+
+void
+ThreadPool::waitAll()
+{
+    if (workers_.empty())
+        return;
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_work_.wait(lk, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return;  // stopping and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            --in_flight_;
+            if (in_flight_ == 0)
+                cv_idle_.notify_all();
+        }
+    }
+}
+
+} // namespace emc

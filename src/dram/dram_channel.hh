@@ -92,6 +92,21 @@ class DramChannel
     std::size_t readQueueDepth() const { return read_q_.size(); }
     std::size_t writeQueueDepth() const { return write_q_.size(); }
 
+    /** True while any request is queued or in flight. */
+    bool
+    busy() const
+    {
+        return !read_q_.empty() || !write_q_.empty()
+               || !in_flight_.empty();
+    }
+
+    /**
+     * Next cycle at which tick() has a timed side effect even with no
+     * requests anywhere: the refresh boundary (refresh fires and
+     * counts as soon as now reaches it).
+     */
+    Cycle nextRefresh() const { return next_refresh_; }
+
     /** Expose bank state for tests. */
     const Bank &bank(unsigned rank, unsigned b) const;
 

@@ -166,6 +166,19 @@ class Emc
     /** Train the LLC hit/miss predictor (Section 4.3, [47]). */
     void missPredUpdate(CoreId core, Addr pc, bool was_miss);
 
+    /**
+     * True when no context holds a chain: tick() is then a guaranteed
+     * no-op (armed/halted work only exists inside a busy context).
+     */
+    bool
+    idle() const
+    {
+        for (const auto &ctx : contexts_)
+            if (ctx.busy)
+                return false;
+        return true;
+    }
+
     const EmcStats &stats() const { return stats_; }
 
     /** Zero the statistics (post-warmup measurement start). */

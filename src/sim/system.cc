@@ -230,6 +230,10 @@ System::System(const SystemConfig &cfg,
     finish_cycle_.assign(cfg.num_cores, kNoCycle);
     finish_snapshot_.resize(cfg.num_cores);
     snapshotted_.assign(cfg.num_cores, false);
+
+    // Escape hatch for A/B timing comparisons: force cycle-by-cycle
+    // ticking even across provably idle gaps.
+    cycle_skip_enabled_ = std::getenv("EMC_NO_CYCLE_SKIP") == nullptr;
 }
 
 System::~System() = default;
@@ -262,7 +266,7 @@ System::mcOfLine(Addr line) const
 void
 System::schedule(Cycle when, EvType type, std::uint64_t token)
 {
-    events_.emplace(std::max(when, now_ + 1), Event{type, token});
+    events_.push(std::max(when, now_ + 1), Event{type, token});
 }
 
 void
@@ -322,7 +326,7 @@ System::requestLine(CoreId core, Addr paddr_line, Addr pc, bool for_store,
     txn.for_store = for_store;
     txn.addr_tainted = addr_tainted;
     txn.t_start = now_;
-    txns_[txn.id] = txn;
+    txns_.create(txn.id) = txn;
     ++outstanding_demand_lines_[paddr_line];
 
     const unsigned slice = sliceOf(paddr_line);
@@ -340,7 +344,7 @@ System::storeThrough(CoreId core, Addr paddr_line)
     txn.line = paddr_line;
     txn.for_store = true;
     txn.t_start = now_;
-    txns_[txn.id] = txn;
+    txns_.create(txn.id) = txn;
 
     const unsigned slice = sliceOf(paddr_line);
     routeData(stopOfCore(core), stopOfCore(slice), MsgType::kWriteback,
@@ -419,7 +423,7 @@ System::emcDirectDram(unsigned from_mc, CoreId core, Addr paddr_line,
     if (in_llc)
         ++emc_bypass_wrong_;
 
-    auto &slot = txns_[txn.id];
+    Txn &slot = txns_.create(txn.id);
     slot = txn;
     if (tryMergeFill(slot))
         return true;  // piggybacks on an in-flight fill
@@ -447,7 +451,7 @@ System::emcLlcQuery(unsigned from_mc, CoreId core, Addr paddr_line,
     txn.emc_token = token;
     txn.emc_owner = from_mc;
     txn.t_start = now_;
-    txns_[txn.id] = txn;
+    txns_.create(txn.id) = txn;
 
     const unsigned slice = sliceOf(paddr_line);
     routeControl(stopOfMc(from_mc), stopOfCore(slice),
@@ -487,10 +491,10 @@ System::emcChainResult(unsigned from_mc, const ChainResult &result,
 void
 System::handleSliceArrive(std::uint64_t token)
 {
-    auto it = txns_.find(token);
-    if (it == txns_.end())
+    const Txn *tp = txns_.find(token);
+    if (!tp)
         return;
-    const unsigned slice = sliceOf(it->second.line);
+    const unsigned slice = sliceOf(tp->line);
     schedule(sliceReady(slice), EvType::kSliceLookup, token);
 }
 
@@ -518,10 +522,10 @@ System::observeAtLlc(Txn &txn, bool hit)
 void
 System::handleSliceLookup(std::uint64_t token)
 {
-    auto it = txns_.find(token);
-    if (it == txns_.end())
+    Txn *tp = txns_.find(token);
+    if (!tp)
         return;
-    Txn &txn = it->second;
+    Txn &txn = *tp;
     const unsigned slice = sliceOf(txn.line);
     ++llc_total_accesses_;
 
@@ -570,10 +574,10 @@ System::finalizeToCore(Txn &txn, unsigned slice)
 void
 System::handleSliceStore(std::uint64_t token)
 {
-    auto it = txns_.find(token);
-    if (it == txns_.end())
+    Txn *tp = txns_.find(token);
+    if (!tp)
         return;
-    Txn &txn = it->second;
+    Txn &txn = *tp;
     const unsigned slice = sliceOf(txn.line);
     ++llc_total_accesses_;
 
@@ -581,7 +585,7 @@ System::handleSliceStore(std::uint64_t token)
     observeAtLlc(txn, meta != nullptr);
     if (meta) {
         meta->dirty = true;
-        txns_.erase(it);
+        txns_.erase(txn.id);
         return;
     }
     // Fetch-on-write: read the line from DRAM, then install dirty.
@@ -597,10 +601,10 @@ System::handleSliceStore(std::uint64_t token)
 void
 System::handleMcEnqueue(std::uint64_t token)
 {
-    auto it = txns_.find(token);
-    if (it == txns_.end())
+    Txn *tp = txns_.find(token);
+    if (!tp)
         return;
-    Txn &txn = it->second;
+    Txn &txn = *tp;
 
     const DramCoord coord = mapAddress(txn.line, cfg_.dram);
     const unsigned mc = mcOfChannel(coord.channel);
@@ -638,10 +642,10 @@ System::handleMcEnqueue(std::uint64_t token)
 void
 System::handleDramDone(unsigned mc, const MemRequest &req)
 {
-    auto it = txns_.find(req.token);
-    if (it == txns_.end())
+    Txn *tp = txns_.find(req.token);
+    if (!tp)
         return;
-    Txn &txn = it->second;
+    Txn &txn = *tp;
     txn.t_dram_issue = req.cycle_dram_issue;
     txn.t_dram_data = req.cycle_dram_data;
 
@@ -699,26 +703,26 @@ System::tryMergeFill(Txn &txn)
 void
 System::dispatchMergedFill(std::uint64_t token, unsigned slice)
 {
-    auto it = txns_.find(token);
-    if (it == txns_.end())
+    Txn *tp = txns_.find(token);
+    if (!tp)
         return;
-    Txn &txn = it->second;
+    Txn &txn = *tp;
     if (txn.is_prefetch) {
         outstanding_prefetch_lines_.erase(txn.line);
-        txns_.erase(it);
+        txns_.erase(txn.id);
         return;
     }
     if (txn.is_emc) {
         // The merged EMC load completes as the shared fill passes.
         lat_total_emc_.sample(static_cast<double>(now_ - txn.t_start));
         emcs_[txn.emc_owner]->memResponse(txn.emc_token, true);
-        txns_.erase(it);
+        txns_.erase(txn.id);
         return;
     }
     if (txn.for_store) {
         if (CacheLineMeta *m = slices_[slice]->peek(txn.line))
             m->dirty = true;
-        txns_.erase(it);
+        txns_.erase(txn.id);
         return;
     }
     if (CacheLineMeta *m = slices_[slice]->peek(txn.line))
@@ -772,10 +776,10 @@ System::insertIntoLlc(Txn &txn)
 void
 System::handleFillAtSlice(std::uint64_t token)
 {
-    auto it = txns_.find(token);
-    if (it == txns_.end())
+    Txn *tp = txns_.find(token);
+    if (!tp)
         return;
-    Txn &txn = it->second;
+    Txn &txn = *tp;
     const unsigned slice = sliceOf(txn.line);
 
     insertIntoLlc(txn);
@@ -788,8 +792,7 @@ System::handleFillAtSlice(std::uint64_t token)
         pending_fills_.erase(pit);
         for (std::uint64_t m : merged)
             dispatchMergedFill(m, slice);
-        it = txns_.find(token);
-        if (it == txns_.end())
+        if (!txns_.find(token))
             return;
     }
 
@@ -798,18 +801,18 @@ System::handleFillAtSlice(std::uint64_t token)
         fdp_.issued(txn.line);
         if (cfg_.record_prefetch_lines)
             prefetch_lines_.insert(txn.line);
-        txns_.erase(it);
+        txns_.erase(txn.id);
         return;
     }
     if (txn.emc_llc_fill_only) {
         // Mark the EMC directory bit: the EMC data cache holds it.
         if (CacheLineMeta *m = slices_[slice]->peek(txn.line))
             m->emc = true;
-        txns_.erase(it);
+        txns_.erase(txn.id);
         return;
     }
     if (txn.for_store) {
-        txns_.erase(it);
+        txns_.erase(txn.id);
         return;
     }
 
@@ -822,10 +825,10 @@ System::handleFillAtSlice(std::uint64_t token)
 void
 System::handleFillAtCore(std::uint64_t token)
 {
-    auto it = txns_.find(token);
-    if (it == txns_.end())
+    Txn *tp = txns_.find(token);
+    if (!tp)
         return;
-    Txn &txn = it->second;
+    Txn &txn = *tp;
     txn.t_done = now_;
 
     const unsigned slice = sliceOf(txn.line);
@@ -840,7 +843,7 @@ System::handleFillAtCore(std::uint64_t token)
         if (--oit->second == 0)
             outstanding_demand_lines_.erase(oit);
     }
-    txns_.erase(it);
+    txns_.erase(txn.id);
 }
 
 void
@@ -889,14 +892,10 @@ System::handleChainArrive(std::uint64_t token)
     // every transaction for the line has already passed DRAM (or none
     // exists), that observeFill has fired — possibly while this chain
     // was still on the ring — so arm immediately.
-    bool source_arrived = true;
-    for (const auto &[id, t] : txns_) {
-        if (t.line == chain.source_paddr_line && !t.is_prefetch
-            && t.t_dram_data == kNoCycle) {
-            source_arrived = false;
-            break;
-        }
-    }
+    const bool source_arrived = !txns_.anyOf([&](const Txn &t) {
+        return t.line == chain.source_paddr_line && !t.is_prefetch
+               && t.t_dram_data == kNoCycle;
+    });
 
     if (!emcs_[mc]->acceptChain(chain, source_arrived)) {
         // Raced out of contexts: bounce a cancel back to the core.
@@ -948,20 +947,20 @@ System::handleChainResult(std::uint64_t token)
 void
 System::handleEmcQueryArrive(std::uint64_t token)
 {
-    auto it = txns_.find(token);
-    if (it == txns_.end())
+    const Txn *tp = txns_.find(token);
+    if (!tp)
         return;
-    const unsigned slice = sliceOf(it->second.line);
+    const unsigned slice = sliceOf(tp->line);
     schedule(sliceReady(slice), EvType::kEmcQueryLookup, token);
 }
 
 void
 System::handleEmcQueryLookup(std::uint64_t token)
 {
-    auto it = txns_.find(token);
-    if (it == txns_.end())
+    Txn *tp = txns_.find(token);
+    if (!tp)
         return;
-    Txn &txn = it->second;
+    Txn &txn = *tp;
     const unsigned slice = sliceOf(txn.line);
     ++llc_total_accesses_;
 
@@ -987,13 +986,13 @@ System::handleEmcQueryLookup(std::uint64_t token)
 void
 System::handleEmcQueryReply(std::uint64_t token)
 {
-    auto it = txns_.find(token);
-    if (it == txns_.end())
+    Txn *tp = txns_.find(token);
+    if (!tp)
         return;
-    Txn &txn = it->second;
+    Txn &txn = *tp;
     lat_total_emc_.sample(static_cast<double>(now_ - txn.t_start));
     emcs_[txn.emc_owner]->memResponse(txn.emc_token, false);
-    txns_.erase(it);
+    txns_.erase(txn.id);
 }
 
 void
@@ -1042,7 +1041,7 @@ System::drainPrefetchers()
             txn.is_prefetch = true;
             txn.t_start = now_;
             txn.t_llc_miss = now_;
-            txns_[txn.id] = txn;
+            txns_.create(txn.id) = txn;
             outstanding_prefetch_lines_.insert(line);
             pending_fills_[line];
 
@@ -1060,9 +1059,8 @@ System::drainPrefetchers()
 void
 System::processEvents()
 {
-    while (!events_.empty() && events_.begin()->first <= now_) {
-        const Event ev = events_.begin()->second;
-        events_.erase(events_.begin());
+    Event ev;
+    while (events_.popUpTo(now_, ev)) {
         switch (ev.type) {
           case EvType::kSliceArrive: handleSliceArrive(ev.token); break;
           case EvType::kSliceLookup: handleSliceLookup(ev.token); break;
@@ -1179,17 +1177,84 @@ System::resetMeasurement()
     warmup_end_cycle_ = now_;
 }
 
+Cycle
+System::quiescentUntil() const
+{
+    // Any component with per-cycle work forces cycle-by-cycle
+    // ticking. Checks are ordered cheapest / most-likely-busy first
+    // so the common (busy) case costs a few loads per tick.
+    for (const auto &mcv : channels_) {
+        for (const auto &ch : mcv) {
+            if (ch->busy())
+                return 0;
+        }
+    }
+    if (control_ring_.pending() != 0 || data_ring_.pending() != 0)
+        return 0;
+    for (const auto &pf : prefetchers_) {
+        if (pf->queued() != 0)
+            return 0;
+    }
+    for (const auto &e : emcs_) {
+        if (!e->idle())
+            return 0;
+    }
+
+    Cycle t = kNoCycle;
+    for (const auto &c : cores_) {
+        const Cycle ct = c->quiescentUntil();
+        if (ct == 0)
+            return 0;
+        t = std::min(t, ct);
+    }
+    // Everything is idle: bound the jump by the next event and by
+    // each channel's refresh boundary (an idle channel still
+    // refreshes on schedule, and the refresh must fire on its exact
+    // cycle).
+    t = std::min(t, events_.nextCycle());
+    for (const auto &mcv : channels_) {
+        for (const auto &ch : mcv)
+            t = std::min(t, ch->nextRefresh());
+    }
+    return t;
+}
+
+void
+System::maybeSkipIdle()
+{
+    if (!cycle_skip_enabled_ || now_ < next_skip_check_)
+        return;
+    const Cycle target = std::min(quiescentUntil(), cfg_.max_cycles);
+    if (target <= now_ + 1) {
+        // Busy, or the next tick is already the wakeup. Back off so
+        // the quiescence scan doesn't tax memory-bound phases where
+        // the machine is never idle; skipping is purely an
+        // optimization, so deferring the next attempt never changes
+        // any stat (only shortens the windows we manage to skip).
+        next_skip_check_ = now_ + 16;
+        return;
+    }
+    const std::uint64_t n = target - (now_ + 1);
+    now_ += n;
+    for (auto &c : cores_)
+        c->skipIdleCycles(n);
+}
+
 void
 System::run()
 {
     if (cfg_.warmup_uops > 0 && !warmed_up_) {
-        while (!allRetired(cfg_.warmup_uops) && now_ < cfg_.max_cycles)
+        while (!allRetired(cfg_.warmup_uops) && now_ < cfg_.max_cycles) {
+            maybeSkipIdle();
             tickOnce();
+        }
         resetMeasurement();
         warmed_up_ = true;
     }
-    while (!finished() && now_ < cfg_.max_cycles)
+    while (!finished() && now_ < cfg_.max_cycles) {
+        maybeSkipIdle();
         tickOnce();
+    }
     if (!finished()) {
         emc_warn("simulation hit max_cycles before all cores finished");
         for (unsigned i = 0; i < cfg_.num_cores; ++i)

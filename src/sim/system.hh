@@ -11,12 +11,12 @@
 #ifndef EMC_SIM_SYSTEM_HH
 #define EMC_SIM_SYSTEM_HH
 
-#include <map>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/slab_pool.hh"
 #include "common/stats.hh"
 #include "core/core.hh"
 #include "emc/emc.hh"
@@ -24,6 +24,7 @@
 #include "prefetch/prefetcher.hh"
 #include "ring/ring.hh"
 #include "sim/config.hh"
+#include "sim/event_queue.hh"
 #include "isa/trace_io.hh"
 #include "workload/synthetic.hh"
 
@@ -214,6 +215,18 @@ class System : public CorePort
 
     void processEvents();
     void resetMeasurement();
+
+    /**
+     * Cycles the whole chip can provably skip: 0 when any component
+     * has per-cycle work, else the earliest future cycle at which
+     * anything (an event, a core wakeup, a DRAM refresh) happens.
+     * run() uses this to jump the clock across dead time without
+     * changing any observable statistic.
+     */
+    Cycle quiescentUntil() const;
+
+    /** Jump the clock over a quiescent gap (no-op when busy). */
+    void maybeSkipIdle();
     bool allRetired(std::uint64_t target) const;
     void handleSliceArrive(std::uint64_t token);
     void handleSliceLookup(std::uint64_t token);
@@ -271,10 +284,14 @@ class System : public CorePort
     FdpThrottle fdp_;
     std::unordered_set<Addr> outstanding_prefetch_lines_;
 
-    // Transactions and in-flight protocol state.
-    std::unordered_map<std::uint64_t, Txn> txns_;
+    // Transactions and in-flight protocol state. Txn ids are handed
+    // out sequentially (DRAM FCFS tie-breaks depend on them), which is
+    // exactly the contract the slab pool's id window wants.
+    IdSlabPool<Txn> txns_;
     std::uint64_t next_txn_ = 1;
-    std::multimap<Cycle, Event> events_;
+    CalendarQueue<Event> events_;
+    bool cycle_skip_enabled_ = true;  ///< EMC_NO_CYCLE_SKIP clears it
+    Cycle next_skip_check_ = 0;       ///< backoff after failed skips
     std::unordered_map<std::uint64_t, InFlightChain> chains_in_flight_;
     std::unordered_map<std::uint64_t, InFlightResult> results_in_flight_;
     std::unordered_map<std::uint64_t, LsqMsg> lsq_msgs_;

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * CalendarQueue unit tests: ordering semantics (ascending cycle, FIFO
+ * within a cycle — the contract the System's event loop relies on for
+ * bit-identical replay of the former std::multimap), clamping of
+ * pushes at or before the cursor, heap fallback beyond the wheel
+ * horizon, and a randomized cross-check against a reference multimap.
+ * Also covers the IdSlabPool that replaced the System's transaction
+ * map.
+ */
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/slab_pool.hh"
+#include "sim/event_queue.hh"
+
+using emc::CalendarQueue;
+using emc::Cycle;
+using emc::IdSlabPool;
+using emc::kNoCycle;
+
+namespace
+{
+
+std::vector<std::uint64_t>
+drainUpTo(CalendarQueue<std::uint64_t> &q, Cycle now)
+{
+    std::vector<std::uint64_t> out;
+    std::uint64_t v;
+    while (q.popUpTo(now, v))
+        out.push_back(v);
+    return out;
+}
+
+} // namespace
+
+TEST(CalendarQueue, PopsInCycleOrder)
+{
+    CalendarQueue<std::uint64_t> q;
+    q.push(30, 1);
+    q.push(10, 2);
+    q.push(20, 3);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(drainUpTo(q, 100),
+              (std::vector<std::uint64_t>{2, 3, 1}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, FifoWithinACycle)
+{
+    CalendarQueue<std::uint64_t> q;
+    for (std::uint64_t i = 0; i < 50; ++i)
+        q.push(7, i);
+    EXPECT_EQ(drainUpTo(q, 7).size(), 50u);
+
+    // Again, interleaved with another cycle.
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        q.push(20, 100 + i);
+        q.push(21, 200 + i);
+    }
+    const auto got = drainUpTo(q, 21);
+    ASSERT_EQ(got.size(), 16u);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(got[i], 100 + i);
+        EXPECT_EQ(got[8 + i], 200 + i);
+    }
+}
+
+TEST(CalendarQueue, NothingDueBeforeItsCycle)
+{
+    CalendarQueue<std::uint64_t> q;
+    q.push(5, 1);
+    std::uint64_t v;
+    EXPECT_FALSE(q.popUpTo(4, v));
+    EXPECT_TRUE(q.popUpTo(5, v));
+    EXPECT_EQ(v, 1u);
+}
+
+TEST(CalendarQueue, PushAtOrBeforeCursorClamps)
+{
+    // Mirrors System::schedule's clamp (system.cc): an event
+    // scheduled for the past must fire at the earliest legal cycle,
+    // never be lost, and never move the queue backwards.
+    CalendarQueue<std::uint64_t> q;
+    q.push(10, 1);
+    EXPECT_EQ(drainUpTo(q, 10), (std::vector<std::uint64_t>{1}));
+    // Cursor is now past 10; these land at the cursor, not at 3/10.
+    q.push(3, 2);
+    q.push(10, 3);
+    std::uint64_t v;
+    EXPECT_FALSE(q.popUpTo(10, v));  // nothing due at old cycles
+    const auto got = drainUpTo(q, q.cursor());
+    EXPECT_EQ(got, (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(CalendarQueue, FarFutureEventsSurviveTheHeapFallback)
+{
+    CalendarQueue<std::uint64_t> q(4);  // 16-cycle wheel for the test
+    q.push(1000, 1);  // far beyond the horizon
+    q.push(5, 2);
+    q.push(1000, 3);
+    q.push(999, 4);
+    EXPECT_EQ(drainUpTo(q, 998), (std::vector<std::uint64_t>{2}));
+    EXPECT_EQ(drainUpTo(q, 2000),
+              (std::vector<std::uint64_t>{4, 1, 3}));
+}
+
+TEST(CalendarQueue, HeapEventsPrecedeBucketEventsAtTheSameCycle)
+{
+    // An event for cycle C that went through the heap was pushed
+    // before the window reached C, i.e. before every bucket event for
+    // C — so it must pop first (multimap FIFO equivalence).
+    CalendarQueue<std::uint64_t> q(4);
+    q.push(100, 1);  // heap (horizon is 16)
+    std::uint64_t v;
+    EXPECT_FALSE(q.popUpTo(90, v));  // advance the window
+    q.push(100, 2);  // bucket
+    EXPECT_EQ(drainUpTo(q, 100), (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(CalendarQueue, NextCycleReportsTheEarliestEvent)
+{
+    CalendarQueue<std::uint64_t> q(4);
+    EXPECT_EQ(q.nextCycle(), kNoCycle);
+    q.push(500, 1);  // heap only
+    EXPECT_EQ(q.nextCycle(), 500u);
+    q.push(9, 2);  // wheel
+    EXPECT_EQ(q.nextCycle(), 9u);
+    std::uint64_t v;
+    ASSERT_TRUE(q.popUpTo(9, v));
+    EXPECT_EQ(q.nextCycle(), 500u);
+}
+
+TEST(CalendarQueue, MatchesMultimapOnRandomizedSchedules)
+{
+    // Replay an identical random push/pop schedule through the
+    // calendar queue and a reference multimap; every drained batch
+    // must match element-for-element (same cycles, same FIFO order).
+    std::mt19937_64 rng(12345);
+    CalendarQueue<std::uint64_t> q(6);  // small wheel: exercise heap
+    std::multimap<Cycle, std::uint64_t> ref;
+    Cycle now = 0;
+    std::uint64_t token = 0;
+
+    for (unsigned step = 0; step < 20000; ++step) {
+        now += rng() % 3;  // sometimes several batches per cycle
+        const unsigned pushes = rng() % 4;
+        for (unsigned p = 0; p < pushes; ++p) {
+            // Mix of near, mid and far-future delays, plus attempts
+            // to schedule into the past (both sides clamp).
+            Cycle when;
+            switch (rng() % 4) {
+              case 0: when = now + 1 + rng() % 4; break;
+              case 1: when = now + 1 + rng() % 60; break;
+              case 2: when = now + 200 + rng() % 2000; break;
+              default: when = now > 10 ? now - rng() % 10 : 0; break;
+            }
+            const Cycle clamped = std::max(when, now + 1);
+            q.push(clamped, token);
+            ref.emplace(clamped, token);
+            ++token;
+        }
+        std::uint64_t got;
+        while (q.popUpTo(now, got)) {
+            ASSERT_FALSE(ref.empty());
+            ASSERT_LE(ref.begin()->first, now);
+            ASSERT_EQ(got, ref.begin()->second)
+                << "divergence at step " << step;
+            ref.erase(ref.begin());
+        }
+        ASSERT_TRUE(ref.empty() || ref.begin()->first > now);
+    }
+    EXPECT_EQ(q.size(), ref.size());
+}
+
+TEST(IdSlabPool, CreateFindErase)
+{
+    IdSlabPool<int> pool;
+    pool.create(1) = 11;
+    pool.create(2) = 22;
+    pool.create(5) = 55;  // gap: ids 3, 4 never created
+    EXPECT_EQ(pool.size(), 3u);
+    ASSERT_NE(pool.find(1), nullptr);
+    EXPECT_EQ(*pool.find(2), 22);
+    EXPECT_EQ(pool.find(3), nullptr);
+    EXPECT_EQ(pool.find(4), nullptr);
+    EXPECT_EQ(*pool.find(5), 55);
+    EXPECT_EQ(pool.find(99), nullptr);
+
+    pool.erase(2);
+    EXPECT_EQ(pool.find(2), nullptr);
+    EXPECT_EQ(pool.size(), 2u);
+    pool.erase(2);  // double-erase is a no-op
+    EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(IdSlabPool, ReusesSlotsAndKeepsAddressesStable)
+{
+    IdSlabPool<std::uint64_t> pool;
+    // Churn far more ids than the live population: capacity (slots
+    // actually allocated) must track the peak, not the id count.
+    std::uint64_t id = 1;
+    for (unsigned round = 0; round < 1000; ++round) {
+        std::vector<std::uint64_t> live;
+        for (unsigned i = 0; i < 8; ++i) {
+            pool.create(id) = id * 3;
+            live.push_back(id);
+            ++id;
+        }
+        std::uint64_t *p = pool.find(live[0]);
+        ASSERT_NE(p, nullptr);
+        const std::uint64_t *before = p;
+        for (unsigned i = 0; i < 64; ++i)
+            pool.create(id + i) = 0;  // may allocate new slabs
+        for (unsigned i = 0; i < 64; ++i)
+            pool.erase(id + i);
+        id += 64;
+        EXPECT_EQ(pool.find(live[0]), before)
+            << "slab addresses must be stable";
+        EXPECT_EQ(*before, live[0] * 3);
+        for (std::uint64_t l : live)
+            pool.erase(l);
+    }
+    EXPECT_TRUE(pool.empty());
+    EXPECT_LE(pool.capacity(), 128u);
+}
+
+TEST(IdSlabPool, AnyOfSeesExactlyTheLiveObjects)
+{
+    IdSlabPool<int> pool;
+    for (int i = 1; i <= 20; ++i)
+        pool.create(i) = i;
+    for (int i = 1; i <= 20; i += 2)
+        pool.erase(i);
+    EXPECT_TRUE(pool.anyOf([](int v) { return v == 8; }));
+    EXPECT_FALSE(pool.anyOf([](int v) { return v == 7; }));  // erased
+    EXPECT_FALSE(pool.anyOf([](int v) { return v > 20; }));
+}
