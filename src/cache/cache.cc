@@ -117,4 +117,26 @@ Cache::validLines() const
     return n;
 }
 
+void
+Cache::checkConsistent(
+    const std::function<void(const std::string &)> &fail) const
+{
+    for (std::size_t set = 0; set < sets_; ++set) {
+        for (unsigned w = 0; w < ways_; ++w) {
+            const Line &a = lines_[set * ways_ + w];
+            if (!a.valid)
+                continue;
+            for (unsigned v = w + 1; v < ways_; ++v) {
+                const Line &b = lines_[set * ways_ + v];
+                if (b.valid && b.tag == a.tag) {
+                    fail(std::string(name_) + ": set "
+                         + std::to_string(set) + " holds tag "
+                         + std::to_string(a.tag)
+                         + " in two valid ways");
+                }
+            }
+        }
+    }
+}
+
 } // namespace emc

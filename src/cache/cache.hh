@@ -12,6 +12,8 @@
 #define EMC_CACHE_CACHE_HH
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/log.hh"
@@ -95,6 +97,14 @@ class Cache
     /** Count of valid lines (tests / occupancy studies). */
     std::size_t validLines() const;
 
+    /**
+     * Tag-store structural check: no set may hold the same tag in two
+     * valid ways. @p fail receives a diagnostic per violation; the
+     * callback form keeps this library free of a checker dependency.
+     */
+    void checkConsistent(
+        const std::function<void(const std::string &)> &fail) const;
+
   private:
     /** One tag-store entry. */
     struct Line
@@ -169,6 +179,34 @@ class MshrFile
         entries_[idx] = entries_.back();
         entries_.pop_back();
         return true;
+    }
+
+    /**
+     * Structural check: occupancy within capacity, one entry per line
+     * address, and no entry without a waiting consumer (an entry that
+     * lost its tokens can never be completed meaningfully).
+     */
+    void
+    checkConsistent(
+        const std::function<void(const std::string &)> &fail) const
+    {
+        if (entries_.size() > capacity_) {
+            fail("MSHR occupancy " + std::to_string(entries_.size())
+                 + " exceeds capacity " + std::to_string(capacity_));
+        }
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].tokens.empty()) {
+                fail("MSHR entry for line "
+                     + std::to_string(entries_[i].line_addr)
+                     + " has no waiting consumers");
+            }
+            for (std::size_t j = i + 1; j < entries_.size(); ++j) {
+                if (entries_[i].line_addr == entries_[j].line_addr) {
+                    fail("duplicate MSHR entries for line "
+                         + std::to_string(entries_[i].line_addr));
+                }
+            }
+        }
     }
 
   private:

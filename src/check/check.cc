@@ -1,0 +1,70 @@
+#include "check/check.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace emc::check
+{
+
+std::string
+Violation::format() const
+{
+    std::string s = "[cycle " + std::to_string(cycle) + "] "
+                    + checker + " @ " + component;
+    if (txn != 0)
+        s += " txn " + std::to_string(txn);
+    s += ": " + message;
+    return s;
+}
+
+CheckRegistry::CheckRegistry()
+{
+    handler_ = [](const Violation &v) {
+        std::fprintf(stderr, "invariant violation: %s\n",
+                     v.format().c_str());
+        std::abort();
+    };
+}
+
+Checker &
+CheckRegistry::add(std::unique_ptr<Checker> c)
+{
+    checkers_.push_back(std::move(c));
+    return *checkers_.back();
+}
+
+void
+CheckRegistry::fail(const std::string &checker,
+                    const std::string &component, std::uint64_t txn,
+                    const std::string &message)
+{
+    Violation v;
+    v.checker = checker;
+    v.component = component;
+    v.cycle = clock_ ? clock_() : 0;
+    v.txn = txn;
+    v.message = message;
+    ++violations_;
+    handler_(v);
+}
+
+void
+CheckRegistry::expectEq(const std::string &checker,
+                        const std::string &component, std::uint64_t lhs,
+                        std::uint64_t rhs, const std::string &what)
+{
+    if (lhs == rhs)
+        return;
+    fail(checker, component, 0,
+         what + " not conserved: " + std::to_string(lhs)
+             + " != " + std::to_string(rhs));
+}
+
+void
+CheckRegistry::finalizeAll()
+{
+    for (auto &c : checkers_)
+        c->finalize(*this);
+}
+
+} // namespace emc::check

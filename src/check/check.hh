@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Runtime invariant-checking infrastructure (DESIGN.md §5d).
+ *
+ * A CheckRegistry owns a set of registered Checkers and funnels every
+ * detected violation through a single failure handler. The simulator
+ * components are instrumented with cheap observation hooks that are
+ * only active when a registry is attached (System::enableInvariantChecks,
+ * done automatically in -DEMC_SIM_CHECK=ON builds); checkers mirror
+ * protocol state and cross-validate it against the components, so an
+ * enabled checker never changes simulated behaviour or statistics.
+ *
+ * Violations report the cycle, the component and (where applicable)
+ * the transaction id involved. The default handler prints the
+ * violation and aborts; tests install a collecting handler instead.
+ */
+
+#ifndef EMC_CHECK_CHECK_HH
+#define EMC_CHECK_CHECK_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace emc::check
+{
+
+/** One detected invariant violation. */
+struct Violation
+{
+    std::string checker;    ///< checker that fired (e.g. "event_queue")
+    std::string component;  ///< component involved (e.g. "core0.rob")
+    Cycle cycle = 0;        ///< global cycle at detection time
+    std::uint64_t txn = 0;  ///< transaction id (0 = not applicable)
+    std::string message;    ///< human-readable diagnostic
+
+    /** One-line rendering used by the default handler and tests. */
+    std::string format() const;
+};
+
+class Checker;
+
+/**
+ * Registry of runtime checkers plus the violation funnel. The owner
+ * (the System) registers checkers, provides the clock, and drives the
+ * per-tick / end-of-run hooks; components report through fail().
+ */
+class CheckRegistry
+{
+  public:
+    using Handler = std::function<void(const Violation &)>;
+    using Clock = std::function<Cycle()>;
+
+    CheckRegistry();
+
+    /** Clock source for violation timestamps. */
+    void setClock(Clock c) { clock_ = std::move(c); }
+
+    /**
+     * Replace the failure handler. The default prints the violation to
+     * stderr and aborts; tests install a collector so deliberately
+     * corrupted state can be asserted on.
+     */
+    void setHandler(Handler h) { handler_ = std::move(h); }
+
+    /** Register a checker (owned). @return the registered instance. */
+    Checker &add(std::unique_ptr<Checker> c);
+
+    /** Look up a registered checker by concrete type. */
+    template <typename T>
+    T *
+    find() const
+    {
+        for (const auto &c : checkers_) {
+            if (auto *t = dynamic_cast<T *>(c.get()))
+                return t;
+        }
+        return nullptr;
+    }
+
+    const std::vector<std::unique_ptr<Checker>> &
+    checkers() const
+    {
+        return checkers_;
+    }
+
+    /** Report a violation: builds the record and invokes the handler. */
+    void fail(const std::string &checker, const std::string &component,
+              std::uint64_t txn, const std::string &message);
+
+    /**
+     * Conservation helper: @p lhs must equal @p rhs.
+     * @param what description of the conserved quantity
+     */
+    void expectEq(const std::string &checker,
+                  const std::string &component, std::uint64_t lhs,
+                  std::uint64_t rhs, const std::string &what);
+
+    /** Run every registered checker's end-of-run pass. */
+    void finalizeAll();
+
+    /** Total violations reported so far. */
+    std::uint64_t violationCount() const { return violations_; }
+
+  private:
+    Clock clock_;
+    Handler handler_;
+    std::vector<std::unique_ptr<Checker>> checkers_;
+    std::uint64_t violations_ = 0;
+};
+
+/** Base class for registerable invariant checkers. */
+class Checker
+{
+  public:
+    explicit Checker(std::string name) : name_(std::move(name)) {}
+    virtual ~Checker() = default;
+
+    Checker(const Checker &) = delete;
+    Checker &operator=(const Checker &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** End-of-run consistency pass (leak detection and the like). */
+    virtual void finalize(CheckRegistry &) {}
+
+  private:
+    std::string name_;
+};
+
+} // namespace emc::check
+
+#endif // EMC_CHECK_CHECK_HH

@@ -1,0 +1,299 @@
+#include "check/checkers.hh"
+
+#include <string>
+
+#include "isa/uop.hh"
+
+namespace emc::check
+{
+
+// --------------------------------------------------------------------
+// EventQueueChecker
+// --------------------------------------------------------------------
+
+void
+EventQueueChecker::onPush(CheckRegistry &reg, Cycle requested,
+                          Cycle effective, Cycle now, unsigned type,
+                          std::uint64_t token)
+{
+    if (requested <= now) {
+        reg.fail(name(), "event_queue", token,
+                 "event type " + std::to_string(type)
+                     + " scheduled in the past (requested cycle "
+                     + std::to_string(requested) + " <= now "
+                     + std::to_string(now) + ")");
+    }
+    if (effective <= now) {
+        reg.fail(name(), "event_queue", token,
+                 "effective schedule cycle "
+                     + std::to_string(effective)
+                     + " not in the future of " + std::to_string(now));
+    }
+    mirror_[effective].push_back(Ev{type, token});
+    ++pending_;
+}
+
+void
+EventQueueChecker::onPop(CheckRegistry &reg, Cycle now, unsigned type,
+                         std::uint64_t token)
+{
+    if (mirror_.empty()) {
+        reg.fail(name(), "event_queue", token,
+                 "pop of event type " + std::to_string(type)
+                     + " with no matching push");
+        return;
+    }
+    auto it = mirror_.begin();
+    if (it->first > now) {
+        reg.fail(name(), "event_queue", token,
+                 "event popped at cycle " + std::to_string(now)
+                     + " but earliest pending is cycle "
+                     + std::to_string(it->first));
+        return;
+    }
+    if (it->first < last_pop_cycle_) {
+        reg.fail(name(), "event_queue", token,
+                 "pop cycle " + std::to_string(it->first)
+                     + " regressed below " + std::to_string(last_pop_cycle_));
+    }
+    last_pop_cycle_ = it->first;
+    const Ev &front = it->second.front();
+    if (front.type != type || front.token != token) {
+        reg.fail(name(), "event_queue", token,
+                 "FIFO order violated at cycle " + std::to_string(it->first)
+                     + ": expected type " + std::to_string(front.type)
+                     + " token " + std::to_string(front.token)
+                     + ", popped type " + std::to_string(type));
+    }
+    it->second.pop_front();
+    if (it->second.empty())
+        mirror_.erase(it);
+    --pending_;
+}
+
+void
+EventQueueChecker::checkDrained(CheckRegistry &reg,
+                                std::size_t actual_size) const
+{
+    reg.expectEq(name(), "event_queue", pending_, actual_size,
+                 "pending event count (mirror vs. queue)");
+}
+
+// --------------------------------------------------------------------
+// TxnLifecycleChecker
+// --------------------------------------------------------------------
+
+const char *
+TxnLifecycleChecker::stateName(State s)
+{
+    switch (s) {
+    case State::kCreated: return "created";
+    case State::kIssued: return "issued";
+    case State::kInDram: return "in-DRAM";
+    case State::kFilled: return "filled";
+    }
+    return "?";
+}
+
+void
+TxnLifecycleChecker::onCreate(CheckRegistry &reg, std::uint64_t id)
+{
+    if (live_.count(id)) {
+        reg.fail(name(), "txn_pool", id,
+                 "transaction created twice (still "
+                     + std::string(stateName(live_[id])) + ")");
+        return;
+    }
+    if (id <= last_created_) {
+        reg.fail(name(), "txn_pool", id,
+                 "transaction ids not strictly increasing (previous "
+                     + std::to_string(last_created_) + ")");
+    }
+    last_created_ = id;
+    live_[id] = State::kCreated;
+}
+
+void
+TxnLifecycleChecker::advance(CheckRegistry &reg, std::uint64_t id,
+                             State to, const char *what)
+{
+    auto it = live_.find(id);
+    if (it == live_.end()) {
+        reg.fail(name(), "txn_pool", id,
+                 std::string(what)
+                     + " of a transaction that is not live "
+                       "(double-retire or missing create)");
+        return;
+    }
+    const State from = it->second;
+    bool ok = false;
+    switch (to) {
+    case State::kCreated:
+        break;  // never a transition target
+    case State::kIssued:
+        ok = from == State::kCreated;
+        break;
+    case State::kInDram:
+        ok = from == State::kIssued;
+        break;
+    case State::kFilled:
+        // created -> filled covers MSHR-merged fills that never
+        // reached a memory controller; filled -> filled covers the
+        // LLC-slice fill followed by the core fill.
+        ok = from == State::kCreated || from == State::kInDram
+             || from == State::kFilled;
+        break;
+    }
+    if (!ok) {
+        reg.fail(name(), "txn_pool", id,
+                 std::string(what) + " from illegal state "
+                     + stateName(from));
+        return;
+    }
+    it->second = to;
+}
+
+void
+TxnLifecycleChecker::onIssue(CheckRegistry &reg, std::uint64_t id)
+{
+    advance(reg, id, State::kIssued, "MC enqueue");
+}
+
+void
+TxnLifecycleChecker::onDramDone(CheckRegistry &reg, std::uint64_t id)
+{
+    advance(reg, id, State::kInDram, "DRAM completion");
+}
+
+void
+TxnLifecycleChecker::onFill(CheckRegistry &reg, std::uint64_t id)
+{
+    advance(reg, id, State::kFilled, "fill");
+}
+
+void
+TxnLifecycleChecker::onRetire(CheckRegistry &reg, std::uint64_t id)
+{
+    auto it = live_.find(id);
+    if (it == live_.end()) {
+        reg.fail(name(), "txn_pool", id,
+                 "retire of a transaction that is not live "
+                 "(double-retire or missing create)");
+        return;
+    }
+    live_.erase(it);
+}
+
+void
+TxnLifecycleChecker::checkLeaks(CheckRegistry &reg,
+                                std::size_t pool_live) const
+{
+    reg.expectEq(name(), "txn_pool", live_.size(), pool_live,
+                 "live transaction count (tracker vs. slab pool)");
+}
+
+// --------------------------------------------------------------------
+// RetireOrderChecker
+// --------------------------------------------------------------------
+
+void
+RetireOrderChecker::onRetire(CheckRegistry &reg, unsigned core,
+                             std::uint64_t seq)
+{
+    const std::string comp = "core" + std::to_string(core) + ".rob";
+    auto it = last_.find(core);
+    if (it != last_.end() && seq != it->second + 1) {
+        reg.fail(name(), comp, 0,
+                 "retired seq " + std::to_string(seq)
+                     + " out of order (previous "
+                     + std::to_string(it->second) + ")");
+    }
+    last_[core] = seq;
+}
+
+// --------------------------------------------------------------------
+// validateChain
+// --------------------------------------------------------------------
+
+unsigned
+validateChain(const ChainRequest &chain, CheckRegistry &reg,
+              const std::string &component)
+{
+    unsigned violations = 0;
+    auto bad = [&](const std::string &msg) {
+        ++violations;
+        reg.fail("chain_rrt", component, chain.id, msg);
+    };
+
+    // written[e] = true once some earlier uop produced EPR e.
+    bool written[kEmcPhysRegs] = {};
+
+    auto checkSrc = [&](std::size_t i, int which, std::uint8_t epr,
+                        bool live_in, bool has_src) {
+        const std::string where = "uop " + std::to_string(i) + " src"
+                                  + std::to_string(which);
+        if (epr != kNoEpr) {
+            if (live_in) {
+                bad(where + " both EPR-mapped and live-in");
+                return;
+            }
+            if (epr >= kEmcPhysRegs) {
+                bad(where + " references EPR " + std::to_string(epr)
+                    + " outside the register file");
+                return;
+            }
+            if (!written[epr]) {
+                bad(where + " reads EPR " + std::to_string(epr)
+                    + " before any uop defines it (stale RRT mapping)");
+            }
+            return;
+        }
+        if (has_src && !live_in && !chain.uops[i].is_source) {
+            bad(where + " is neither an EPR nor a captured live-in");
+        }
+    };
+
+    unsigned live_ins = 0;
+    bool source_epr_defined = false;
+    for (std::size_t i = 0; i < chain.uops.size(); ++i) {
+        const ChainUop &cu = chain.uops[i];
+        if (!cu.is_source) {
+            checkSrc(i, 1, cu.epr_src1, cu.src1_live_in,
+                     cu.d.uop.hasSrc1());
+            checkSrc(i, 2, cu.epr_src2, cu.src2_live_in,
+                     cu.d.uop.hasSrc2());
+        }
+        if (cu.src1_live_in)
+            ++live_ins;
+        if (cu.src2_live_in)
+            ++live_ins;
+        if (cu.epr_dst != kNoEpr) {
+            if (cu.epr_dst >= kEmcPhysRegs) {
+                bad("uop " + std::to_string(i) + " writes EPR "
+                    + std::to_string(cu.epr_dst)
+                    + " outside the register file");
+            } else if (written[cu.epr_dst]) {
+                bad("uop " + std::to_string(i) + " double-maps EPR "
+                    + std::to_string(cu.epr_dst)
+                    + " (already produced by an earlier uop)");
+            } else {
+                written[cu.epr_dst] = true;
+            }
+            if (cu.is_source && cu.epr_dst == chain.source_epr)
+                source_epr_defined = true;
+        }
+    }
+
+    if (live_ins != chain.live_in_count) {
+        bad("live-in vector incomplete: " + std::to_string(live_ins)
+            + " live-in operands but live_in_count is "
+            + std::to_string(chain.live_in_count));
+    }
+    if (chain.source_epr != kNoEpr && !source_epr_defined) {
+        bad("source EPR " + std::to_string(chain.source_epr)
+            + " is not the destination of any source uop");
+    }
+    return violations;
+}
+
+} // namespace emc::check

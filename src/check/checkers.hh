@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The concrete invariant checkers the System wires up (DESIGN.md §5d):
+ *
+ *  - EventQueueChecker: mirrors the calendar event queue with an
+ *    ordered map and verifies pop order (ascending cycle, FIFO within
+ *    a cycle) plus never-schedule-in-the-past.
+ *  - TxnLifecycleChecker: explicit state machine over every memory
+ *    transaction (created -> issued -> in-DRAM -> filled -> retired)
+ *    with double-create / double-retire / illegal-transition detection
+ *    and slab-pool leak accounting at end of run.
+ *  - ConservationChecker: equality assertions over queue occupancy vs.
+ *    send/deliver counters (rings, DRAM channels, the txn pool).
+ *  - RetireOrderChecker: per-core in-order, gap-free ROB retirement.
+ *  - validateChain(): RRT/EPR discipline of a shipped dependence chain
+ *    (no double-map, no use of an unmapped EPR, live-in completeness).
+ */
+
+#ifndef EMC_CHECK_CHECKERS_HH
+#define EMC_CHECK_CHECKERS_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "check/check.hh"
+#include "common/types.hh"
+#include "emc/chain.hh"
+
+namespace emc::check
+{
+
+/**
+ * Mirrors the System's CalendarQueue with a std::map of FIFO buckets
+ * and cross-checks every push/pop against it. Catches events scheduled
+ * in the past, out-of-order pops, FIFO inversions within a cycle, and
+ * pops with no matching push.
+ */
+class EventQueueChecker : public Checker
+{
+  public:
+    EventQueueChecker() : Checker("event_queue") {}
+
+    /**
+     * Observe a push.
+     * @param requested the caller-requested cycle (before clamping)
+     * @param effective the cycle actually scheduled
+     * @param now the current cycle
+     * @param type event type tag (opaque)
+     * @param token event payload token (opaque)
+     */
+    void onPush(CheckRegistry &reg, Cycle requested, Cycle effective,
+                Cycle now, unsigned type, std::uint64_t token);
+
+    /** Observe a pop; verifies it matches the mirror's front. */
+    void onPop(CheckRegistry &reg, Cycle now, unsigned type,
+               std::uint64_t token);
+
+    /** Events the mirror believes are still pending. */
+    std::size_t pendingMirror() const { return pending_; }
+
+    /** End-of-run: @p actual_size must match the mirror. */
+    void checkDrained(CheckRegistry &reg, std::size_t actual_size) const;
+
+  private:
+    struct Ev
+    {
+        unsigned type;
+        std::uint64_t token;
+    };
+
+    std::map<Cycle, std::deque<Ev>> mirror_;
+    std::size_t pending_ = 0;
+    Cycle last_pop_cycle_ = 0;
+};
+
+/**
+ * Transaction lifecycle state machine. The System reports every
+ * create / MC-enqueue / DRAM-completion / fill / retire; the checker
+ * enforces the legal transitions:
+ *
+ *   created -> issued | filled | retired
+ *   issued  -> in-DRAM
+ *   in-DRAM -> filled
+ *   filled  -> filled | retired      (fill at slice, then at core)
+ *
+ * plus strictly-increasing ids on create (the slab pool's contract),
+ * no double-create, and no transition on an unknown or already-retired
+ * id (a double-retire of a pooled transaction shows up here).
+ */
+class TxnLifecycleChecker : public Checker
+{
+  public:
+    TxnLifecycleChecker() : Checker("txn_lifecycle") {}
+
+    void onCreate(CheckRegistry &reg, std::uint64_t id);
+    void onIssue(CheckRegistry &reg, std::uint64_t id);
+    void onDramDone(CheckRegistry &reg, std::uint64_t id);
+    void onFill(CheckRegistry &reg, std::uint64_t id);
+    void onRetire(CheckRegistry &reg, std::uint64_t id);
+
+    /** Transactions the checker believes are live. */
+    std::size_t liveCount() const { return live_.size(); }
+
+    /**
+     * Slab-pool leak check: the pool's live count must equal the
+     * checker's. A transaction erased behind the checker's back (or
+     * leaked past its retire hook) breaks the equality.
+     */
+    void checkLeaks(CheckRegistry &reg, std::size_t pool_live) const;
+
+  private:
+    enum class State : std::uint8_t
+    {
+        kCreated,
+        kIssued,
+        kInDram,
+        kFilled,
+    };
+
+    static const char *stateName(State s);
+    void advance(CheckRegistry &reg, std::uint64_t id, State to,
+                 const char *what);
+
+    std::map<std::uint64_t, State> live_;
+    std::uint64_t last_created_ = 0;
+};
+
+/**
+ * Conservation checker: a thin namespace for occupancy-vs-counter
+ * equalities. The System computes both sides (e.g. ring messages sent
+ * minus delivered vs. messages physically in flight) and reports
+ * mismatches through check().
+ */
+class ConservationChecker : public Checker
+{
+  public:
+    ConservationChecker() : Checker("conservation") {}
+
+    void
+    check(CheckRegistry &reg, const std::string &component,
+          std::uint64_t lhs, std::uint64_t rhs, const std::string &what)
+    {
+        reg.expectEq(name(), component, lhs, rhs, what);
+    }
+};
+
+/**
+ * Per-core retirement-order checker: ROB sequence numbers are handed
+ * out densely at dispatch and the ROB retires strictly in order, so
+ * every retired seq must be exactly the previous one plus one.
+ */
+class RetireOrderChecker : public Checker
+{
+  public:
+    RetireOrderChecker() : Checker("retire_order") {}
+
+    void onRetire(CheckRegistry &reg, unsigned core, std::uint64_t seq);
+
+  private:
+    std::map<unsigned, std::uint64_t> last_;
+};
+
+/**
+ * Validate the RRT/EPR discipline of a dependence chain about to ship
+ * to (or just accepted by) the EMC:
+ *
+ *  - every EPR reference is inside the register file (< kEmcPhysRegs)
+ *  - no uop writes an EPR another uop already produced (double-map)
+ *  - every EPR source reads an EPR produced by an earlier uop (a
+ *    use-before-def means the core's RRT leaked a stale mapping)
+ *  - every operand of a non-source uop is an EPR or a captured live-in
+ *  - live_in_count matches the number of live-in operands (the wire
+ *    live-in vector would otherwise be incomplete)
+ *  - the source EPR is the destination of a source uop
+ *
+ * @return the number of violations reported
+ */
+unsigned validateChain(const ChainRequest &chain, CheckRegistry &reg,
+                       const std::string &component);
+
+} // namespace emc::check
+
+#endif // EMC_CHECK_CHECKERS_HH

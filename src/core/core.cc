@@ -132,6 +132,7 @@ Core::quiescentUntil() const
         t = std::min(t, chain_send_cycle_);
     if (fetch_blocked_ && fetch_resume_ != 0)
         t = std::min(t, fetch_resume_);
+    // lint-ok: unordered-iter (min over keys is order-insensitive)
     for (const auto &kv : complete_at_)
         t = std::min(t, kv.first);
     if (!counter_updates_.empty())
@@ -632,6 +633,8 @@ Core::retireStage()
         if (head.prev_dst_preg != kNoPreg && head.d.uop.hasDst())
             free_list_.push_back(head.prev_dst_preg);
 
+        if (ck_retire_)
+            ck_retire_->onRetire(*check_, id_, head.seq);
         ++stats_.retired_uops;
         rob_.pop_front();
     }
@@ -1241,6 +1244,73 @@ Core::debugDump() const
                          ? pending_srcs_.at(e.seq)
                          : 999);
     }
+}
+
+void
+Core::selfCheck(check::CheckRegistry &reg) const
+{
+    const std::string comp = "core" + std::to_string(id_);
+    auto bad = [&](const std::string &msg) {
+        reg.fail("core_state", comp, 0, msg);
+    };
+
+    // ROB: sequence numbers are dense (seq-indexed lookup depends on
+    // it) and the load-queue occupancy counter matches the ROB.
+    unsigned loads = 0;
+    for (std::size_t i = 0; i < rob_.size(); ++i) {
+        if (rob_[i].seq != rob_.front().seq + i) {
+            bad("ROB seq not dense at index " + std::to_string(i));
+            break;
+        }
+    }
+    for (const RobEntry &e : rob_)
+        loads += isLoad(e.d.uop.op) ? 1 : 0;
+    if (loads != lq_occupancy_) {
+        bad("LQ occupancy " + std::to_string(lq_occupancy_)
+            + " != ROB load count " + std::to_string(loads));
+    }
+
+    // Register file: the free list holds each preg at most once, and
+    // no RAT mapping points into the free list.
+    std::vector<bool> free_set(cfg_.phys_regs, false);
+    for (std::uint16_t p : free_list_) {
+        if (p >= cfg_.phys_regs) {
+            bad("free list holds out-of-range preg " + std::to_string(p));
+            continue;
+        }
+        if (free_set[p])
+            bad("preg " + std::to_string(p) + " on the free list twice");
+        free_set[p] = true;
+    }
+    if (free_list_.size() >= cfg_.phys_regs)
+        bad("free list larger than the register file");
+    for (unsigned a = 0; a < kArchRegs; ++a) {
+        const std::uint16_t p = rat_[a];
+        if (p >= cfg_.phys_regs) {
+            bad("RAT maps arch reg " + std::to_string(a)
+                + " to out-of-range preg " + std::to_string(p));
+        } else if (free_set[p]) {
+            bad("RAT maps arch reg " + std::to_string(a)
+                + " to freed preg " + std::to_string(p));
+        }
+    }
+
+    // Store queue: program order means strictly increasing seqs.
+    for (std::size_t i = 1; i < sq_.size(); ++i) {
+        if (sq_[i].seq <= sq_[i - 1].seq) {
+            bad("SQ seqs not strictly increasing at index "
+                + std::to_string(i));
+            break;
+        }
+    }
+    if (sq_.size() > cfg_.sq_size)
+        bad("SQ occupancy exceeds capacity");
+
+    auto struct_fail = [&](const std::string &msg) {
+        reg.fail("cache_state", comp, 0, msg);
+    };
+    l1d_.checkConsistent(struct_fail);
+    mshrs_.checkConsistent(struct_fail);
 }
 
 void

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "check/checkers.hh"
 #include "common/sat_counter.hh"
 #include "core/branch_predictor.hh"
 #include "common/stats.hh"
@@ -207,6 +208,24 @@ class Core
     /** The hybrid branch predictor (tests / stats). */
     const HybridBranchPredictor &branchPredictor() const { return bp_; }
 
+    /**
+     * Attach the invariant-check registry (null detaches). Observation
+     * only; never changes pipeline behaviour or statistics.
+     */
+    void
+    setCheck(check::CheckRegistry *reg, check::RetireOrderChecker *retire)
+    {
+        check_ = reg;
+        ck_retire_ = retire;
+    }
+
+    /**
+     * Deep structural self-check (periodic in checked runs): ROB seq
+     * density, free-list/RAT consistency, LQ/SQ accounting, L1 tag
+     * store and MSHR structure.
+     */
+    void selfCheck(check::CheckRegistry &reg) const;
+
   private:
     // ---- dynamic uop state in the ROB ----
 
@@ -349,6 +368,10 @@ class Core
     std::unordered_map<std::uint64_t, bool> source_dep_seen_;
     /// chain id -> source-miss seq, for counter updates on live-outs
     std::unordered_map<std::uint64_t, std::uint64_t> offload_chain_source_;
+
+    // Invariant checking (null when disabled; observation only)
+    check::CheckRegistry *check_ = nullptr;
+    check::RetireOrderChecker *ck_retire_ = nullptr;
 
     CoreStats stats_;
 };

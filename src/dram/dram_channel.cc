@@ -72,11 +72,13 @@ DramChannel::enqueue(const MemRequest &req, Cycle now)
         // effectively unbounded relative to the workload's needs but a
         // high watermark forces drains before it grows without bound.
         write_q_.push_back(qe);
+        ++accepted_writes_;
         return true;
     }
     if (read_q_.size() >= queue_limit_)
         return false;
     read_q_.push_back(qe);
+    ++accepted_reads_;
     return true;
 }
 
@@ -233,6 +235,7 @@ DramChannel::issue(Queued &qe, Cycle now, bool is_write)
 
     if (is_write) {
         ++stats_.writes;
+        ++issued_writes_;
     } else {
         ++stats_.reads;
         stats_.total_queue_wait +=
@@ -251,6 +254,7 @@ DramChannel::tick(Cycle now)
     // Deliver finished reads.
     for (std::size_t i = 0; i < in_flight_.size();) {
         if (in_flight_[i].cycle_dram_data <= now) {
+            ++completed_reads_;
             if (callback_)
                 callback_(in_flight_[i]);
             in_flight_[i] = in_flight_.back();

@@ -110,6 +110,20 @@ class DramChannel
     /** Expose bank state for tests. */
     const Bank &bank(unsigned rank, unsigned b) const;
 
+    /**
+     * Lifetime accept/complete counters for conservation checks.
+     * Unlike stats(), these survive resetStats():
+     *   acceptedReads − completedReads == readQueueDepth + inFlight
+     *   acceptedWrites − issuedWrites == writeQueueDepth
+     * (writes leave accounting at issue; they have no fill callback).
+     */
+    std::uint64_t acceptedReads() const { return accepted_reads_; }
+    std::uint64_t completedReads() const { return completed_reads_; }
+    std::uint64_t acceptedWrites() const { return accepted_writes_; }
+    std::uint64_t issuedWrites() const { return issued_writes_; }
+    std::size_t inFlight() const { return in_flight_.size(); }
+    std::size_t queueLimit() const { return queue_limit_; }
+
   private:
     /** A queued request plus its PAR-BS batch mark. */
     struct Queued
@@ -147,6 +161,12 @@ class DramChannel
 
     Callback callback_;
     DramChannelStats stats_;
+
+    // Conservation counters (not reset with stats_).
+    std::uint64_t accepted_reads_ = 0;
+    std::uint64_t completed_reads_ = 0;
+    std::uint64_t accepted_writes_ = 0;
+    std::uint64_t issued_writes_ = 0;
 };
 
 } // namespace emc

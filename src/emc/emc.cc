@@ -62,6 +62,9 @@ Emc::acceptChain(const ChainRequest &chain, bool source_already_arrived)
         return false;
     }
 
+    if (check_)
+        check::validateChain(chain, *check_, "emc.accept");
+
     Context &c = *free_ctx;
     c.busy = true;
     c.armed = false;
@@ -510,6 +513,114 @@ bool
 Emc::tlbResident(CoreId core, Addr vpage) const
 {
     return tlbs_[core % num_cores_].resident(vpage);
+}
+
+void
+Emc::selfCheck(check::CheckRegistry &reg) const
+{
+    auto bad = [&](std::uint64_t chain_id, const std::string &msg) {
+        reg.fail("emc_state", "emc", chain_id, msg);
+    };
+
+    // Per-context structure.
+    for (std::size_t i = 0; i < contexts_.size(); ++i) {
+        const Context &c = contexts_[i];
+        if (!c.busy)
+            continue;
+        if (c.state.size() != c.chain.uops.size()) {
+            bad(c.chain.id, "context " + std::to_string(i)
+                + " uop-state size diverged from its chain");
+        }
+        if (c.lsq.size() > cfg_.lsq_entries)
+            bad(c.chain.id, "context LSQ exceeds capacity");
+        for (std::size_t u = 0; u < c.state.size(); ++u) {
+            const UopState &st = c.state[u];
+            if (st.completed && st.mem_outstanding) {
+                bad(c.chain.id, "uop " + std::to_string(u)
+                    + " both completed and memory-outstanding");
+            }
+            if ((st.completed || st.mem_outstanding) && !st.issued) {
+                bad(c.chain.id, "uop " + std::to_string(u)
+                    + " progressed without being issued");
+            }
+        }
+    }
+
+    // Token map vs. line-waiter map: every direct-issued request holds
+    // exactly one token and opened exactly one merge window, and the
+    // two maps are erased together on response — so the token lines
+    // are a bijection onto the line_waiters_ keys.
+    reg.expectEq("emc_state", "emc", tokens_.size(),
+                 line_waiters_.size(),
+                 "outstanding tokens vs. open merge windows");
+    // lint-ok: unordered-iter (order-insensitive invariant scan)
+    for (const auto &kv : tokens_) {
+        const TokenInfo &info = kv.second;
+        if (!line_waiters_.count(info.line)) {
+            bad(kv.first, "token line has no merge window "
+                "(token/line-waiter maps diverged)");
+        }
+        if (info.ctx >= contexts_.size()) {
+            bad(kv.first, "token references invalid context");
+            continue;
+        }
+        const Context &c = contexts_[info.ctx];
+        if (!c.busy || c.generation != info.generation)
+            continue;  // stale token of a canceled chain (legal)
+        if (info.uop >= c.state.size()) {
+            bad(c.chain.id, "token references uop out of range");
+            continue;
+        }
+        const UopState &st = c.state[info.uop];
+        if (!st.issued || st.completed || !st.mem_outstanding) {
+            bad(c.chain.id, "token maps uop " + std::to_string(info.uop)
+                + " whose state is not memory-outstanding "
+                  "(leaked or double-mapped token)");
+        }
+    }
+
+    // Leak detection in the other direction: every memory-outstanding
+    // uop of a live chain must be reachable from a token or a merge
+    // window, or its fill can never arrive.
+    for (std::size_t i = 0; i < contexts_.size(); ++i) {
+        const Context &c = contexts_[i];
+        if (!c.busy)
+            continue;
+        for (std::size_t u = 0; u < c.state.size(); ++u) {
+            if (!c.state[u].mem_outstanding)
+                continue;
+            bool covered = false;
+            // lint-ok: unordered-iter (order-insensitive invariant scan)
+            for (const auto &kv : tokens_) {
+                const TokenInfo &ti = kv.second;
+                if (ti.ctx == i && ti.uop == u
+                    && ti.generation == c.generation) {
+                    covered = true;
+                    break;
+                }
+            }
+            // lint-ok: unordered-iter (order-insensitive invariant scan)
+            for (const auto &kv : line_waiters_) {
+                for (const TokenInfo &ti : kv.second) {
+                    if (ti.ctx == i && ti.uop == u
+                        && ti.generation == c.generation) {
+                        covered = true;
+                        break;
+                    }
+                }
+            }
+            if (!covered) {
+                bad(c.chain.id, "uop " + std::to_string(u)
+                    + " is memory-outstanding with no in-flight "
+                      "request (leaked mapping)");
+            }
+        }
+    }
+
+    auto struct_fail = [&](const std::string &msg) {
+        reg.fail("cache_state", "emc", 0, msg);
+    };
+    dcache_.checkConsistent(struct_fail);
 }
 
 void

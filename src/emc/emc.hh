@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "check/checkers.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "emc/chain.hh"
@@ -186,6 +187,20 @@ class Emc
     const Cache &dcache() const { return dcache_; }
     const EmcConfig &config() const { return cfg_; }
 
+    /**
+     * Attach the invariant-check registry (null detaches). Enables
+     * chain validation on accept plus the periodic selfCheck().
+     */
+    void setCheck(check::CheckRegistry *reg) { check_ = reg; }
+
+    /**
+     * Deep structural self-check (periodic in checked runs): context
+     * flag coherence, per-uop state vs. the token map (RRT/EPR leak
+     * and double-map detection), token/line-waiter bijection, and the
+     * data-cache tag store.
+     */
+    void selfCheck(check::CheckRegistry &reg) const;
+
   private:
     /** One EMC physical register. */
     struct EprReg
@@ -259,6 +274,9 @@ class Emc
     std::unordered_map<Addr, std::vector<TokenInfo>> line_waiters_;
     std::uint64_t next_token_ = 1;
     std::uint64_t generation_counter_ = 1;
+
+    // Invariant checking (null when disabled; observation only)
+    check::CheckRegistry *check_ = nullptr;
 
     EmcStats stats_;
 };

@@ -22,6 +22,7 @@ Ring::send(const RingMsg &msg, Cycle now)
     RingMsg m = msg;
     m.injected = now;
     inject_q_[m.src].push_back(m);
+    ++sent_total_;
     if (is_data_) {
         ++stats_.data_msgs;
         if (m.type == MsgType::kChainTransfer || m.type == MsgType::kLiveOut)
@@ -64,6 +65,7 @@ Ring::advance(Direction &dir, Cycle now)
             stats_.total_latency +=
                 static_cast<double>(now - s.msg.injected);
             ++stats_.delivered;
+            ++delivered_total_;
             if (deliver_)
                 deliver_(s.msg);
             s.busy = false;

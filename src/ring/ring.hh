@@ -127,6 +127,14 @@ class Ring
     /** Messages currently in flight or waiting (for tests). */
     std::size_t pending() const;
 
+    /**
+     * Lifetime send/deliver counters for conservation checks. Unlike
+     * stats(), these survive resetStats() so sent − delivered always
+     * equals pending().
+     */
+    std::uint64_t sentTotal() const { return sent_total_; }
+    std::uint64_t deliveredTotal() const { return delivered_total_; }
+
   private:
     /** One rotating slot of a ring direction. */
     struct Slot
@@ -153,6 +161,8 @@ class Ring
     std::vector<std::deque<RingMsg>> inject_q_;  ///< per stop
     Deliver deliver_;
     RingStats stats_;
+    std::uint64_t sent_total_ = 0;
+    std::uint64_t delivered_total_ = 0;
 };
 
 } // namespace emc

@@ -234,9 +234,114 @@ System::System(const SystemConfig &cfg,
     // Escape hatch for A/B timing comparisons: force cycle-by-cycle
     // ticking even across provably idle gaps.
     cycle_skip_enabled_ = std::getenv("EMC_NO_CYCLE_SKIP") == nullptr;
+
+#ifdef EMC_SIM_CHECK
+    enableInvariantChecks();
+#endif
 }
 
 System::~System() = default;
+
+// --------------------------------------------------------------------
+// Runtime invariant checking (DESIGN.md §5d)
+// --------------------------------------------------------------------
+
+void
+System::enableInvariantChecks()
+{
+    if (check_)
+        return;
+    check_ = std::make_unique<check::CheckRegistry>();
+    check_->setClock([this] { return now_; });
+    ck_events_ = static_cast<check::EventQueueChecker *>(
+        &check_->add(std::make_unique<check::EventQueueChecker>()));
+    ck_txns_ = static_cast<check::TxnLifecycleChecker *>(
+        &check_->add(std::make_unique<check::TxnLifecycleChecker>()));
+    ck_conserve_ = static_cast<check::ConservationChecker *>(
+        &check_->add(std::make_unique<check::ConservationChecker>()));
+    ck_retire_ = static_cast<check::RetireOrderChecker *>(
+        &check_->add(std::make_unique<check::RetireOrderChecker>()));
+    for (auto &c : cores_)
+        c->setCheck(check_.get(), ck_retire_);
+    for (auto &e : emcs_)
+        e->setCheck(check_.get());
+}
+
+void
+System::runPerTickChecks()
+{
+    // Cheap O(#rings + #channels) conservation equalities, every tick.
+    ck_conserve_->check(*check_, "control_ring",
+                        control_ring_.sentTotal()
+                            - control_ring_.deliveredTotal(),
+                        control_ring_.pending(), "messages in flight");
+    ck_conserve_->check(*check_, "data_ring",
+                        data_ring_.sentTotal()
+                            - data_ring_.deliveredTotal(),
+                        data_ring_.pending(), "messages in flight");
+    for (std::size_t m = 0; m < channels_.size(); ++m) {
+        for (std::size_t c = 0; c < channels_[m].size(); ++c) {
+            const DramChannel &ch = *channels_[m][c];
+            const std::string comp = "mc" + std::to_string(m)
+                                     + ".ch" + std::to_string(c);
+            ck_conserve_->check(*check_, comp,
+                                ch.acceptedReads() - ch.completedReads(),
+                                ch.readQueueDepth() + ch.inFlight(),
+                                "read requests in flight");
+            ck_conserve_->check(*check_, comp,
+                                ch.acceptedWrites() - ch.issuedWrites(),
+                                ch.writeQueueDepth(),
+                                "buffered writes");
+            if (ch.readQueueDepth() > ch.queueLimit()) {
+                check_->fail("conservation", comp, 0,
+                             "read queue exceeds its credit limit");
+            }
+        }
+    }
+    ck_txns_->checkLeaks(*check_, txns_.size());
+    ck_events_->checkDrained(*check_, events_.size());
+
+    if (now_ >= next_deep_check_) {
+        runDeepChecks();
+        next_deep_check_ = now_ + 2048;
+    }
+}
+
+void
+System::runDeepChecks()
+{
+    for (auto &c : cores_)
+        c->selfCheck(*check_);
+    for (auto &e : emcs_)
+        e->selfCheck(*check_);
+    for (std::size_t i = 0; i < slices_.size(); ++i) {
+        slices_[i]->checkConsistent([&](const std::string &msg) {
+            check_->fail("cache_state",
+                         "slice" + std::to_string(i), 0, msg);
+        });
+    }
+    // Every transaction merged onto an in-flight fill must still be
+    // live in the pool, or its wakeup would be lost.
+    // lint-ok: unordered-iter (order-insensitive invariant scan)
+    for (const auto &kv : pending_fills_) {
+        for (std::uint64_t id : kv.second) {
+            if (!txns_.find(id)) {
+                check_->fail("txn_lifecycle", "pending_fills", id,
+                             "merged transaction no longer live in "
+                             "the slab pool");
+            }
+        }
+    }
+}
+
+void
+System::finalizeChecks()
+{
+    runDeepChecks();
+    ck_txns_->checkLeaks(*check_, txns_.size());
+    ck_events_->checkDrained(*check_, events_.size());
+    check_->finalizeAll();
+}
 
 // --------------------------------------------------------------------
 // Topology helpers
@@ -266,7 +371,13 @@ System::mcOfLine(Addr line) const
 void
 System::schedule(Cycle when, EvType type, std::uint64_t token)
 {
-    events_.push(std::max(when, now_ + 1), Event{type, token});
+    const Cycle effective = std::max(when, now_ + 1);
+    if (ck_events_) {
+        ck_events_->onPush(*check_, when, effective, now_,
+                           static_cast<unsigned>(type), token);
+    }
+    // lint-ok: event-push (this is the schedule API itself)
+    events_.push(effective, Event{type, token});
 }
 
 void
@@ -327,6 +438,8 @@ System::requestLine(CoreId core, Addr paddr_line, Addr pc, bool for_store,
     txn.addr_tainted = addr_tainted;
     txn.t_start = now_;
     txns_.create(txn.id) = txn;
+    if (ck_txns_)
+        ck_txns_->onCreate(*check_, txn.id);
     ++outstanding_demand_lines_[paddr_line];
 
     const unsigned slice = sliceOf(paddr_line);
@@ -345,6 +458,8 @@ System::storeThrough(CoreId core, Addr paddr_line)
     txn.for_store = true;
     txn.t_start = now_;
     txns_.create(txn.id) = txn;
+    if (ck_txns_)
+        ck_txns_->onCreate(*check_, txn.id);
 
     const unsigned slice = sliceOf(paddr_line);
     routeData(stopOfCore(core), stopOfCore(slice), MsgType::kWriteback,
@@ -362,6 +477,10 @@ System::offloadChain(const ChainRequest &chain)
                         % static_cast<unsigned>(emcs_.size());
     if (!emcs_[mc]->hasFreeContext())
         return false;
+
+    if (check_)
+        check::validateChain(chain, *check_, "core" +
+                             std::to_string(chain.core) + ".offload");
 
     const std::uint64_t id = next_msg_id_++;
     // Charge the exact wire size of the paper's 6-byte uop format
@@ -425,6 +544,8 @@ System::emcDirectDram(unsigned from_mc, CoreId core, Addr paddr_line,
 
     Txn &slot = txns_.create(txn.id);
     slot = txn;
+    if (ck_txns_)
+        ck_txns_->onCreate(*check_, txn.id);
     if (tryMergeFill(slot))
         return true;  // piggybacks on an in-flight fill
     pending_fills_[txn.line];
@@ -452,6 +573,8 @@ System::emcLlcQuery(unsigned from_mc, CoreId core, Addr paddr_line,
     txn.emc_owner = from_mc;
     txn.t_start = now_;
     txns_.create(txn.id) = txn;
+    if (ck_txns_)
+        ck_txns_->onCreate(*check_, txn.id);
 
     const unsigned slice = sliceOf(paddr_line);
     routeControl(stopOfMc(from_mc), stopOfCore(slice),
@@ -585,6 +708,8 @@ System::handleSliceStore(std::uint64_t token)
     observeAtLlc(txn, meta != nullptr);
     if (meta) {
         meta->dirty = true;
+        if (ck_txns_)
+            ck_txns_->onRetire(*check_, txn.id);
         txns_.erase(txn.id);
         return;
     }
@@ -631,6 +756,8 @@ System::handleMcEnqueue(std::uint64_t token)
         return;
     }
     txn.t_mc_enqueue = now_;
+    if (ck_txns_)
+        ck_txns_->onIssue(*check_, txn.id);
     switch (req.origin) {
       case ReqOrigin::kCoreDemand: ++traffic_.core_demand; break;
       case ReqOrigin::kEmcDemand: ++traffic_.emc_demand; break;
@@ -648,6 +775,8 @@ System::handleDramDone(unsigned mc, const MemRequest &req)
     Txn &txn = *tp;
     txn.t_dram_issue = req.cycle_dram_issue;
     txn.t_dram_data = req.cycle_dram_data;
+    if (ck_txns_)
+        ck_txns_->onDramDone(*check_, txn.id);
 
     // The EMC at this controller snoops every arriving fill
     // (Section 4.1.3) and may be waiting on it as chain source data.
@@ -707,8 +836,12 @@ System::dispatchMergedFill(std::uint64_t token, unsigned slice)
     if (!tp)
         return;
     Txn &txn = *tp;
+    if (ck_txns_)
+        ck_txns_->onFill(*check_, txn.id);
     if (txn.is_prefetch) {
         outstanding_prefetch_lines_.erase(txn.line);
+        if (ck_txns_)
+            ck_txns_->onRetire(*check_, txn.id);
         txns_.erase(txn.id);
         return;
     }
@@ -716,12 +849,16 @@ System::dispatchMergedFill(std::uint64_t token, unsigned slice)
         // The merged EMC load completes as the shared fill passes.
         lat_total_emc_.sample(static_cast<double>(now_ - txn.t_start));
         emcs_[txn.emc_owner]->memResponse(txn.emc_token, true);
+        if (ck_txns_)
+            ck_txns_->onRetire(*check_, txn.id);
         txns_.erase(txn.id);
         return;
     }
     if (txn.for_store) {
         if (CacheLineMeta *m = slices_[slice]->peek(txn.line))
             m->dirty = true;
+        if (ck_txns_)
+            ck_txns_->onRetire(*check_, txn.id);
         txns_.erase(txn.id);
         return;
     }
@@ -781,6 +918,8 @@ System::handleFillAtSlice(std::uint64_t token)
         return;
     Txn &txn = *tp;
     const unsigned slice = sliceOf(txn.line);
+    if (ck_txns_)
+        ck_txns_->onFill(*check_, txn.id);
 
     insertIntoLlc(txn);
 
@@ -801,6 +940,8 @@ System::handleFillAtSlice(std::uint64_t token)
         fdp_.issued(txn.line);
         if (cfg_.record_prefetch_lines)
             prefetch_lines_.insert(txn.line);
+        if (ck_txns_)
+            ck_txns_->onRetire(*check_, txn.id);
         txns_.erase(txn.id);
         return;
     }
@@ -808,10 +949,14 @@ System::handleFillAtSlice(std::uint64_t token)
         // Mark the EMC directory bit: the EMC data cache holds it.
         if (CacheLineMeta *m = slices_[slice]->peek(txn.line))
             m->emc = true;
+        if (ck_txns_)
+            ck_txns_->onRetire(*check_, txn.id);
         txns_.erase(txn.id);
         return;
     }
     if (txn.for_store) {
+        if (ck_txns_)
+            ck_txns_->onRetire(*check_, txn.id);
         txns_.erase(txn.id);
         return;
     }
@@ -830,6 +975,8 @@ System::handleFillAtCore(std::uint64_t token)
         return;
     Txn &txn = *tp;
     txn.t_done = now_;
+    if (ck_txns_)
+        ck_txns_->onFill(*check_, txn.id);
 
     const unsigned slice = sliceOf(txn.line);
     if (CacheLineMeta *m = slices_[slice]->peek(txn.line))
@@ -843,6 +990,8 @@ System::handleFillAtCore(std::uint64_t token)
         if (--oit->second == 0)
             outstanding_demand_lines_.erase(oit);
     }
+    if (ck_txns_)
+        ck_txns_->onRetire(*check_, txn.id);
     txns_.erase(txn.id);
 }
 
@@ -992,6 +1141,8 @@ System::handleEmcQueryReply(std::uint64_t token)
     Txn &txn = *tp;
     lat_total_emc_.sample(static_cast<double>(now_ - txn.t_start));
     emcs_[txn.emc_owner]->memResponse(txn.emc_token, false);
+    if (ck_txns_)
+        ck_txns_->onRetire(*check_, txn.id);
     txns_.erase(txn.id);
 }
 
@@ -1042,6 +1193,8 @@ System::drainPrefetchers()
             txn.t_start = now_;
             txn.t_llc_miss = now_;
             txns_.create(txn.id) = txn;
+            if (ck_txns_)
+                ck_txns_->onCreate(*check_, txn.id);
             outstanding_prefetch_lines_.insert(line);
             pending_fills_[line];
 
@@ -1061,6 +1214,10 @@ System::processEvents()
 {
     Event ev;
     while (events_.popUpTo(now_, ev)) {
+        if (ck_events_) {
+            ck_events_->onPop(*check_, now_,
+                              static_cast<unsigned>(ev.type), ev.token);
+        }
         switch (ev.type) {
           case EvType::kSliceArrive: handleSliceArrive(ev.token); break;
           case EvType::kSliceLookup: handleSliceLookup(ev.token); break;
@@ -1129,6 +1286,8 @@ System::tickOnce()
         maybeSnapshotCore(i);
     }
     drainPrefetchers();
+    if (check_)
+        runPerTickChecks();
 }
 
 bool
@@ -1260,6 +1419,8 @@ System::run()
         for (unsigned i = 0; i < cfg_.num_cores; ++i)
             maybeSnapshotCore(i);
     }
+    if (check_)
+        finalizeChecks();
 }
 
 // --------------------------------------------------------------------

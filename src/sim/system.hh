@@ -12,10 +12,12 @@
 #define EMC_SIM_SYSTEM_HH
 
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "check/checkers.hh"
 #include "common/slab_pool.hh"
 #include "common/stats.hh"
 #include "core/core.hh"
@@ -88,11 +90,11 @@ class System : public CorePort
     const SystemConfig &config() const { return cfg_; }
     Cycle cycles() const { return now_; }
     const TrafficStats &traffic() const { return traffic_; }
-    const std::unordered_set<Addr> &emcMissLines() const
+    const std::set<Addr> &emcMissLines() const
     {
         return emc_miss_lines_;
     }
-    const std::unordered_set<Addr> &prefetchLines() const
+    const std::set<Addr> &prefetchLines() const
     {
         return prefetch_lines_;
     }
@@ -105,6 +107,19 @@ class System : public CorePort
      * paper adds makes this targeted in hardware; Section 4.1.4).
      */
     void tlbShootdown(CoreId core, Addr vpage);
+
+    /**
+     * Attach the runtime invariant checkers (DESIGN.md §5d). Called
+     * automatically from the constructor in -DEMC_SIM_CHECK=ON builds;
+     * tests may call it in any build, but only before the first
+     * transaction is created (i.e. before run()/tickOnce()).
+     * Observation only: enabling it never changes simulated behaviour
+     * or statistics. Idempotent.
+     */
+    void enableInvariantChecks();
+
+    /** The attached check registry (null when checks are disabled). */
+    check::CheckRegistry *checkRegistry() { return check_.get(); }
 
   private:
     friend struct EmcPortAdapter;
@@ -308,13 +323,15 @@ class System : public CorePort
     bool tryMergeFill(Txn &txn);
     void dispatchMergedFill(std::uint64_t token, unsigned slice);
 
-    // Bookkeeping for benches.
+    // Bookkeeping for benches. The line sets are ordered: benches
+    // iterate them when producing output, and iteration order must not
+    // depend on hashing.
     TrafficStats traffic_;
     std::vector<Cycle> finish_cycle_;
     std::vector<CoreStats> finish_snapshot_;
     std::vector<bool> snapshotted_;
-    std::unordered_set<Addr> emc_miss_lines_;
-    std::unordered_set<Addr> prefetch_lines_;
+    std::set<Addr> emc_miss_lines_;
+    std::set<Addr> prefetch_lines_;
 
     // Latency attribution accumulators.
     Average lat_total_core_;     ///< L1-miss issue -> data at core
@@ -327,6 +344,19 @@ class System : public CorePort
     Average lat_llcpath_core_;   ///< LLC lookup + fill-path portion
     Histogram hist_lat_core_{40, 25.0};  ///< miss-latency distribution
     Histogram hist_lat_emc_{40, 25.0};
+
+    // Runtime invariant checking (null unless enabled). The raw
+    // pointers cache the registered checkers so the per-event hooks
+    // are a single null test when disabled.
+    void runPerTickChecks();
+    void runDeepChecks();
+    void finalizeChecks();
+    std::unique_ptr<check::CheckRegistry> check_;
+    check::EventQueueChecker *ck_events_ = nullptr;
+    check::TxnLifecycleChecker *ck_txns_ = nullptr;
+    check::ConservationChecker *ck_conserve_ = nullptr;
+    check::RetireOrderChecker *ck_retire_ = nullptr;
+    Cycle next_deep_check_ = 0;
 
     // Aggregate counters.
     std::uint64_t llc_demand_accesses_ = 0;

@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Simulator-specific determinism and hygiene lint (DESIGN.md 5d).
+
+Rules (stdlib-only, regex-based -- fast enough to run on every CI push):
+
+  rng            No rand()/srand()/time()/clock()/std::random_device or
+                 <random> engines outside src/common/rng.hh.  All
+                 randomness must flow through the seeded Rng so runs are
+                 reproducible.
+  unordered-iter No range-for iteration over unordered_map/unordered_set
+                 members.  Hash-order iteration feeding stats or output
+                 makes runs depend on pointer values / libstdc++ version.
+                 (Scans declarations repo-wide first, then flags
+                 range-fors whose range expression names such a member.)
+  raw-new        No raw new/delete of Transaction objects outside the
+                 slab pool.  Transactions live in System's IdSlabPool;
+                 raw allocation bypasses leak accounting.
+  event-push     No direct events_.push(...) outside System::schedule().
+                 The schedule API clamps cycles and feeds the
+                 EventQueueChecker mirror; bypassing it breaks both.
+  stat-dup       The same stat key must not be put() twice in one file.
+                 A stat registered twice silently overwrites the first
+                 value in the output map.
+
+A finding on line N is suppressed by an annotation on line N or N-1:
+
+    // lint-ok: <rule> (<reason>)
+
+The reason is mandatory: suppressions without a parenthesised
+justification are themselves findings.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+import os
+import re
+import sys
+
+SOURCE_EXTS = {".cc", ".cpp", ".cxx", ".hh", ".hpp", ".h"}
+
+RULES = ("rng", "unordered-iter", "raw-new", "event-push", "stat-dup")
+
+# rng: tokens that introduce nondeterminism or wall-clock dependence.
+RNG_RE = re.compile(
+    r"\b(?:std::)?(?:rand|srand|random_device|mt19937(?:_64)?|"
+    r"default_random_engine|minstd_rand0?)\s*[({]"
+    r"|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+    r"|\bclock\s*\(\s*\)"
+)
+RNG_EXEMPT = ("src/common/rng.hh", "src/common/rng.cc")
+
+# unordered-iter pass 1: member declarations of unordered containers.
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s+"
+    r"(\w+)\s*(?:=[^;]*)?;"
+)
+
+# raw-new: allocation of transactions outside the slab pool.
+RAW_NEW_RE = re.compile(r"\bnew\s+Transaction\b|\bdelete\s+\w*txn\w*\b")
+
+# event-push: direct pushes into the event queue.
+EVENT_PUSH_RE = re.compile(r"\bevents_\.push\s*\(")
+
+# stat-dup: literal stat keys registered via StatMap::put("name", ...).
+STAT_PUT_RE = re.compile(r"\.put\(\s*\"([^\"]+)\"")
+
+LINT_OK_RE = re.compile(r"//\s*lint-ok:\s*([a-z-]+)(\s*\(.+\))?")
+
+COMMENT_BLOCK_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def iter_sources(roots):
+    for root in roots:
+        if os.path.isfile(root):
+            yield root
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames if not d.startswith("build")]
+            for f in sorted(filenames):
+                if os.path.splitext(f)[1] in SOURCE_EXTS:
+                    yield os.path.join(dirpath, f)
+
+
+def strip_block_comments(text):
+    """Blank out /* */ comments, preserving line structure."""
+    return COMMENT_BLOCK_RE.sub(
+        lambda m: "\n" * m.group(0).count("\n"), text)
+
+
+def code_part(line, keep_strings=False):
+    """The line with any // comment removed and, unless keep_strings,
+    string literals blanked (so tokens inside messages don't match)."""
+    blanked = STRING_RE.sub('""', line)
+    idx = blanked.find("//")
+    kept = line if keep_strings else blanked
+    return kept if idx < 0 else kept[:idx]
+
+
+class Linter:
+    def __init__(self):
+        self.findings = []
+
+    def report(self, path, lineno, rule, msg):
+        self.findings.append((path, lineno, rule, msg))
+
+    # -- suppression handling ------------------------------------------
+
+    @staticmethod
+    def suppressions(lines):
+        """Map line number -> set of suppressed rules (line or line-1)."""
+        ok = {}
+        for i, line in enumerate(lines, start=1):
+            m = LINT_OK_RE.search(line)
+            if m:
+                ok.setdefault(i, set()).add(m.group(1))
+                ok.setdefault(i + 1, set()).add(m.group(1))
+        return ok
+
+    def check_suppression_reasons(self, path, lines):
+        for i, line in enumerate(lines, start=1):
+            m = LINT_OK_RE.search(line)
+            if not m:
+                continue
+            if m.group(1) not in RULES:
+                self.report(path, i, "lint-ok",
+                            f"unknown rule '{m.group(1)}' in suppression")
+            if not m.group(2):
+                self.report(path, i, "lint-ok",
+                            "suppression lacks a (reason)")
+
+    # -- pass 1: collect unordered-container member names --------------
+
+    def collect_unordered_members(self, files):
+        members = set()
+        for path in files:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = strip_block_comments(f.read())
+            for m in UNORDERED_DECL_RE.finditer(text):
+                members.add(m.group(1))
+        return members
+
+    # -- pass 2: per-file rules ----------------------------------------
+
+    def lint_file(self, path, unordered_members):
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        lines = strip_block_comments(raw).splitlines()
+        ok = self.suppressions(lines)
+        self.check_suppression_reasons(path, lines)
+
+        rel = path.replace("\\", "/")
+        rng_exempt = any(rel.endswith(e) for e in RNG_EXEMPT)
+
+        range_for_re = None
+        if unordered_members:
+            names = "|".join(re.escape(n) for n in sorted(unordered_members))
+            range_for_re = re.compile(
+                r"\bfor\s*\([^;)]*:\s*[\w.\->]*\b(?:%s)\b\s*\)" % names)
+
+        stat_keys = {}
+
+        for i, line in enumerate(lines, start=1):
+            code = code_part(line)
+
+            def hit(rule, msg):
+                if rule not in ok.get(i, ()):
+                    self.report(path, i, rule, msg)
+
+            if not rng_exempt and RNG_RE.search(code):
+                hit("rng",
+                    "nondeterministic source; use common/rng.hh (Rng)")
+
+            if range_for_re and range_for_re.search(code):
+                hit("unordered-iter",
+                    "range-for over an unordered container; "
+                    "hash order is not deterministic")
+
+            if RAW_NEW_RE.search(code):
+                hit("raw-new",
+                    "raw transaction allocation; use the slab pool")
+
+            if EVENT_PUSH_RE.search(code):
+                hit("event-push",
+                    "direct event-queue push; go through System::schedule")
+
+            for m in STAT_PUT_RE.finditer(code_part(line, True)):
+                key = m.group(1)
+                if key in stat_keys and "stat-dup" not in ok.get(i, ()):
+                    self.report(
+                        path, i, "stat-dup",
+                        f'stat "{key}" already registered at line '
+                        f"{stat_keys[key]}")
+                stat_keys.setdefault(key, i)
+
+
+def main(argv):
+    roots = argv[1:] or ["src"]
+    for r in roots:
+        if not os.path.exists(r):
+            print(f"lint_sim: no such path: {r}", file=sys.stderr)
+            return 2
+
+    files = list(iter_sources(roots))
+    linter = Linter()
+    members = linter.collect_unordered_members(files)
+    for path in files:
+        linter.lint_file(path, members)
+
+    for path, lineno, rule, msg in sorted(linter.findings):
+        print(f"{path}:{lineno}: [{rule}] {msg}")
+    if linter.findings:
+        print(f"lint_sim: {len(linter.findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint_sim: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
