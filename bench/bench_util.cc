@@ -1,13 +1,40 @@
 #include "bench/bench_util.hh"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/thread_pool.hh"
 #include "workload/profile.hh"
 
 namespace emc::bench
 {
+
+namespace
+{
+
+/**
+ * Apply the EMC_TRACE / EMC_TRACE_INTERVAL env overrides (DESIGN.md
+ * §6) to one run's config. Bench binaries launch many Systems — some
+ * concurrently via runMany() — so each traced run gets a distinct
+ * "<EMC_TRACE>.runK.json" path from a process-wide counter.
+ */
+void
+applyTraceEnv(SystemConfig &cfg)
+{
+    static std::atomic<unsigned> next_run{0};
+    const char *prefix = std::getenv("EMC_TRACE");
+    if (!prefix || !*prefix || !cfg.trace_path.empty())
+        return;
+    const unsigned k = next_run.fetch_add(1);
+    cfg.trace_path =
+        std::string(prefix) + ".run" + std::to_string(k) + ".json";
+    if (const char *iv = std::getenv("EMC_TRACE_INTERVAL"))
+        cfg.trace_interval = std::strtoull(iv, nullptr, 10);
+}
+
+} // namespace
 
 std::uint64_t
 defaultUops()
@@ -41,7 +68,9 @@ eightConfig(PrefetchConfig pf, bool emc, bool dual_mc)
 StatDump
 run(const SystemConfig &cfg, const std::vector<std::string> &benchmarks)
 {
-    System sys(cfg, benchmarks);
+    SystemConfig traced_cfg = cfg;
+    applyTraceEnv(traced_cfg);
+    System sys(traced_cfg, benchmarks);
     sys.run();
     return sys.dump();
 }

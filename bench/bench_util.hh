@@ -6,6 +6,11 @@
  *
  * Run lengths default to quick settings; set EMC_SIM_UOPS to lengthen
  * (e.g. EMC_SIM_UOPS=120000 for tighter statistics).
+ *
+ * Observability (DESIGN.md §6): set EMC_TRACE=prefix to write a Chrome
+ * trace "<prefix>.runK.json" per simulation the bench launches (K is a
+ * process-wide counter, so parallel runMany() jobs never collide), and
+ * EMC_TRACE_INTERVAL=N to also stream interval stats alongside each.
  */
 
 #ifndef EMC_BENCH_BENCH_UTIL_HH

@@ -79,6 +79,9 @@ Cache::insert(Addr addr, const CacheLineMeta &meta)
         ++stats_.evictions;
         if (victim->meta.dirty)
             ++stats_.dirty_evictions;
+        EMC_OBS_POINT(tracer_, obs::TracePoint::kLlcEvict,
+                      trace_clock_ ? *trace_clock_ : 0, out.addr,
+                      trace_track_, out.addr);
     }
 
     victim->valid = true;

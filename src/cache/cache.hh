@@ -18,6 +18,7 @@
 
 #include "common/log.hh"
 #include "common/types.hh"
+#include "obs/obs.hh"
 
 namespace emc
 {
@@ -105,6 +106,20 @@ class Cache
     void checkConsistent(
         const std::function<void(const std::string &)> &fail) const;
 
+    /**
+     * Attach the lifecycle tracer (null detaches). Observation only;
+     * emits an llc_evict instant on @p track per valid victim. The
+     * cache has no clock of its own, so @p clock points at the owning
+     * System's cycle counter.
+     */
+    void
+    setTrace(obs::Tracer *t, obs::Track track, const Cycle *clock)
+    {
+        tracer_ = t;
+        trace_track_ = track;
+        trace_clock_ = clock;
+    }
+
   private:
     /** One tag-store entry. */
     struct Line
@@ -124,6 +139,9 @@ class Cache
     std::vector<Line> lines_;   ///< sets_ * ways_, row-major by set
     std::uint64_t lru_tick_ = 0;
     CacheStats stats_;
+    obs::Tracer *tracer_ = nullptr;
+    obs::Track trace_track_{};
+    const Cycle *trace_clock_ = nullptr;
 };
 
 /**

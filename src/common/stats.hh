@@ -63,6 +63,8 @@ class Histogram
     {
         total_ += v;
         ++samples_;
+        if (v > max_)
+            max_ = v;
         auto idx = static_cast<std::size_t>(v / width_);
         if (idx < counts_.size())
             ++counts_[idx];
@@ -77,6 +79,32 @@ class Histogram
     std::size_t buckets() const { return counts_.size(); }
     double bucketWidth() const { return width_; }
 
+    /** Largest sample seen since the last reset (0 with no samples). */
+    double maxSample() const { return max_; }
+
+    /**
+     * Estimate the @p q quantile (q in [0, 1]) from the buckets: the
+     * midpoint of the bucket holding the rank-ceil(q * samples)
+     * sample. Overflow-aware: a rank that lands past the last bucket
+     * reports the largest recorded sample instead of silently
+     * clamping to the histogram range.
+     */
+    double
+    percentile(double q) const
+    {
+        if (samples_ == 0)
+            return 0.0;
+        const std::uint64_t want = static_cast<std::uint64_t>(
+            q * static_cast<double>(samples_));
+        std::uint64_t seen = 0;
+        for (std::size_t b = 0; b < counts_.size(); ++b) {
+            seen += counts_[b];
+            if (seen >= want)
+                return (static_cast<double>(b) + 0.5) * width_;
+        }
+        return max_;
+    }
+
     void
     reset()
     {
@@ -85,6 +113,7 @@ class Histogram
         overflow_ = 0;
         total_ = 0;
         samples_ = 0;
+        max_ = 0.0;
     }
 
   private:
@@ -93,6 +122,7 @@ class Histogram
     std::uint64_t overflow_;
     double total_ = 0.0;
     std::uint64_t samples_ = 0;
+    double max_ = 0.0;
 };
 
 /**

@@ -513,6 +513,10 @@ Core::completeStage()
             ++stats_.chains_rejected_no_context;
             unOffloadChain(pending_chain_);
         } else {
+            EMC_OBS_POINT(tracer_, obs::TracePoint::kChainOffloaded,
+                          now_, pending_chain_.id,
+                          obs::Track::core(id_),
+                          pending_chain_.uops.size());
             ++stats_.chains_generated;
             stats_.chain_uops_total += pending_chain_.uops.size();
             stats_.chain_live_ins_total += pending_chain_.live_in_count;
@@ -683,7 +687,7 @@ Core::maybeGenerateChain()
 
     if (!dep_counter_.topTwoBitsSet()) {
         ++stats_.chains_rejected_counter;
-        if (std::getenv("EMC_TRACE")) {
+        if (std::getenv("EMC_CHAIN_DEBUG")) {
             std::fprintf(stderr, "[%llu] core%u trigger: counter low "
                          "(%u)\n", (unsigned long long)now_, id_,
                          dep_counter_.value());
@@ -693,7 +697,7 @@ Core::maybeGenerateChain()
 
     ChainRequest chain;
     if (!buildChain(head, chain)) {
-        if (std::getenv("EMC_TRACE")) {
+        if (std::getenv("EMC_CHAIN_DEBUG")) {
             std::fprintf(stderr, "[%llu] core%u trigger: no chain for "
                          "head %s\n", (unsigned long long)now_, id_,
                          head.d.uop.toString().c_str());

@@ -32,6 +32,7 @@
 #include "core/port.hh"
 #include "emc/chain.hh"
 #include "isa/trace.hh"
+#include "obs/obs.hh"
 #include "vm/page_table.hh"
 #include "vm/tlb.hh"
 
@@ -220,6 +221,16 @@ class Core
     }
 
     /**
+     * Attach the lifecycle tracer (null detaches). Observation only;
+     * emits a chain_offloaded instant when a chain ships to the EMC.
+     */
+    void
+    setTrace(obs::Tracer *t)
+    {
+        tracer_ = t;
+    }
+
+    /**
      * Deep structural self-check (periodic in checked runs): ROB seq
      * density, free-list/RAT consistency, LQ/SQ accounting, L1 tag
      * store and MSHR structure.
@@ -371,6 +382,7 @@ class Core
 
     // Invariant checking (null when disabled; observation only)
     check::CheckRegistry *check_ = nullptr;
+    obs::Tracer *tracer_ = nullptr;
     check::RetireOrderChecker *ck_retire_ = nullptr;
 
     CoreStats stats_;

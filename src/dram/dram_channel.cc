@@ -220,8 +220,14 @@ DramChannel::issue(Queued &qe, Cycle now, bool is_write)
     bus_free_ = data_done;
     stats_.busy_bus_cycles += t_.tBurst;
 
-    if (outcome != RowOutcome::kHit)
+    if (outcome != RowOutcome::kHit) {
         applyActConstraints(c, bank.lastActivate());
+        EMC_OBS_POINT(tracer_, obs::TracePoint::kRowAct, now, req.id,
+                      obs::Track::bank(trace_bank_base_
+                                       + c.rank * geo_.banks_per_rank
+                                       + c.bank),
+                      c.row);
+    }
 
     req.cycle_dram_issue = now;
     req.cycle_dram_data = data_done;

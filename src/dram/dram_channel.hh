@@ -16,6 +16,7 @@
 #include "common/types.hh"
 #include "dram/bank.hh"
 #include "dram/dram_types.hh"
+#include "obs/obs.hh"
 
 namespace emc
 {
@@ -124,6 +125,18 @@ class DramChannel
     std::size_t inFlight() const { return in_flight_.size(); }
     std::size_t queueLimit() const { return queue_limit_; }
 
+    /**
+     * Attach the lifecycle tracer (null detaches). Observation only;
+     * emits a row_act instant per bank activate. @p first_flat_bank
+     * is this channel's base in the system-wide flat bank numbering.
+     */
+    void
+    setTrace(obs::Tracer *t, std::uint32_t first_flat_bank)
+    {
+        tracer_ = t;
+        trace_bank_base_ = first_flat_bank;
+    }
+
   private:
     /** A queued request plus its PAR-BS batch mark. */
     struct Queued
@@ -143,6 +156,8 @@ class DramChannel
     DramGeometry geo_;
     DramTiming t_;
     SchedPolicy policy_;
+    obs::Tracer *tracer_ = nullptr;
+    std::uint32_t trace_bank_base_ = 0;
     std::size_t queue_limit_;
     unsigned num_cores_;
 

@@ -13,11 +13,11 @@ namespace emc
 namespace
 {
 
-/** Env-gated chain timeline tracing (EMC_TRACE=1). */
+/** Env-gated chain timeline debugging (EMC_CHAIN_DEBUG=1). */
 bool
 traceOn()
 {
-    static const bool on = std::getenv("EMC_TRACE") != nullptr;
+    static const bool on = std::getenv("EMC_CHAIN_DEBUG") != nullptr;
     return on;
 }
 
@@ -297,6 +297,9 @@ Emc::issueUop(unsigned ctx_idx, unsigned uop_idx)
                          (unsigned long long)line,
                          predict_miss ? "direct" : "via-llc");
         }
+        EMC_OBS_POINT(tracer_, obs::TracePoint::kEmcIssue, now,
+                      c.chain.id, obs::Track::emcCtx(trace_mc_, ctx_idx),
+                      line);
         tokens_[token] = {ctx_idx, uop_idx, c.generation, line};
         line_waiters_[line];  // open the merge window for this line
         st.issued = true;

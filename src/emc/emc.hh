@@ -24,6 +24,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "emc/chain.hh"
+#include "obs/obs.hh"
 #include "vm/tlb.hh"
 
 namespace emc
@@ -194,6 +195,18 @@ class Emc
     void setCheck(check::CheckRegistry *reg) { check_ = reg; }
 
     /**
+     * Attach the lifecycle tracer (null detaches). Observation only;
+     * emits an emc_issue instant per chain load sent to memory, on
+     * the per-context track of memory controller @p mc.
+     */
+    void
+    setTrace(obs::Tracer *t, unsigned mc)
+    {
+        tracer_ = t;
+        trace_mc_ = mc;
+    }
+
+    /**
      * Deep structural self-check (periodic in checked runs): context
      * flag coherence, per-uop state vs. the token map (RRT/EPR leak
      * and double-map detection), token/line-waiter bijection, and the
@@ -277,6 +290,8 @@ class Emc
 
     // Invariant checking (null when disabled; observation only)
     check::CheckRegistry *check_ = nullptr;
+    obs::Tracer *tracer_ = nullptr;
+    unsigned trace_mc_ = 0;
 
     EmcStats stats_;
 };

@@ -1,0 +1,96 @@
+#include "obs/phase.hh"
+
+#include <string>
+
+namespace emc::obs
+{
+
+const char *
+phaseClassName(PhaseClass c)
+{
+    switch (c) {
+      case PhaseClass::kCoreIndep: return "core_indep";
+      case PhaseClass::kCoreDep: return "core_dep";
+      case PhaseClass::kEmc: return "emc";
+    }
+    return "?";
+}
+
+const char *
+phaseName(std::size_t phase)
+{
+    switch (phase) {
+      case kPhaseLookup: return "lookup";
+      case kPhaseXfer: return "xfer";
+      case kPhaseDram: return "dram";
+      case kPhaseRet: return "ret";
+      case kPhaseTotal: return "total";
+    }
+    return "?";
+}
+
+PhaseAccumulator::PhaseAccumulator()
+{
+    for (auto &per_class : hist_) {
+        for (auto &h : per_class)
+            h = Histogram(kPhaseBuckets, kPhaseBucketWidth);
+    }
+}
+
+void
+PhaseAccumulator::sample(PhaseClass cls, const PhaseTimes &t)
+{
+    auto &per_class = hist_[static_cast<std::size_t>(cls)];
+
+    // A phase counts only when both endpoints were reached and are
+    // ordered; created/retire are always reached, the intermediate
+    // points report 0 when the transaction skipped them (e.g. EMC
+    // requests going straight to DRAM never record llc_miss).
+    auto span = [&](std::size_t phase, Cycle start, bool start_ok,
+                    Cycle end, bool end_ok) {
+        if (start_ok && end_ok && end >= start)
+            per_class[phase].sample(static_cast<double>(end - start));
+    };
+
+    const bool has_miss = t.llc_miss != 0;
+    const bool has_enq = t.dram_enqueue != 0;
+    const bool has_fill = t.fill != 0;
+    span(kPhaseLookup, t.created, true, t.llc_miss, has_miss);
+    span(kPhaseXfer, t.llc_miss, has_miss, t.dram_enqueue, has_enq);
+    span(kPhaseDram, t.dram_enqueue, has_enq, t.fill, has_fill);
+    span(kPhaseRet, t.fill, has_fill, t.retire, true);
+    span(kPhaseTotal, t.created, true, t.retire, true);
+}
+
+void
+PhaseAccumulator::exportTo(StatDump &d) const
+{
+    for (std::size_t c = 0; c < 3; ++c) {
+        for (std::size_t p = 0; p < kNumPhases; ++p) {
+            const Histogram &h = hist_[c][p];
+            if (h.samples() == 0)
+                continue;
+            const std::string base =
+                std::string("phase.")
+                + phaseClassName(static_cast<PhaseClass>(c)) + "."
+                + phaseName(p);
+            d.put(base + "_avg", h.mean());
+            d.put(base + "_p50", h.percentile(0.50));
+            d.put(base + "_p95", h.percentile(0.95));
+            d.put(base + "_p99", h.percentile(0.99));
+            d.put(base + "_samples",
+                  static_cast<double>(h.samples()));
+        }
+    }
+}
+
+void
+PhaseAccumulator::reset()
+{
+    for (auto &per_class : hist_) {
+        for (auto &h : per_class)
+            h.reset();
+    }
+}
+
+} // namespace emc::obs

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Derived phase-latency histograms (DESIGN.md §6).
+ *
+ * A PhaseAccumulator decomposes every retired memory transaction into
+ * lifecycle phases and histograms each one, split by transaction
+ * class:
+ *
+ *   lookup  created      -> llc_miss      (core + LLC lookup path)
+ *   xfer    llc_miss     -> dram_enqueue  (slice -> MC transfer/queue)
+ *   dram    dram_enqueue -> fill          (DRAM queue + service)
+ *   ret     fill         -> retire        (fill return + retire)
+ *   total   created      -> retire        (end-to-end)
+ *
+ * Classes: core_indep (core-issued, address not tainted by a prior
+ * miss), core_dep (core-issued dependent miss), emc (EMC-issued).
+ * Prefetches and stores are excluded; a phase is only sampled when
+ * both of its endpoints were actually reached (e.g. an EMC request
+ * going straight to DRAM has no lookup/xfer phase).
+ *
+ * The accumulator is always on — it derives from transaction
+ * timestamps the simulator already tracks — so traced and untraced
+ * runs export identical statistics. tools/emctrace `summarize`
+ * rebuilds the same histograms from an exported trace; the two agree
+ * exactly (asserted in tests/test_trace.cpp).
+ */
+
+#ifndef EMC_OBS_PHASE_HH
+#define EMC_OBS_PHASE_HH
+
+#include <cstddef>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace emc::obs
+{
+
+/** Transaction class a phase sample is attributed to. */
+enum class PhaseClass : std::uint8_t
+{
+    kCoreIndep,  ///< core-issued, independent (untainted) miss
+    kCoreDep,    ///< core-issued dependent miss
+    kEmc,        ///< EMC-issued
+};
+
+/** Stable stat-key name for a class ("core_indep", ...). */
+const char *phaseClassName(PhaseClass c);
+
+/** Lifecycle phases (indices into PhaseAccumulator histograms). */
+enum PhaseIndex : std::size_t
+{
+    kPhaseLookup = 0,
+    kPhaseXfer,
+    kPhaseDram,
+    kPhaseRet,
+    kPhaseTotal,
+    kNumPhases,
+};
+
+/** Stable stat-key name for a phase ("lookup", ...). */
+const char *phaseName(std::size_t phase);
+
+/** Endpoint timestamps of one retired transaction (0 = not reached;
+ *  created/retire are always reached). */
+struct PhaseTimes
+{
+    Cycle created = 0;
+    Cycle llc_miss = 0;
+    Cycle dram_enqueue = 0;
+    Cycle fill = 0;
+    Cycle retire = 0;
+};
+
+/** Histogram parameters shared with tools/emctrace summarize. */
+constexpr std::size_t kPhaseBuckets = 64;
+constexpr double kPhaseBucketWidth = 32.0;
+
+/** Per-class, per-phase latency histograms. */
+class PhaseAccumulator
+{
+  public:
+    PhaseAccumulator();
+
+    /** Record one retired transaction (call at retire time). */
+    void sample(PhaseClass cls, const PhaseTimes &t);
+
+    /** Export `phase.<class>.<phase>_{avg,p50,p95,p99,samples}`. */
+    void exportTo(StatDump &d) const;
+
+    void reset();
+
+    /** Direct histogram access (tests / summaries). */
+    const Histogram &
+    hist(PhaseClass cls, std::size_t phase) const
+    {
+        return hist_[static_cast<std::size_t>(cls)][phase];
+    }
+
+  private:
+    Histogram hist_[3][kNumPhases];
+};
+
+} // namespace emc::obs
+
+#endif // EMC_OBS_PHASE_HH

@@ -66,6 +66,19 @@ Ring::advance(Direction &dir, Cycle now)
                 static_cast<double>(now - s.msg.injected);
             ++stats_.delivered;
             ++delivered_total_;
+            switch (s.msg.type) {
+              case MsgType::kChainTransfer:
+              case MsgType::kLiveOut:
+              case MsgType::kEmcFillReply:
+              case MsgType::kLsqPopulate:
+              case MsgType::kEmcLlcQuery:
+                EMC_OBS_POINT(tracer_, obs::TracePoint::kRingMsg, now,
+                              s.msg.token, obs::Track::ring(is_data_),
+                              s.msg.token);
+                break;
+              default:
+                break;
+            }
             if (deliver_)
                 deliver_(s.msg);
             s.busy = false;

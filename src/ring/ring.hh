@@ -21,6 +21,7 @@
 
 #include "common/log.hh"
 #include "common/types.hh"
+#include "obs/obs.hh"
 
 namespace emc
 {
@@ -135,6 +136,16 @@ class Ring
     std::uint64_t sentTotal() const { return sent_total_; }
     std::uint64_t deliveredTotal() const { return delivered_total_; }
 
+    /**
+     * Attach the lifecycle tracer (null detaches). Observation only;
+     * emits a ring_msg instant per EMC-related message delivery.
+     */
+    void
+    setTrace(obs::Tracer *t)
+    {
+        tracer_ = t;
+    }
+
   private:
     /** One rotating slot of a ring direction. */
     struct Slot
@@ -160,6 +171,7 @@ class Ring
     Direction ccw_;  ///< counter-clockwise
     std::vector<std::deque<RingMsg>> inject_q_;  ///< per stop
     Deliver deliver_;
+    obs::Tracer *tracer_ = nullptr;
     RingStats stats_;
     std::uint64_t sent_total_ = 0;
     std::uint64_t delivered_total_ = 0;

@@ -78,6 +78,16 @@ struct SystemConfig
     /// Capture each core's uop stream to "<prefix>.core<i>.emct".
     std::string capture_prefix;
 
+    /// Observability (DESIGN.md §6): write a Chrome trace_event JSON
+    /// of every transaction lifecycle here (empty = tracing off).
+    std::string trace_path;
+    /// Tracer ring-buffer capacity in events (drained to the file
+    /// when full, so no event is ever dropped).
+    std::size_t trace_buffer_events = 1 << 16;
+    /// When > 0 (and trace_path is set), also snapshot the stat
+    /// registry every this many cycles to "<trace_path>.jsonl".
+    Cycle trace_interval = 0;
+
     /** Convenience: 8-core scaling per Table 1. */
     void scaleToEightCores(bool dual_mc);
 };

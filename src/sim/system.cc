@@ -238,6 +238,11 @@ System::System(const SystemConfig &cfg,
 #ifdef EMC_SIM_CHECK
     enableInvariantChecks();
 #endif
+
+    if (!cfg.trace_path.empty()) {
+        enableTracing(cfg.trace_path, cfg.trace_buffer_events,
+                      cfg.trace_interval);
+    }
 }
 
 System::~System() = default;
@@ -344,6 +349,111 @@ System::finalizeChecks()
 }
 
 // --------------------------------------------------------------------
+// Observability (DESIGN.md §6)
+// --------------------------------------------------------------------
+
+void
+System::enableTracing(const std::string &trace_path,
+                      std::size_t buffer_events, Cycle stream_interval)
+{
+    if (tracer_)
+        return;
+#ifndef EMC_SIM_TRACE
+    emc_warn("trace hooks compiled out (EMC_SIM_TRACE=OFF); the trace "
+             "file will contain no events");
+#endif
+    obs::TraceTopology topo;
+    topo.num_cores = cfg_.num_cores;
+    topo.num_mcs = cfg_.num_mcs;
+    topo.emc_contexts = cfg_.emc_enabled ? cfg_.emc.contexts : 0;
+    topo.channels = cfg_.dram.channels;
+    topo.ranks_per_channel = cfg_.dram.ranks_per_channel;
+    topo.banks_per_rank = cfg_.dram.banks_per_rank;
+    tracer_ = std::make_unique<obs::Tracer>(trace_path, topo,
+                                            buffer_events);
+    if (!tracer_->ok())
+        emc_warn("cannot open trace file " + trace_path);
+
+    for (auto &c : cores_)
+        c->setTrace(tracer_.get());
+    for (unsigned m = 0; m < emcs_.size(); ++m)
+        emcs_[m]->setTrace(tracer_.get(), m);
+    const unsigned ch_per_mc = cfg_.dram.channels / cfg_.num_mcs;
+    const unsigned banks_per_ch =
+        cfg_.dram.ranks_per_channel * cfg_.dram.banks_per_rank;
+    for (unsigned m = 0; m < cfg_.num_mcs; ++m) {
+        for (unsigned c = 0; c < ch_per_mc; ++c) {
+            channels_[m][c]->setTrace(
+                tracer_.get(), (m * ch_per_mc + c) * banks_per_ch);
+        }
+    }
+    for (unsigned i = 0; i < slices_.size(); ++i)
+        slices_[i]->setTrace(tracer_.get(), obs::Track::core(i), &now_);
+    control_ring_.setTrace(tracer_.get());
+    data_ring_.setTrace(tracer_.get());
+
+    if (stream_interval > 0) {
+        streamer_ = std::make_unique<obs::StatStreamer>(
+            trace_path + ".jsonl", stream_interval);
+        if (!streamer_->ok())
+            emc_warn("cannot open stat stream " + trace_path + ".jsonl");
+    }
+}
+
+obs::Track
+System::trackOf(const Txn &txn) const
+{
+    if (txn.is_emc || txn.emc_llc_fill_only)
+        return obs::Track::emc(txn.emc_owner);
+    return obs::Track::core(txn.core);
+}
+
+std::uint8_t
+System::txnFlags(const Txn &txn) const
+{
+    std::uint8_t f = 0;
+    if (txn.addr_tainted)
+        f |= obs::kFlagDependent;
+    if (txn.is_emc)
+        f |= obs::kFlagEmc;
+    if (txn.is_prefetch)
+        f |= obs::kFlagPrefetch;
+    if (txn.for_store)
+        f |= obs::kFlagStore;
+    return f;
+}
+
+void
+System::retireTxn(Txn &txn)
+{
+    // Phase attribution (always on; exported as `phase.*`). Only
+    // transactions that produced a DRAM fill count — the same rule
+    // tools/emctrace applies to the trace ("has a fill annotation"),
+    // which is what keeps `emctrace summarize` exact against these
+    // histograms.
+    if (!txn.is_prefetch && !txn.for_store && txn.t_fill != kNoCycle) {
+        obs::PhaseTimes t;
+        t.created = txn.t_start;
+        t.llc_miss = txn.t_llc_miss == kNoCycle ? 0 : txn.t_llc_miss;
+        t.dram_enqueue =
+            txn.t_mc_enqueue == kNoCycle ? 0 : txn.t_mc_enqueue;
+        t.fill = txn.t_fill;
+        t.retire = now_;
+        const obs::PhaseClass cls =
+            (txn.is_emc || txn.emc_llc_fill_only)
+                ? obs::PhaseClass::kEmc
+                : (txn.addr_tainted ? obs::PhaseClass::kCoreDep
+                                    : obs::PhaseClass::kCoreIndep);
+        phases_.sample(cls, t);
+    }
+    EMC_OBS_POINT(tracer_.get(), obs::TracePoint::kRetire, now_,
+                  txn.id, trackOf(txn));
+    if (ck_txns_)
+        ck_txns_->onRetire(*check_, txn.id);
+    txns_.erase(txn.id);
+}
+
+// --------------------------------------------------------------------
 // Topology helpers
 // --------------------------------------------------------------------
 
@@ -440,6 +550,8 @@ System::requestLine(CoreId core, Addr paddr_line, Addr pc, bool for_store,
     txns_.create(txn.id) = txn;
     if (ck_txns_)
         ck_txns_->onCreate(*check_, txn.id);
+    EMC_OBS_POINT(tracer_.get(), obs::TracePoint::kCreated, now_,
+                  txn.id, trackOf(txn), txn.line, txnFlags(txn));
     ++outstanding_demand_lines_[paddr_line];
 
     const unsigned slice = sliceOf(paddr_line);
@@ -460,6 +572,8 @@ System::storeThrough(CoreId core, Addr paddr_line)
     txns_.create(txn.id) = txn;
     if (ck_txns_)
         ck_txns_->onCreate(*check_, txn.id);
+    EMC_OBS_POINT(tracer_.get(), obs::TracePoint::kCreated, now_,
+                  txn.id, trackOf(txn), txn.line, txnFlags(txn));
 
     const unsigned slice = sliceOf(paddr_line);
     routeData(stopOfCore(core), stopOfCore(slice), MsgType::kWriteback,
@@ -546,6 +660,8 @@ System::emcDirectDram(unsigned from_mc, CoreId core, Addr paddr_line,
     slot = txn;
     if (ck_txns_)
         ck_txns_->onCreate(*check_, txn.id);
+    EMC_OBS_POINT(tracer_.get(), obs::TracePoint::kCreated, now_,
+                  txn.id, trackOf(txn), txn.line, txnFlags(txn));
     if (tryMergeFill(slot))
         return true;  // piggybacks on an in-flight fill
     pending_fills_[txn.line];
@@ -575,6 +691,8 @@ System::emcLlcQuery(unsigned from_mc, CoreId core, Addr paddr_line,
     txns_.create(txn.id) = txn;
     if (ck_txns_)
         ck_txns_->onCreate(*check_, txn.id);
+    EMC_OBS_POINT(tracer_.get(), obs::TracePoint::kCreated, now_,
+                  txn.id, trackOf(txn), txn.line, txnFlags(txn));
 
     const unsigned slice = sliceOf(paddr_line);
     routeControl(stopOfMc(from_mc), stopOfCore(slice),
@@ -672,6 +790,8 @@ System::handleSliceLookup(std::uint64_t token)
 
     txn.llc_missed = true;
     txn.t_llc_miss = now_;
+    EMC_OBS_POINT(tracer_.get(), obs::TracePoint::kLlcMiss, now_,
+                  txn.id, trackOf(txn), txn.line);
     ++llc_demand_misses_;
     if (txn.addr_tainted)
         ++llc_dep_misses_;
@@ -708,14 +828,14 @@ System::handleSliceStore(std::uint64_t token)
     observeAtLlc(txn, meta != nullptr);
     if (meta) {
         meta->dirty = true;
-        if (ck_txns_)
-            ck_txns_->onRetire(*check_, txn.id);
-        txns_.erase(txn.id);
+        retireTxn(txn);
         return;
     }
     // Fetch-on-write: read the line from DRAM, then install dirty.
     txn.llc_missed = true;
     txn.t_llc_miss = now_;
+    EMC_OBS_POINT(tracer_.get(), obs::TracePoint::kLlcMiss, now_,
+                  txn.id, trackOf(txn), txn.line);
     if (tryMergeFill(txn))
         return;
     pending_fills_[txn.line];
@@ -756,6 +876,8 @@ System::handleMcEnqueue(std::uint64_t token)
         return;
     }
     txn.t_mc_enqueue = now_;
+    EMC_OBS_POINT(tracer_.get(), obs::TracePoint::kDramEnqueue, now_,
+                  txn.id, trackOf(txn), txn.line);
     if (ck_txns_)
         ck_txns_->onIssue(*check_, txn.id);
     switch (req.origin) {
@@ -808,6 +930,11 @@ System::handleDramDone(unsigned mc, const MemRequest &req)
                       MsgType::kEmcFillReply, id,
                       EvType::kEmcDirectReply);
         }
+        // The EMC has its data the moment the burst completes at the
+        // controller.
+        txn.t_fill = now_;
+        EMC_OBS_POINT(tracer_.get(), obs::TracePoint::kFill, now_,
+                      txn.id, trackOf(txn), txn.line);
         // Remaining work for this txn: fill the LLC (inclusive).
         txn.is_emc = false;
         txn.emc_llc_fill_only = true;
@@ -836,30 +963,27 @@ System::dispatchMergedFill(std::uint64_t token, unsigned slice)
     if (!tp)
         return;
     Txn &txn = *tp;
+    txn.t_fill = now_;
     if (ck_txns_)
         ck_txns_->onFill(*check_, txn.id);
+    EMC_OBS_POINT(tracer_.get(), obs::TracePoint::kFill, now_, txn.id,
+                  trackOf(txn), txn.line);
     if (txn.is_prefetch) {
         outstanding_prefetch_lines_.erase(txn.line);
-        if (ck_txns_)
-            ck_txns_->onRetire(*check_, txn.id);
-        txns_.erase(txn.id);
+        retireTxn(txn);
         return;
     }
     if (txn.is_emc) {
         // The merged EMC load completes as the shared fill passes.
         lat_total_emc_.sample(static_cast<double>(now_ - txn.t_start));
         emcs_[txn.emc_owner]->memResponse(txn.emc_token, true);
-        if (ck_txns_)
-            ck_txns_->onRetire(*check_, txn.id);
-        txns_.erase(txn.id);
+        retireTxn(txn);
         return;
     }
     if (txn.for_store) {
         if (CacheLineMeta *m = slices_[slice]->peek(txn.line))
             m->dirty = true;
-        if (ck_txns_)
-            ck_txns_->onRetire(*check_, txn.id);
-        txns_.erase(txn.id);
+        retireTxn(txn);
         return;
     }
     if (CacheLineMeta *m = slices_[slice]->peek(txn.line))
@@ -918,8 +1042,11 @@ System::handleFillAtSlice(std::uint64_t token)
         return;
     Txn &txn = *tp;
     const unsigned slice = sliceOf(txn.line);
+    txn.t_fill = now_;
     if (ck_txns_)
         ck_txns_->onFill(*check_, txn.id);
+    EMC_OBS_POINT(tracer_.get(), obs::TracePoint::kFill, now_, txn.id,
+                  trackOf(txn), txn.line);
 
     insertIntoLlc(txn);
 
@@ -940,24 +1067,18 @@ System::handleFillAtSlice(std::uint64_t token)
         fdp_.issued(txn.line);
         if (cfg_.record_prefetch_lines)
             prefetch_lines_.insert(txn.line);
-        if (ck_txns_)
-            ck_txns_->onRetire(*check_, txn.id);
-        txns_.erase(txn.id);
+        retireTxn(txn);
         return;
     }
     if (txn.emc_llc_fill_only) {
         // Mark the EMC directory bit: the EMC data cache holds it.
         if (CacheLineMeta *m = slices_[slice]->peek(txn.line))
             m->emc = true;
-        if (ck_txns_)
-            ck_txns_->onRetire(*check_, txn.id);
-        txns_.erase(txn.id);
+        retireTxn(txn);
         return;
     }
     if (txn.for_store) {
-        if (ck_txns_)
-            ck_txns_->onRetire(*check_, txn.id);
-        txns_.erase(txn.id);
+        retireTxn(txn);
         return;
     }
 
@@ -990,9 +1111,7 @@ System::handleFillAtCore(std::uint64_t token)
         if (--oit->second == 0)
             outstanding_demand_lines_.erase(oit);
     }
-    if (ck_txns_)
-        ck_txns_->onRetire(*check_, txn.id);
-    txns_.erase(txn.id);
+    retireTxn(txn);
 }
 
 void
@@ -1123,6 +1242,8 @@ System::handleEmcQueryLookup(std::uint64_t token)
     }
     txn.llc_missed = true;
     txn.t_llc_miss = now_;
+    EMC_OBS_POINT(tracer_.get(), obs::TracePoint::kLlcMiss, now_,
+                  txn.id, trackOf(txn), txn.line);
     if (cfg_.record_emc_miss_lines)
         emc_miss_lines_.insert(txn.line);
     if (tryMergeFill(txn))
@@ -1141,9 +1262,7 @@ System::handleEmcQueryReply(std::uint64_t token)
     Txn &txn = *tp;
     lat_total_emc_.sample(static_cast<double>(now_ - txn.t_start));
     emcs_[txn.emc_owner]->memResponse(txn.emc_token, false);
-    if (ck_txns_)
-        ck_txns_->onRetire(*check_, txn.id);
-    txns_.erase(txn.id);
+    retireTxn(txn);
 }
 
 void
@@ -1195,6 +1314,11 @@ System::drainPrefetchers()
             txns_.create(txn.id) = txn;
             if (ck_txns_)
                 ck_txns_->onCreate(*check_, txn.id);
+            EMC_OBS_POINT(tracer_.get(), obs::TracePoint::kCreated,
+                          now_, txn.id, trackOf(txn), txn.line,
+                          txnFlags(txn));
+            EMC_OBS_POINT(tracer_.get(), obs::TracePoint::kLlcMiss,
+                          now_, txn.id, trackOf(txn), txn.line);
             outstanding_prefetch_lines_.insert(line);
             pending_fills_[line];
 
@@ -1324,6 +1448,7 @@ System::resetMeasurement()
     lat_llcpath_core_ = Average{};
     hist_lat_core_.reset();
     hist_lat_emc_.reset();
+    phases_.reset();
     llc_demand_accesses_ = 0;
     llc_demand_misses_ = 0;
     llc_dep_misses_ = 0;
@@ -1406,6 +1531,8 @@ System::run()
         while (!allRetired(cfg_.warmup_uops) && now_ < cfg_.max_cycles) {
             maybeSkipIdle();
             tickOnce();
+            if (streamer_ && now_ >= streamer_->nextDue())
+                streamer_->snapshot(now_, dump());
         }
         resetMeasurement();
         warmed_up_ = true;
@@ -1413,6 +1540,8 @@ System::run()
     while (!finished() && now_ < cfg_.max_cycles) {
         maybeSkipIdle();
         tickOnce();
+        if (streamer_ && now_ >= streamer_->nextDue())
+            streamer_->snapshot(now_, dump());
     }
     if (!finished()) {
         emc_warn("simulation hit max_cycles before all cores finished");
@@ -1421,6 +1550,10 @@ System::run()
     }
     if (check_)
         finalizeChecks();
+    if (streamer_)
+        streamer_->finish(now_, dump());
+    if (tracer_)
+        tracer_->finish(now_);
 }
 
 // --------------------------------------------------------------------
@@ -1587,6 +1720,9 @@ System::dump() const
           static_cast<double>(lat_total_emc_.samples()));
     d.put("lat.core_samples",
           static_cast<double>(lat_total_core_.samples()));
+
+    // Phase-latency decomposition (DESIGN.md §6; always on).
+    phases_.exportTo(d);
 
     // EMC aggregates.
     d.put("emc.generated_misses",

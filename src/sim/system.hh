@@ -19,6 +19,9 @@
 
 #include "check/checkers.hh"
 #include "common/slab_pool.hh"
+#include "obs/obs.hh"
+#include "obs/phase.hh"
+#include "obs/stream.hh"
 #include "common/stats.hh"
 #include "core/core.hh"
 #include "emc/emc.hh"
@@ -121,6 +124,28 @@ class System : public CorePort
     /** The attached check registry (null when checks are disabled). */
     check::CheckRegistry *checkRegistry() { return check_.get(); }
 
+    /**
+     * Attach the transaction-lifecycle tracer (DESIGN.md §6). Called
+     * automatically from the constructor when cfg.trace_path is set;
+     * tests may call it directly, but only before run()/tickOnce().
+     * Observation only: a traced run's statistics are byte-identical
+     * to an untraced one. Idempotent.
+     *
+     * @param trace_path Chrome trace_event JSON output file
+     * @param buffer_events tracer ring-buffer capacity
+     * @param stream_interval when > 0, also stream a stat snapshot
+     *        every this many cycles to "<trace_path>.jsonl"
+     */
+    void enableTracing(const std::string &trace_path,
+                       std::size_t buffer_events = 1 << 16,
+                       Cycle stream_interval = 0);
+
+    /** The attached tracer (null when tracing is disabled). */
+    obs::Tracer *tracer() { return tracer_.get(); }
+
+    /** Always-on phase-latency histograms (exported as `phase.*`). */
+    const obs::PhaseAccumulator &phases() const { return phases_; }
+
   private:
     friend struct EmcPortAdapter;
 
@@ -171,6 +196,7 @@ class System : public CorePort
         Cycle t_mc_enqueue = kNoCycle;
         Cycle t_dram_issue = kNoCycle;
         Cycle t_dram_data = kNoCycle;
+        Cycle t_fill = kNoCycle;        ///< fill data produced
         Cycle t_done = kNoCycle;
     };
 
@@ -259,6 +285,19 @@ class System : public CorePort
 
     void handleDramDone(unsigned mc, const MemRequest &req);
     void insertIntoLlc(Txn &txn);
+
+    /**
+     * Retire @p txn: sample its phase latencies (always-on), emit the
+     * kRetire trace point, notify the lifecycle checker, and release
+     * the slab-pool slot. The single exit path for every transaction.
+     */
+    void retireTxn(Txn &txn);
+
+    /** The trace track a transaction's lifecycle events live on. */
+    obs::Track trackOf(const Txn &txn) const;
+
+    /** The kCreated flag bits describing @p txn. */
+    std::uint8_t txnFlags(const Txn &txn) const;
     void drainPrefetchers();
     void observeAtLlc(Txn &txn, bool hit);
     void finalizeToCore(Txn &txn, unsigned slice);
@@ -357,6 +396,13 @@ class System : public CorePort
     check::ConservationChecker *ck_conserve_ = nullptr;
     check::RetireOrderChecker *ck_retire_ = nullptr;
     Cycle next_deep_check_ = 0;
+
+    // Observability (DESIGN.md §6). The tracer is null unless enabled
+    // (hooks are then a single null test each); the phase accumulator
+    // is always on so traced and untraced runs export identical stats.
+    std::unique_ptr<obs::Tracer> tracer_;
+    std::unique_ptr<obs::StatStreamer> streamer_;
+    obs::PhaseAccumulator phases_;
 
     // Aggregate counters.
     std::uint64_t llc_demand_accesses_ = 0;

@@ -162,6 +162,54 @@ TEST(StatsTest, HistogramBuckets)
     EXPECT_EQ(h.samples(), 4u);
 }
 
+TEST(StatsTest, HistogramPercentile)
+{
+    Histogram h(10, 10.0);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i);  // uniform over [0, 100)
+    // Rank-k sample lands in bucket k/10; percentile reports its
+    // midpoint.
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 45.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.95), 95.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.10), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 95.0);
+}
+
+TEST(StatsTest, HistogramPercentileEmpty)
+{
+    Histogram h(4, 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 0.0);
+}
+
+TEST(StatsTest, HistogramPercentileOverflow)
+{
+    Histogram h(4, 10.0);
+    h.sample(5);
+    h.sample(500);
+    h.sample(700);  // two of three samples past the last bucket
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 700.0);
+    // Median rank falls in-range; tail ranks land in the overflow and
+    // must report the recorded max, not clamp to the bucket range.
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 700.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.34), 5.0);
+}
+
+TEST(StatsTest, HistogramResetClearsMax)
+{
+    Histogram h(4, 10.0);
+    h.sample(900);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 0.0);
+    h.sample(15);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 15.0);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 15.0);
+}
+
 TEST(StatsTest, StatDumpRoundTrip)
 {
     StatDump d;

@@ -55,11 +55,18 @@ usage()
         "run control:\n"
         "  --uops N               retired uops per core (default"
         " 50000)\n"
-        "  --capture PREFIX       record traces to"
+        "  --capture PREFIX       record uop streams to"
         " PREFIX.coreN.emct\n"
-        "  --trace f1,f2,...      replay captured trace files\n"
+        "  --replay f1,f2,...     replay captured uop-stream files\n"
         "  --warmup N             warmup uops (default uops/2)\n"
         "  --seed N               RNG seed\n"
+        "\n"
+        "observability (DESIGN.md §6):\n"
+        "  --trace FILE           write a Chrome trace_event JSON of\n"
+        "                         every transaction lifecycle\n"
+        "  --trace-interval N     with --trace: also stream the stat\n"
+        "                         registry to FILE.jsonl every N"
+        " cycles\n"
         "\n"
         "output:\n"
         "  --stats prefix[,..]    print only stats matching prefixes\n"
@@ -220,8 +227,14 @@ main(int argc, char **argv)
             stat_prefixes = splitCommas(need("--stats"));
         } else if (a == "--capture") {
             cfg.capture_prefix = need("--capture");
+        } else if (a == "--replay") {
+            cfg.trace_files = splitCommas(need("--replay"));
         } else if (a == "--trace") {
-            cfg.trace_files = splitCommas(need("--trace"));
+            cfg.trace_path = need("--trace");
+        } else if (a == "--trace-interval") {
+            std::uint64_t v;
+            if (!parseU64(need("--trace-interval"), v)) return 2;
+            cfg.trace_interval = v;
         } else if (a == "--json") {
             json_path = need("--json");
         } else if (a == "--csv") {

@@ -21,6 +21,13 @@ Rules (stdlib-only, regex-based -- fast enough to run on every CI push):
   stat-dup       The same stat key must not be put() twice in one file.
                  A stat registered twice silently overwrites the first
                  value in the output map.
+  trace-hook     Trace hooks must go through the EMC_OBS_POINT macro
+                 (src/obs/obs.hh) -- no direct Tracer::record() calls
+                 outside src/obs -- and hook argument expressions must
+                 be side-effect free (no ++/--/assignment): a stripped
+                 EMC_SIM_TRACE=OFF build does not evaluate them, so a
+                 side effect there silently changes simulation
+                 behaviour between build flavours.
 
 A finding on line N is suppressed by an annotation on line N or N-1:
 
@@ -38,7 +45,8 @@ import sys
 
 SOURCE_EXTS = {".cc", ".cpp", ".cxx", ".hh", ".hpp", ".h"}
 
-RULES = ("rng", "unordered-iter", "raw-new", "event-push", "stat-dup")
+RULES = ("rng", "unordered-iter", "raw-new", "event-push", "stat-dup",
+         "trace-hook")
 
 # rng: tokens that introduce nondeterminism or wall-clock dependence.
 RNG_RE = re.compile(
@@ -63,6 +71,16 @@ EVENT_PUSH_RE = re.compile(r"\bevents_\.push\s*\(")
 
 # stat-dup: literal stat keys registered via StatMap::put("name", ...).
 STAT_PUT_RE = re.compile(r"\.put\(\s*\"([^\"]+)\"")
+
+# trace-hook: direct Tracer::record() calls (must use EMC_OBS_POINT).
+TRACE_RECORD_RE = re.compile(r"\b\w+\s*(?:->|\.)\s*record\s*\(")
+TRACE_RECORD_EXEMPT = ("src/obs/",)
+
+# trace-hook: side effects inside EMC_OBS_POINT argument expressions.
+TRACE_HOOK_OPEN_RE = re.compile(r"\bEMC_OBS_POINT\s*\(")
+TRACE_SIDE_EFFECT_RE = re.compile(
+    r"\+\+|--|[^=!<>+\-*/|&^](?:[+\-*/|&^]|<<|>>)?=[^=]"
+)
 
 LINT_OK_RE = re.compile(r"//\s*lint-ok:\s*([a-z-]+)(\s*\(.+\))?")
 
@@ -129,6 +147,33 @@ class Linter:
                 self.report(path, i, "lint-ok",
                             "suppression lacks a (reason)")
 
+    # -- helpers -------------------------------------------------------
+
+    @staticmethod
+    def macro_args(lines, lineno, open_idx, max_lines=12):
+        """The argument text of a macro whose '(' sits at (1-based)
+        line `lineno`, column `open_idx` of its comment-stripped code.
+        Returns None if the parentheses don't balance within
+        max_lines (a macro in a comment or a pathological layout)."""
+        depth = 0
+        out = []
+        for off in range(max_lines):
+            if lineno - 1 + off >= len(lines):
+                break
+            code = code_part(lines[lineno - 1 + off])
+            start = open_idx if off == 0 else 0
+            for ch in code[start:]:
+                if ch == "(":
+                    depth += 1
+                elif ch == ")":
+                    depth -= 1
+                    if depth == 0:
+                        return "".join(out)
+                elif depth > 0:
+                    out.append(ch)
+            out.append(" ")
+        return None
+
     # -- pass 1: collect unordered-container member names --------------
 
     def collect_unordered_members(self, files):
@@ -151,6 +196,7 @@ class Linter:
 
         rel = path.replace("\\", "/")
         rng_exempt = any(rel.endswith(e) for e in RNG_EXEMPT)
+        trace_exempt = any(e in rel for e in TRACE_RECORD_EXEMPT)
 
         range_for_re = None
         if unordered_members:
@@ -183,6 +229,18 @@ class Linter:
             if EVENT_PUSH_RE.search(code):
                 hit("event-push",
                     "direct event-queue push; go through System::schedule")
+
+            if not trace_exempt and TRACE_RECORD_RE.search(code):
+                hit("trace-hook",
+                    "direct Tracer::record(); hooks go through "
+                    "EMC_OBS_POINT (src/obs/obs.hh)")
+
+            for m in TRACE_HOOK_OPEN_RE.finditer(code):
+                args = self.macro_args(lines, i, m.end() - 1)
+                if args is not None and TRACE_SIDE_EFFECT_RE.search(args):
+                    hit("trace-hook",
+                        "side effect in EMC_OBS_POINT arguments; a "
+                        "hook-stripped build does not evaluate them")
 
             for m in STAT_PUT_RE.finditer(code_part(line, True)):
                 key = m.group(1)
