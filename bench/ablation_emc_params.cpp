@@ -23,16 +23,19 @@ main()
 
     const auto &mix = quadWorkloads()[3];  // H4: mcf+sphinx3+soplex+libq
 
-    // Build the whole variant list first so every run (baseline
-    // included) can fan out across threads in one batch.
+    // Build the whole variant list first, then warm once under the
+    // no-EMC baseline and fork every config point from the shared
+    // warmup image (DESIGN.md §7). Every variant below only touches
+    // EMC / chain knobs, so all of them are warmup-compatible.
     std::vector<std::string> names;
-    std::vector<RunJob> jobs;
+    std::vector<SystemConfig> cfgs;
     auto add = [&](const std::string &name, const SystemConfig &c) {
         names.push_back(name);
-        jobs.push_back({c, mix});
+        cfgs.push_back(c);
     };
 
-    jobs.push_back({quadConfig(), mix});  // no-EMC baseline
+    const SystemConfig warm_cfg = quadConfig();
+    cfgs.push_back(warm_cfg);  // no-EMC baseline
 
     const SystemConfig cfg = quadConfig(PrefetchConfig::kNone, true);
     add("emc (paper config)", cfg);
@@ -81,7 +84,8 @@ main()
         add("emc tlb=8 entries", c);
     }
 
-    const std::vector<StatDump> res = runMany(jobs);
+    const std::vector<StatDump> res =
+        runManyWarmShared(warm_cfg, mix, cfgs);
     const StatDump &base = res[0];
 
     std::printf("%-28s perf=%7.3f (no EMC baseline)\n", "baseline",

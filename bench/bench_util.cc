@@ -1,9 +1,13 @@
 #include "bench/bench_util.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
 
 #include "common/thread_pool.hh"
 #include "workload/profile.hh"
@@ -32,6 +36,88 @@ applyTraceEnv(SystemConfig &cfg)
         std::string(prefix) + ".run" + std::to_string(k) + ".json";
     if (const char *iv = std::getenv("EMC_TRACE_INTERVAL"))
         cfg.trace_interval = std::strtoull(iv, nullptr, 10);
+}
+
+/**
+ * Stats sidecar files for crash-resumable sweeps: "name value" rows,
+ * %.17g so a reloaded dump is bit-identical to the original doubles.
+ */
+bool
+loadStatsFile(const std::string &path, StatDump &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t space = line.rfind(' ');
+        if (space == std::string::npos || space == 0)
+            return false;
+        char *end = nullptr;
+        const double v = std::strtod(line.c_str() + space + 1, &end);
+        if (!end || *end != '\0')
+            return false;
+        out.put(line.substr(0, space), v);
+    }
+    return true;
+}
+
+void
+writeStatsFile(const std::string &path, const StatDump &d)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            throw std::runtime_error("cannot write " + tmp);
+        char buf[64];
+        for (const auto &[name, value] : d.all()) {
+            std::snprintf(buf, sizeof buf, "%.17g", value);
+            out << name << ' ' << buf << '\n';
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw std::runtime_error("cannot rename " + tmp);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+/**
+ * One runMany() job, honoring the EMC_CKPT_DIR resume protocol: load
+ * the job's .stats sidecar if a previous sweep already finished it,
+ * otherwise restore its autosaved .ckpt (if any), run with periodic
+ * autosave, and leave the sidecar behind for the next rerun.
+ */
+StatDump
+runJob(const RunJob &job, std::size_t index)
+{
+    const char *dir = std::getenv("EMC_CKPT_DIR");
+    if (!dir || !*dir)
+        return run(job.cfg, job.benchmarks);
+
+    const std::string stem =
+        std::string(dir) + "/job" + std::to_string(index);
+    StatDump cached;
+    if (loadStatsFile(stem + ".stats", cached))
+        return cached;
+
+    Cycle interval = 1000000;
+    if (const char *iv = std::getenv("EMC_CKPT_INTERVAL"))
+        interval = std::strtoull(iv, nullptr, 10);
+
+    System sys(job.cfg, job.benchmarks);
+    const std::string ckpt = stem + ".ckpt";
+    if (fileExists(ckpt))
+        sys.restoreCheckpoint(ckpt);
+    sys.setAutosave(ckpt, interval);
+    sys.run();
+    StatDump d = sys.dump();
+    writeStatsFile(stem + ".stats", d);
+    return d;
 }
 
 } // namespace
@@ -82,17 +168,110 @@ benchThreads()
 }
 
 std::vector<StatDump>
-runMany(const std::vector<RunJob> &jobs)
+runMany(const std::vector<RunJob> &jobs,
+        std::vector<RunFailure> *failures)
 {
     std::vector<StatDump> results(jobs.size());
+    std::vector<RunFailure> failed;
+    std::mutex mu;
     ThreadPool pool(benchThreads());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const RunJob &job = jobs[i];
-        pool.submit([&results, &job, i] {
-            results[i] = run(job.cfg, job.benchmarks);
+        pool.submit([&, i] {
+            try {
+                results[i] = runJob(job, i);
+            } catch (const std::exception &e) {
+                std::lock_guard<std::mutex> lock(mu);
+                failed.push_back({i, e.what()});
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu);
+                failed.push_back({i, "unknown exception"});
+            }
         });
     }
     pool.waitAll();
+    std::sort(failed.begin(), failed.end(),
+              [](const RunFailure &a, const RunFailure &b) {
+                  return a.index < b.index;
+              });
+    if (failures)
+        *failures = std::move(failed);
+    return results;
+}
+
+std::vector<StatDump>
+runMany(const std::vector<RunJob> &jobs)
+{
+    std::vector<RunFailure> failures;
+    std::vector<StatDump> results = runMany(jobs, &failures);
+    if (!failures.empty()) {
+        for (const RunFailure &f : failures) {
+            std::fprintf(stderr, "runMany: job %zu failed: %s\n",
+                         f.index, f.what.c_str());
+        }
+        throw std::runtime_error(
+            "runMany: " + std::to_string(failures.size()) + " of "
+            + std::to_string(jobs.size()) + " jobs failed (job "
+            + std::to_string(failures.front().index) + ": "
+            + failures.front().what + ")");
+    }
+    return results;
+}
+
+std::vector<StatDump>
+runManyWarmShared(const SystemConfig &warm_cfg,
+                  const std::vector<std::string> &benchmarks,
+                  const std::vector<SystemConfig> &cfgs)
+{
+    bool shared = true;
+    if (const char *e = std::getenv("EMC_CKPT_SHARED_WARMUP"))
+        shared = std::string(e) != "0";
+
+    std::vector<std::uint8_t> warm;
+    if (shared)
+        warm = System(warm_cfg, benchmarks).warmupCheckpointBytes();
+
+    std::vector<StatDump> results(cfgs.size());
+    std::vector<RunFailure> failed;
+    std::mutex mu;
+    ThreadPool pool(benchThreads());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        pool.submit([&, i] {
+            try {
+                std::vector<std::uint8_t> own;
+                if (!shared)
+                    own = System(warm_cfg, benchmarks)
+                              .warmupCheckpointBytes();
+                SystemConfig cfg = cfgs[i];
+                cfg.warmup_uops = 0;
+                System sys(cfg, benchmarks);
+                sys.restoreCheckpointBytes(shared ? warm : own);
+                sys.run();
+                results[i] = sys.dump();
+            } catch (const std::exception &e) {
+                std::lock_guard<std::mutex> lock(mu);
+                failed.push_back({i, e.what()});
+            }
+        });
+    }
+    pool.waitAll();
+    if (!failed.empty()) {
+        std::sort(failed.begin(), failed.end(),
+                  [](const RunFailure &a, const RunFailure &b) {
+                      return a.index < b.index;
+                  });
+        for (const RunFailure &f : failed) {
+            std::fprintf(stderr,
+                         "runManyWarmShared: config %zu failed: %s\n",
+                         f.index, f.what.c_str());
+        }
+        throw std::runtime_error(
+            "runManyWarmShared: " + std::to_string(failed.size())
+            + " of " + std::to_string(cfgs.size())
+            + " configs failed (config "
+            + std::to_string(failed.front().index) + ": "
+            + failed.front().what + ")");
+    }
     return results;
 }
 

@@ -45,6 +45,13 @@ struct RunJob
     std::vector<std::string> benchmarks;
 };
 
+/** One failed runMany() job: which job and what its exception said. */
+struct RunFailure
+{
+    std::size_t index;
+    std::string what;
+};
+
 /**
  * Worker threads runMany() fans across: EMC_BENCH_THREADS if set,
  * else the hardware concurrency.
@@ -58,6 +65,45 @@ unsigned benchThreads();
  * it or in what order jobs finished, so output is deterministic.
  */
 std::vector<StatDump> runMany(const std::vector<RunJob> &jobs);
+
+/**
+ * Like runMany(), but a job that throws does not take the bench down:
+ * its failure (job index + exception message) is appended to
+ * @p failures, the remaining jobs still run to completion, and the
+ * failed job's slot comes back as a default-constructed StatDump.
+ * The overload without @p failures prints each failure to stderr and
+ * throws after all jobs finish.
+ *
+ * Crash-resumable sweeps (DESIGN.md §7): when EMC_CKPT_DIR is set,
+ * each job autosaves a full checkpoint to "<dir>/jobN.ckpt" every
+ * EMC_CKPT_INTERVAL cycles (default 1000000) and writes its final
+ * stats to "<dir>/jobN.stats". A rerun of the same job list resumes:
+ * finished jobs load their .stats file without simulating, interrupted
+ * jobs restore their .ckpt and continue. Checkpointing is incompatible
+ * with EMC_TRACE on the same run (restore refuses attached tracers).
+ */
+std::vector<StatDump> runMany(const std::vector<RunJob> &jobs,
+                              std::vector<RunFailure> *failures);
+
+/**
+ * Warm-once-fork-many sweep (DESIGN.md §7): run the warmup phase under
+ * @p warm_cfg once, snapshot the warmed caches / TLBs / predictors /
+ * memory image, then run the measured phase of every config in
+ * @p cfgs from that same snapshot. Every cfg must agree with
+ * @p warm_cfg on the warmup-relevant fields (cores, cache geometry,
+ * seed, workload) but may vary EMC / prefetcher / DRAM parameters —
+ * exactly the fields an ablation sweeps.
+ *
+ * EMC_CKPT_SHARED_WARMUP=0 disables the sharing: each job then warms
+ * up independently from @p warm_cfg. Because warmup is deterministic
+ * the per-job images are byte-identical to the shared one, so results
+ * do not change — only the redundant warmup work comes back.
+ * EMC_TRACE is ignored for these runs (restore refuses tracers).
+ */
+std::vector<StatDump>
+runManyWarmShared(const SystemConfig &warm_cfg,
+                  const std::vector<std::string> &benchmarks,
+                  const std::vector<SystemConfig> &cfgs);
 
 /**
  * Performance metric used throughout the benches: geometric mean over

@@ -29,6 +29,15 @@ struct CacheLineMeta
     bool dirty = false;
     std::uint32_t presence = 0;  ///< per-core L1 presence bits (LLC only)
     bool emc = false;            ///< EMC directory bit (LLC only)
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(dirty);
+        ar.io(presence);
+        ar.io(emc);
+    }
 };
 
 /** Statistics for one cache instance. */
@@ -45,6 +54,17 @@ struct CacheStats
     {
         const auto total = hits + misses;
         return total ? static_cast<double>(hits) / total : 0.0;
+    }
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(hits);
+        ar.io(misses);
+        ar.io(evictions);
+        ar.io(dirty_evictions);
+        ar.io(invalidations);
     }
 };
 
@@ -120,6 +140,16 @@ class Cache
         trace_clock_ = clock;
     }
 
+    /** Checkpoint tags, LRU state and stats (geometry is config). */
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(lines_);
+        ar.io(lru_tick_);
+        ar.io(stats_);
+    }
+
   private:
     /** One tag-store entry. */
     struct Line
@@ -128,6 +158,16 @@ class Cache
         Addr tag = 0;
         std::uint64_t lru = 0;   ///< larger = more recent
         CacheLineMeta meta;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(valid);
+            ar.io(tag);
+            ar.io(lru);
+            ar.io(meta);
+        }
     };
 
     std::size_t setIndex(Addr addr) const { return lineNum(addr) % sets_; }
@@ -227,12 +267,28 @@ class MshrFile
         }
     }
 
+    /** Checkpoint outstanding fills (capacity is config). */
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(entries_);
+    }
+
   private:
     /** One outstanding fill and its waiting consumers. */
     struct Entry
     {
         Addr line_addr;
         std::vector<std::uint64_t> tokens;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(line_addr);
+            ar.io(tokens);
+        }
     };
 
     int

@@ -185,6 +185,19 @@ TxnLifecycleChecker::onRetire(CheckRegistry &reg, std::uint64_t id)
 }
 
 void
+TxnLifecycleChecker::reseed(std::uint64_t id, unsigned stage)
+{
+    State s = State::kCreated;
+    switch (stage) {
+    case 0: s = State::kCreated; break;
+    case 1: s = State::kIssued; break;
+    case 2: s = State::kInDram; break;
+    default: s = State::kFilled; break;
+    }
+    live_[id] = s;
+}
+
+void
 TxnLifecycleChecker::checkLeaks(CheckRegistry &reg,
                                 std::size_t pool_live) const
 {

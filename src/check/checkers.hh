@@ -110,6 +110,17 @@ class TxnLifecycleChecker : public Checker
      */
     void checkLeaks(CheckRegistry &reg, std::size_t pool_live) const;
 
+    /**
+     * Checkpoint-restore reseeding: register a live transaction at a
+     * given lifecycle stage without running the transition checks
+     * (the saving run already validated them). Stages: 0 = created,
+     * 1 = issued, 2 = in DRAM, 3 = filled.
+     */
+    void reseed(std::uint64_t id, unsigned stage);
+
+    /** Restore the strictly-increasing-id watermark after reseeding. */
+    void setLastCreated(std::uint64_t id) { last_created_ = id; }
+
   private:
     enum class State : std::uint8_t
     {
@@ -157,6 +168,12 @@ class RetireOrderChecker : public Checker
     RetireOrderChecker() : Checker("retire_order") {}
 
     void onRetire(CheckRegistry &reg, unsigned core, std::uint64_t seq);
+
+    /**
+     * Checkpoint-restore reseeding: the next retire on @p core must be
+     * @p last_seq + 1 (pass 0 for a core that has retired nothing).
+     */
+    void reseed(unsigned core, std::uint64_t last_seq) { last_[core] = last_seq; }
 
   private:
     std::map<unsigned, std::uint64_t> last_;

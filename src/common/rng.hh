@@ -80,6 +80,15 @@ class Rng
         return uniform() < p;
     }
 
+    /** Checkpoint the full generator state (DESIGN.md §7). */
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        for (auto &word : state_)
+            ar.io(word);
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

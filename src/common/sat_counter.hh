@@ -61,6 +61,14 @@ class SatCounter
 
     void reset(unsigned v = 0) { emc_assert(v <= max_, "reset"); value_ = v; }
 
+    /** Checkpoint the counter value (width is configuration). */
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(value_);
+    }
+
   private:
     unsigned max_;
     unsigned value_;

@@ -118,6 +118,50 @@ class IdSlabPool
     /** Peak concurrently-live objects (capacity actually allocated). */
     std::size_t capacity() const { return slot_count_; }
 
+    /**
+     * Checkpoint the live objects in id order. @p fn is called as
+     * fn(ar, value) per live object and serializes the payload; slot
+     * assignment is not preserved (ids are the stable identity).
+     */
+    template <class A, class Fn>
+    void
+    ckptSave(A &ar, Fn fn) const
+    {
+        std::uint64_t count = live_;
+        ar.io(count);
+        for (std::size_t i = 0; i < window_.size(); ++i) {
+            const std::uint32_t slot = window_[i];
+            if (slot == kNoSlot)
+                continue;
+            std::uint64_t id = base_ + i;
+            ar.io(id);
+            // Copy so fn can take a mutable reference on both paths.
+            T tmp = entry(slot).value;
+            fn(ar, tmp);
+        }
+    }
+
+    /** Inverse of ckptSave: rebuilds the pool from scratch. */
+    template <class A, class Fn>
+    void
+    ckptLoad(A &ar, Fn fn)
+    {
+        slabs_.clear();
+        free_.clear();
+        window_.clear();
+        base_ = 0;
+        slot_count_ = 0;
+        live_ = 0;
+        std::uint64_t count = 0;
+        ar.io(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            std::uint64_t id = 0;
+            ar.io(id);
+            T &v = create(id);
+            fn(ar, v);
+        }
+    }
+
   private:
     static constexpr std::size_t kSlabSize = 256;
     static constexpr std::uint32_t kNoSlot = 0xffffffffu;

@@ -25,6 +25,13 @@ class Scalar
     double value() const { return value_; }
     void reset() { value_ = 0.0; }
 
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(value_);
+    }
+
   private:
     double value_ = 0.0;
 };
@@ -44,6 +51,14 @@ class Average
     double total() const { return total_; }
     std::uint64_t samples() const { return count_; }
     void reset() { total_ = 0.0; count_ = 0; }
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(total_);
+        ar.io(count_);
+    }
 
   private:
     double total_ = 0.0;
@@ -114,6 +129,18 @@ class Histogram
         total_ = 0;
         samples_ = 0;
         max_ = 0.0;
+    }
+
+    /** Checkpoint counts and accumulators (width/shape is config). */
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(counts_);
+        ar.io(overflow_);
+        ar.io(total_);
+        ar.io(samples_);
+        ar.io(max_);
     }
 
   private:

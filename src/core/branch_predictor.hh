@@ -36,6 +36,16 @@ struct BranchPredictorStats
         return lookups ? static_cast<double>(mispredicts) / lookups
                        : 0.0;
     }
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(lookups);
+        ar.io(mispredicts);
+        ar.io(gshare_used);
+        ar.io(bimodal_used);
+    }
 };
 
 /** McFarling-style hybrid (gshare + bimodal + chooser). */
@@ -61,6 +71,18 @@ class HybridBranchPredictor
 
     /** Current global history (tests). */
     std::uint64_t history() const { return ghr_; }
+
+    /** Checkpoint tables, history and stats (geometry is config). */
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(bimodal_);
+        ar.io(gshare_);
+        ar.io(chooser_);
+        ar.io(ghr_);
+        ar.io(stats_);
+    }
 
   private:
     static bool predictCounter(std::uint8_t c) { return c >= 2; }

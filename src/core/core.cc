@@ -173,6 +173,11 @@ Core::fetchRenameDispatch()
         }
     }
 
+    // Checkpoint drain: branch-resolution unblocking above still runs
+    // (quiescence requires !fetch_blocked_), but no new uops enter.
+    if (fetch_paused_)
+        return;
+
     for (unsigned n = 0; n < cfg_.fetch_width; ++n) {
         DynUop d;
         if (have_deferred_uop_) {

@@ -121,6 +121,41 @@ struct CoreStats
     {
         return cycles ? static_cast<double>(retired_uops) / cycles : 0.0;
     }
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(retired_uops);
+        ar.io(cycles);
+        ar.io(l1d_hits);
+        ar.io(l1d_misses);
+        ar.io(llc_misses);
+        ar.io(dependent_llc_misses);
+        ar.io(full_window_stall_cycles);
+        ar.io(branches);
+        ar.io(mispredicts);
+        ar.io(runahead_episodes);
+        ar.io(runahead_uops);
+        ar.io(runahead_prefetches);
+        ar.io(runahead_dropped_loads);
+        ar.io(chains_generated);
+        ar.io(chains_rejected_no_context);
+        ar.io(chains_rejected_counter);
+        ar.io(chain_uops_total);
+        ar.io(chain_live_ins_total);
+        ar.io(chain_gen_cycles);
+        ar.io(chain_results_ok);
+        ar.io(chain_results_canceled);
+        ar.io(offloaded_uops_completed_remotely);
+        ar.io(dep_distance);
+        ar.io(cdb_broadcasts);
+        ar.io(rrt_reads);
+        ar.io(rrt_writes);
+        ar.io(rob_chain_reads);
+        ar.io(uops_executed);
+        ar.io(fp_uops_executed);
+    }
 };
 
 /**
@@ -237,6 +272,119 @@ class Core
      */
     void selfCheck(check::CheckRegistry &reg) const;
 
+    // ---- checkpoint/restore (DESIGN.md §7) ----
+
+    /** Full-level checkpoint: every dynamic field of the pipeline. */
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(now_);
+        ar.io(rob_);
+        ar.io(next_seq_);
+        ar.io(prf_);
+        ar.io(rat_);
+        ar.io(free_list_);
+        ar.io(rs_occupancy_);
+        ar.io(lq_occupancy_);
+        ar.io(sq_);
+        ar.io(store_buffer_);
+        ar.io(l1d_);
+        ar.io(mshrs_);
+        ar.io(tlb_);
+        ar.io(bp_);
+        ar.io(ready_q_);
+        ar.io(retry_q_);
+        ar.io(preg_waiters_);
+        ar.io(pending_srcs_);
+        ar.io(complete_at_);
+        ar.io(counter_updates_);
+        ar.io(fill_waiters_);
+        ar.io(in_runahead_);
+        ar.io(runahead_blocking_line_);
+        ar.io(runahead_budget_);
+        for (bool &v : runahead_valid_)
+            ar.io(v);
+        ar.io(runahead_lines_);
+        ar.io(replay_q_);
+        ar.io(fetch_blocked_);
+        ar.io(fetch_block_seq_);
+        ar.io(fetch_resume_);
+        ar.io(fetch_paused_);
+        ar.io(have_deferred_uop_);
+        ar.io(deferred_uop_);
+        ar.io(full_window_stall_);
+        ar.io(dep_counter_);
+        ar.io(chain_in_progress_);
+        ar.io(chain_send_cycle_);
+        ar.io(pending_chain_);
+        ar.io(next_chain_id_);
+        ar.io(last_chain_source_seq_);
+        ar.io(source_dep_seen_);
+        ar.io(offload_chain_source_);
+        ar.io(stats_);
+    }
+
+    /**
+     * Warmup-level checkpoint: only state meaningful across differing
+     * back-end configs — architectural register values, the deferred
+     * front-end uop, warmed L1/TLB/branch-predictor contents and the
+     * dependent-miss trigger counter. Valid only while ckptQuiescent();
+     * restores into a freshly constructed core (sequence numbers and
+     * stats restart, which is exactly what resetMeasurement wants).
+     */
+    template <class A>
+    void
+    serWarm(A &ar)
+    {
+        for (unsigned r = 0; r < kArchRegs; ++r) {
+            std::uint64_t v = prf_[rat_[r]].value;
+            ar.io(v);
+            if (ar.loading()) {
+                PhysReg &p = prf_[rat_[r]];
+                p.value = v;
+                p.ready = true;
+                p.taint = false;
+                p.taint_depth = 0;
+                p.taint_src = 0;
+            }
+        }
+        ar.io(have_deferred_uop_);
+        ar.io(deferred_uop_);
+        ar.io(bp_);
+        ar.io(l1d_);
+        ar.io(tlb_);
+        ar.io(dep_counter_);
+    }
+
+    /**
+     * True when the pipeline holds no in-flight work, so a
+     * warmup-level snapshot loses nothing (the deferred uop is
+     * carried explicitly).
+     */
+    bool
+    ckptQuiescent() const
+    {
+        return rob_.empty() && sq_.empty() && store_buffer_.empty()
+               && replay_q_.empty() && counter_updates_.empty()
+               && mshrs_.size() == 0 && !in_runahead_
+               && !chain_in_progress_ && !fetch_blocked_;
+    }
+
+    /**
+     * Gate fetch/rename/dispatch without disturbing the rest of the
+     * pipeline: in-flight work drains while no new uops enter. Used to
+     * reach ckptQuiescent() at a warmup checkpoint boundary.
+     */
+    void pauseFetch(bool paused) { fetch_paused_ = paused; }
+
+    /** Seq of the last retired uop (reseeds the retire-order checker). */
+    std::uint64_t
+    ckptLastRetiredSeq() const
+    {
+        return rob_.empty() ? next_seq_ - 1 : rob_.front().seq - 1;
+    }
+
   private:
     // ---- dynamic uop state in the ROB ----
 
@@ -262,6 +410,31 @@ class Core
         std::uint64_t addr_taint_src = 0;  ///< seq of the source miss
         Cycle ready_cycle = kNoCycle;      ///< completion schedule
         std::uint64_t pending_value = 0;   ///< value written at complete
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(d);
+            ar.io(seq);
+            ar.io(dst_preg);
+            ar.io(src1_preg);
+            ar.io(src2_preg);
+            ar.io(prev_dst_preg);
+            ar.io(in_rs);
+            ar.io(issued);
+            ar.io(completed);
+            ar.io(offloaded);
+            ar.io(completed_by_emc);
+            ar.io(mem_outstanding);
+            ar.io(paddr);
+            ar.io(llc_miss);
+            ar.io(addr_tainted);
+            ar.io(taint_depth_at_exec);
+            ar.io(addr_taint_src);
+            ar.io(ready_cycle);
+            ar.io(pending_value);
+        }
     };
 
     /** A physical register: value, readiness and miss taint. */
@@ -272,6 +445,17 @@ class Core
         bool taint = false;        ///< derived from outstanding LLC miss
         std::uint32_t taint_depth = 0;
         std::uint64_t taint_src = 0;  ///< seq of the originating miss
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(value);
+            ar.io(ready);
+            ar.io(taint);
+            ar.io(taint_depth);
+            ar.io(taint_src);
+        }
     };
 
     /** A store-queue entry (also used by the post-retire drain). */
@@ -283,6 +467,18 @@ class Core
         bool addr_known = false;
         std::uint64_t value = 0;
         bool retired = false;   ///< waiting in post-retire drain
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(seq);
+            ar.io(vaddr);
+            ar.io(paddr);
+            ar.io(addr_known);
+            ar.io(value);
+            ar.io(retired);
+        }
     };
 
     // ---- pipeline stages (called in reverse order from tick) ----
@@ -360,6 +556,7 @@ class Core
     std::deque<DynUop> replay_q_;   ///< uops consumed during runahead
 
     // Front-end state
+    bool fetch_paused_ = false;    ///< checkpoint drain gate
     bool fetch_blocked_ = false;
     std::uint64_t fetch_block_seq_ = 0;    ///< mispredicted branch seq
     Cycle fetch_resume_ = 0;

@@ -99,6 +99,17 @@ class Bank
 
     Cycle lastActivate() const { return last_activate_; }
 
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(row_open_);
+        ar.io(open_row_);
+        ar.io(ready_cycle_);
+        ar.io(act_allowed_);
+        ar.io(last_activate_);
+    }
+
   private:
     bool row_open_ = false;
     std::uint64_t open_row_ = 0;

@@ -48,6 +48,22 @@ struct DramChannelStats
         const auto total = row_hits + row_empty + row_conflicts;
         return total ? static_cast<double>(row_conflicts) / total : 0.0;
     }
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(reads);
+        ar.io(writes);
+        ar.io(row_hits);
+        ar.io(row_empty);
+        ar.io(row_conflicts);
+        ar.io(refreshes);
+        ar.io(total_queue_wait);
+        ar.io(total_service);
+        ar.io(read_samples);
+        ar.io(busy_bus_cycles);
+    }
 };
 
 /**
@@ -137,12 +153,41 @@ class DramChannel
         trace_bank_base_ = first_flat_bank;
     }
 
+    /** Checkpoint queues, banks, timing state and counters. */
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(banks_);
+        ar.io(read_q_);
+        ar.io(write_q_);
+        ar.io(in_flight_);
+        ar.io(bus_free_);
+        ar.io(next_refresh_);
+        ar.io(draining_writes_);
+        ar.io(marked_remaining_);
+        ar.io(thread_rank_);
+        ar.io(stats_);
+        ar.io(accepted_reads_);
+        ar.io(completed_reads_);
+        ar.io(accepted_writes_);
+        ar.io(issued_writes_);
+    }
+
   private:
     /** A queued request plus its PAR-BS batch mark. */
     struct Queued
     {
         MemRequest req;
         bool marked = false;   ///< in the current PAR-BS batch
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(req);
+            ar.io(marked);
+        }
     };
 
     void maybeRefresh(Cycle now);

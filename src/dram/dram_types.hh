@@ -113,6 +113,24 @@ struct MemRequest
 
     /** Opaque token the owner uses to match completions. */
     std::uint64_t token = 0;
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(id);
+        ar.io(paddr);
+        ar.io(is_write);
+        ar.io(origin);
+        ar.io(core);
+        ar.io(cycle_llc_miss);
+        ar.io(cycle_mc_enqueue);
+        ar.io(cycle_dram_issue);
+        ar.io(cycle_dram_data);
+        ar.io(cycle_done);
+        ar.io(outcome);
+        ar.io(token);
+    }
 };
 
 } // namespace emc

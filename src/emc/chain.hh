@@ -41,6 +41,23 @@ struct ChainUop
     std::uint64_t rob_seq = 0;   ///< home-core ROB sequence number
     bool is_source = false;      ///< the triggering source-miss load
     bool is_spill_store = false; ///< store classified as register spill
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(d);
+        ar.io(epr_dst);
+        ar.io(epr_src1);
+        ar.io(epr_src2);
+        ar.io(src1_live_in);
+        ar.io(src2_live_in);
+        ar.io(src1_val);
+        ar.io(src2_val);
+        ar.io(rob_seq);
+        ar.io(is_source);
+        ar.io(is_spill_store);
+    }
 };
 
 /**
@@ -67,6 +84,21 @@ struct ChainRequest
 
     /** Wire size of the live-in data in bytes. */
     unsigned liveInBytes() const { return 8 * live_in_count; }
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(id);
+        ar.io(core);
+        ar.io(source_paddr_line);
+        ar.io(source_value);
+        ar.io(source_epr);
+        ar.io(uops);
+        ar.io(live_in_count);
+        ar.io(source_pte);
+        ar.io(pte_attached);
+    }
 };
 
 /** Why a chain finished at the EMC. */
@@ -86,6 +118,17 @@ struct LiveOut
     bool is_mem = false;     ///< the producing uop was a load/store
     bool is_store = false;
     bool llc_miss = false;   ///< the EMC load missed the LLC (taint)
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(rob_seq);
+        ar.io(value);
+        ar.io(is_mem);
+        ar.io(is_store);
+        ar.io(llc_miss);
+    }
 };
 
 /** Live-out package returned to the core on completion. */
@@ -99,6 +142,17 @@ struct ChainResult
 
     /** Wire size of the live-out data in bytes. */
     unsigned liveOutBytes() const { return 8 * live_out_count; }
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(chain_id);
+        ar.io(core);
+        ar.io(outcome);
+        ar.io(live_outs);
+        ar.io(live_out_count);
+    }
 };
 
 } // namespace emc

@@ -69,6 +69,31 @@ struct EmcStats
     std::uint64_t live_outs_total = 0;
     Average chain_exec_cycles;    ///< arm -> completion
     Average uops_per_chain;
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(chains_accepted);
+        ar.io(chains_rejected);
+        ar.io(chains_completed);
+        ar.io(halts_tlb);
+        ar.io(halts_mispredict);
+        ar.io(halts_disambiguation);
+        ar.io(uops_executed);
+        ar.io(loads_executed);
+        ar.io(stores_executed);
+        ar.io(dcache_hits);
+        ar.io(dcache_misses);
+        ar.io(lsq_forwards);
+        ar.io(direct_dram_loads);
+        ar.io(llc_query_loads);
+        ar.io(merged_loads);
+        ar.io(bypass_mispredictions);
+        ar.io(live_outs_total);
+        ar.io(chain_exec_cycles);
+        ar.io(uops_per_chain);
+    }
 };
 
 /** Services the chip provides to the EMC (implemented by the System). */
@@ -214,12 +239,36 @@ class Emc
      */
     void selfCheck(check::CheckRegistry &reg) const;
 
+    /** Checkpoint contexts, caches, predictors and the token maps. */
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(contexts_);
+        ar.io(dcache_);
+        ar.io(tlbs_);
+        ar.io(miss_pred_);
+        ar.io(tokens_);
+        ar.io(line_waiters_);
+        ar.io(next_token_);
+        ar.io(generation_counter_);
+        ar.io(stats_);
+    }
+
   private:
     /** One EMC physical register. */
     struct EprReg
     {
         std::uint64_t value = 0;
         bool ready = false;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(value);
+            ar.io(ready);
+        }
     };
 
     /** Dynamic state of one chain uop inside a context. */
@@ -231,6 +280,18 @@ class Emc
         std::uint64_t value = 0;
         bool mem_outstanding = false;
         bool llc_miss = false;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(issued);
+            ar.io(completed);
+            ar.io(complete_cycle);
+            ar.io(value);
+            ar.io(mem_outstanding);
+            ar.io(llc_miss);
+        }
     };
 
     /** EMC LSQ entry (register spills awaiting fills). */
@@ -238,6 +299,14 @@ class Emc
     {
         Addr vaddr = kNoAddr;
         std::uint64_t value = 0;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(vaddr);
+            ar.io(value);
+        }
     };
 
     /** One chain execution context (uop buffer + PRF + LSQ). */
@@ -253,6 +322,22 @@ class Emc
         std::vector<LsqEntry> lsq;
         Cycle arm_cycle = kNoCycle;
         std::uint64_t generation = 0;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(busy);
+            ar.io(armed);
+            ar.io(halted);
+            ar.io(halt_reason);
+            ar.io(chain);
+            ar.io(state);
+            ar.io(prf);
+            ar.io(lsq);
+            ar.io(arm_cycle);
+            ar.io(generation);
+        }
     };
 
     /** Maps an outstanding memory token back to its chain uop. */
@@ -262,6 +347,16 @@ class Emc
         unsigned uop = 0;
         std::uint64_t generation = 0;
         Addr line = kNoAddr;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(ctx);
+            ar.io(uop);
+            ar.io(generation);
+            ar.io(line);
+        }
     };
 
     bool sourceReady(const Context &c, const ChainUop &cu,

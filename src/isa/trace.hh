@@ -21,6 +21,11 @@
 namespace emc
 {
 
+namespace ckpt
+{
+class Ar;
+} // namespace ckpt
+
 /** One dynamic instance of a uop with generator-oracle annotations. */
 struct DynUop
 {
@@ -36,6 +41,18 @@ struct DynUop
     bool taken = false;
     /// Whether the front-end mispredicts this branch instance.
     bool mispredicted = false;
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(uop);
+        ar.io(result);
+        ar.io(vaddr);
+        ar.io(mem_value);
+        ar.io(taken);
+        ar.io(mispredicted);
+    }
 };
 
 /**
@@ -56,6 +73,14 @@ class TraceSource
 
     /** Total uops produced so far. */
     virtual std::uint64_t produced() const = 0;
+
+    /**
+     * Checkpoint/restore the source's dynamic state through @p ar
+     * (both directions; ar.loading() distinguishes them). The default
+     * refuses with ckpt::Error — sources that cannot be restored
+     * exactly (e.g. capture wrappers) inherit it.
+     */
+    virtual void ckptSer(ckpt::Ar &ar);
 };
 
 /** A TraceSource that replays an in-memory vector (used by tests). */
@@ -77,8 +102,10 @@ class VectorTrace : public TraceSource
 
     std::uint64_t produced() const override { return pos_; }
 
+    void ckptSer(ckpt::Ar &ar) override;
+
   private:
-    std::vector<DynUop> uops_;
+    std::vector<DynUop> uops_;  ///< immutable content: not checkpointed
     std::size_t pos_ = 0;
 };
 

@@ -3,9 +3,22 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "ckpt/serial.hh"
 
 namespace emc
 {
+
+void
+TraceSource::ckptSer(ckpt::Ar &)
+{
+    throw ckpt::Error("this trace source is not checkpointable");
+}
+
+void
+VectorTrace::ckptSer(ckpt::Ar &ar)
+{
+    ar.io(pos_);
+}
 
 namespace
 {
@@ -140,6 +153,25 @@ FileTrace::rewindToRecords()
 {
     std::fseek(file_, sizeof(Header), SEEK_SET);
     read_ = 0;
+}
+
+void
+FileTrace::ckptSer(ckpt::Ar &ar)
+{
+    std::uint64_t produced = produced_;
+    ar.io(produced);
+    if (ar.loading()) {
+        // Replaying from the start reproduces read_ and the file
+        // offset exactly, including any loop wraparounds.
+        rewindToRecords();
+        produced_ = 0;
+        DynUop scratch;
+        for (std::uint64_t i = 0; i < produced; ++i) {
+            if (!next(scratch))
+                throw ckpt::Error(
+                    "trace file shorter than checkpointed position");
+        }
+    }
 }
 
 bool

@@ -65,6 +65,9 @@ class FileTrace : public TraceSource
     bool next(DynUop &out) override;
     std::uint64_t produced() const override { return produced_; }
 
+    /** Restores by replaying the file up to the saved position. */
+    void ckptSer(ckpt::Ar &ar) override;
+
     /** Total records in the file. */
     std::uint64_t size() const { return total_; }
 

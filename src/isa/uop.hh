@@ -129,6 +129,18 @@ struct Uop
     bool hasSrc2() const { return src2 != kNoReg; }
 
     std::string toString() const;
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(op);
+        ar.io(dst);
+        ar.io(src1);
+        ar.io(src2);
+        ar.io(imm);
+        ar.io(pc);
+    }
 };
 
 /**

@@ -44,6 +44,13 @@ class FunctionalMemory
     /** Number of distinct words ever written. */
     std::size_t footprintWords() const { return words_.size(); }
 
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(words_);
+    }
+
   private:
     static Addr
     wordIndex(Addr addr)

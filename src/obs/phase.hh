@@ -97,6 +97,15 @@ class PhaseAccumulator
         return hist_[static_cast<std::size_t>(cls)][phase];
     }
 
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        for (auto &row : hist_)
+            for (auto &h : row)
+                ar.io(h);
+    }
+
   private:
     Histogram hist_[3][kNumPhases];
 };

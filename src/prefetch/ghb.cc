@@ -1,5 +1,7 @@
 #include "prefetch/ghb.hh"
 
+#include "ckpt/serial.hh"
+
 namespace emc
 {
 
@@ -84,6 +86,13 @@ GhbPrefetcher::observe(CoreId core, Addr line_addr, Addr pc_addr, bool miss,
     }
     pc.last_line = line;
     pc.have_last = true;
+}
+
+void
+GhbPrefetcher::ckptSer(ckpt::Ar &ar)
+{
+    serQueue(ar);
+    ar.io(cores_);
 }
 
 } // namespace emc

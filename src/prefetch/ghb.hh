@@ -38,6 +38,8 @@ class GhbPrefetcher : public Prefetcher
 
     const char *name() const override { return "ghb"; }
 
+    void ckptSer(ckpt::Ar &ar) override;
+
   private:
     /** One history-buffer slot, linked to its delta-context twin. */
     struct Entry
@@ -45,6 +47,15 @@ class GhbPrefetcher : public Prefetcher
         std::uint64_t line = 0;
         std::uint32_t prev = kNoLink;  ///< previous entry with same key
         bool valid = false;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(line);
+            ar.io(prev);
+            ar.io(valid);
+        }
     };
 
     static constexpr std::uint32_t kNoLink = 0xffffffffu;
@@ -60,6 +71,20 @@ class GhbPrefetcher : public Prefetcher
         std::int64_t last_delta = 0;
         bool have_last = false;
         bool have_delta = false;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(buffer);
+            ar.io(head);
+            ar.io(inserted);
+            ar.io(index);
+            ar.io(last_line);
+            ar.io(last_delta);
+            ar.io(have_last);
+            ar.io(have_delta);
+        }
     };
 
     static std::uint64_t

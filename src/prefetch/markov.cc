@@ -1,5 +1,7 @@
 #include "prefetch/markov.hh"
 
+#include "ckpt/serial.hh"
+
 #include <algorithm>
 
 namespace emc
@@ -69,6 +71,13 @@ MarkovPrefetcher::observe(CoreId core, Addr line_addr, Addr pc_addr,
         for (unsigned i = 0; i < n; ++i)
             emit(core, it->second.succ[i] << kLineShift);
     }
+}
+
+void
+MarkovPrefetcher::ckptSer(ckpt::Ar &ar)
+{
+    serQueue(ar);
+    ar.io(cores_);
 }
 
 } // namespace emc

@@ -39,11 +39,20 @@ class MarkovPrefetcher : public Prefetcher
 
     std::size_t tableEntries() const { return max_entries_; }
 
+    void ckptSer(ckpt::Ar &ar) override;
+
   private:
     /** Correlation-table entry: MRU-ordered successor lines. */
     struct Entry
     {
         std::vector<std::uint64_t> succ;  ///< MRU-ordered successor lines
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(succ);
+        }
     };
 
     /** Per-core correlation table with LRU bookkeeping. */
@@ -55,6 +64,22 @@ class MarkovPrefetcher : public Prefetcher
                            std::list<std::uint64_t>::iterator> lru_pos;
         std::uint64_t last_line = 0;
         bool have_last = false;
+
+        /** lru_pos is an iterator cache: rebuilt from lru on load. */
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(table);
+            ar.io(lru);
+            ar.io(last_line);
+            ar.io(have_last);
+            if (ar.loading()) {
+                lru_pos.clear();
+                for (auto it = lru.begin(); it != lru.end(); ++it)
+                    lru_pos[*it] = it;
+            }
+        }
     };
 
     void touchLru(PerCore &pc, std::uint64_t key);

@@ -20,11 +20,24 @@
 namespace emc
 {
 
+namespace ckpt
+{
+class Ar;
+} // namespace ckpt
+
 /** A candidate prefetch produced by a prefetching engine. */
 struct PrefetchCandidate
 {
     Addr line_addr = kNoAddr;  ///< physical line address to fetch
     CoreId core = 0;           ///< core whose stream trained it
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(line_addr);
+        ar.io(core);
+    }
 };
 
 /**
@@ -64,6 +77,13 @@ class Prefetcher
 
     std::size_t queued() const { return queue_.size(); }
 
+    /**
+     * Checkpoint the engine's training state and candidate queue
+     * (both directions). Implementations call serQueue() plus their
+     * own table serialization.
+     */
+    virtual void ckptSer(ckpt::Ar &ar) = 0;
+
   protected:
     /** Emit a candidate (deduplicated against the current queue tail). */
     void
@@ -72,6 +92,14 @@ class Prefetcher
         if (queue_.size() >= kMaxQueue)
             return;
         queue_.push_back({lineAlign(line_addr), core});
+    }
+
+    /** Serialize the shared candidate queue (call from ckptSer). */
+    template <class A>
+    void
+    serQueue(A &ar)
+    {
+        ar.io(queue_);
     }
 
   private:
@@ -177,6 +205,29 @@ class FdpThrottle
     std::uint64_t totalUseful() const { return total_useful_; }
     std::uint64_t totalLate() const { return total_late_; }
     std::uint64_t totalPolluted() const { return total_polluted_; }
+
+    /**
+     * Checkpoint the full throttle state. victims_ and victim_order_
+     * genuinely diverge (demandMiss erases only the set), so both are
+     * serialized verbatim rather than rebuilding one from the other.
+     */
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(degree_);
+        ar.io(interval_issued_);
+        ar.io(interval_useful_);
+        ar.io(interval_late_);
+        ar.io(interval_polluted_);
+        ar.io(total_issued_);
+        ar.io(total_useful_);
+        ar.io(total_late_);
+        ar.io(total_polluted_);
+        ar.io(pending_);
+        ar.io(victims_);
+        ar.io(victim_order_);
+    }
 
     double
     accuracy() const

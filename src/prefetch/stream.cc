@@ -1,5 +1,7 @@
 #include "prefetch/stream.hh"
 
+#include "ckpt/serial.hh"
+
 #include <cstdlib>
 
 namespace emc
@@ -111,6 +113,14 @@ StreamPrefetcher::observe(CoreId core, Addr line_addr, Addr pc, bool miss,
       default:
         break;
     }
+}
+
+void
+StreamPrefetcher::ckptSer(ckpt::Ar &ar)
+{
+    serQueue(ar);
+    ar.io(streams_);
+    ar.io(lru_tick_);
 }
 
 } // namespace emc

@@ -32,6 +32,8 @@ class StreamPrefetcher : public Prefetcher
 
     const char *name() const override { return "stream"; }
 
+    void ckptSer(ckpt::Ar &ar) override;
+
   private:
     /** Stream training state machine. */
     enum class State { kInvalid, kAllocated, kTraining, kMonitoring };
@@ -44,6 +46,17 @@ class StreamPrefetcher : public Prefetcher
         std::uint64_t next_fetch = 0;  ///< next line to prefetch
         int direction = 1;
         std::uint64_t lru = 0;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(state);
+            ar.io(last_line);
+            ar.io(next_fetch);
+            ar.io(direction);
+            ar.io(lru);
+        }
     };
 
     Stream *findStream(CoreId core, std::uint64_t line);

@@ -1,5 +1,7 @@
 #include "prefetch/stride.hh"
 
+#include "ckpt/serial.hh"
+
 namespace emc
 {
 
@@ -63,6 +65,13 @@ StridePrefetcher::observe(CoreId core, Addr line_addr, Addr pc,
         }
         break;
     }
+}
+
+void
+StridePrefetcher::ckptSer(ckpt::Ar &ar)
+{
+    serQueue(ar);
+    ar.io(tables_);
 }
 
 } // namespace emc

@@ -34,6 +34,8 @@ class StridePrefetcher : public Prefetcher
 
     const char *name() const override { return "stride"; }
 
+    void ckptSer(ckpt::Ar &ar) override;
+
   private:
     /** RPT entry confidence state. */
     enum class State : std::uint8_t
@@ -51,6 +53,17 @@ class StridePrefetcher : public Prefetcher
         std::uint64_t last_line = 0;
         std::int64_t stride = 0;
         State state = State::kInitial;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(valid);
+            ar.io(tag);
+            ar.io(last_line);
+            ar.io(stride);
+            ar.io(state);
+        }
     };
 
     std::size_t

@@ -71,6 +71,17 @@ struct RingMsg
     unsigned dst = 0;       ///< destination stop
     std::uint64_t token = 0;///< owner-defined payload handle
     Cycle injected = kNoCycle;
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(type);
+        ar.io(src);
+        ar.io(dst);
+        ar.io(token);
+        ar.io(injected);
+    }
 };
 
 /** Aggregate ring statistics (Section 6.5 reports these). */
@@ -83,6 +94,19 @@ struct RingStats
     double total_latency = 0;            ///< inject -> eject, all msgs
     std::uint64_t delivered = 0;
     std::uint64_t inject_stalls = 0;     ///< cycles a message waited to inject
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(control_msgs);
+        ar.io(data_msgs);
+        ar.io(control_emc_msgs);
+        ar.io(data_emc_msgs);
+        ar.io(total_latency);
+        ar.io(delivered);
+        ar.io(inject_stalls);
+    }
 };
 
 /**
@@ -146,12 +170,33 @@ class Ring
         tracer_ = t;
     }
 
+    /** Checkpoint slot occupancy, inject queues and counters. */
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(cw_.slots);
+        ar.io(ccw_.slots);
+        ar.io(inject_q_);
+        ar.io(stats_);
+        ar.io(sent_total_);
+        ar.io(delivered_total_);
+    }
+
   private:
     /** One rotating slot of a ring direction. */
     struct Slot
     {
         bool busy = false;
         RingMsg msg;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(busy);
+            ar.io(msg);
+        }
     };
 
     /** One rotation direction of the ring. */

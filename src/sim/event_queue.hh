@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace emc
@@ -127,6 +128,58 @@ class CalendarQueue
 
     /** Current extraction cycle (tests). */
     Cycle cursor() const { return cur_; }
+
+    /**
+     * Checkpoint all pending events in pop order. @p fn is called as
+     * fn(ar, cycle, event) and serializes the payload. Draining a copy
+     * preserves the exact (cycle, FIFO) pop order, which ckptLoad then
+     * reproduces by pushing in sequence.
+     */
+    template <class A, class Fn>
+    void
+    ckptSave(A &ar, Fn fn) const
+    {
+        CalendarQueue copy = *this;
+        std::uint64_t n = size_;
+        ar.io(n);
+        std::uint64_t cur = cur_;
+        ar.io(cur);
+        while (!copy.empty()) {
+            Cycle c = copy.nextCycle();
+            T ev{};
+            const bool ok = copy.popUpTo(c, ev);
+            emc_assert(ok, "CalendarQueue ckptSave drain");
+            ar.io(c);
+            fn(ar, c, ev);
+        }
+    }
+
+    /** Inverse of ckptSave: rebuilds the queue from scratch. */
+    template <class A, class Fn>
+    void
+    ckptLoad(A &ar, Fn fn)
+    {
+        for (Bucket &b : buckets_) {
+            b.cycle = kNoCycle;
+            b.pos = 0;
+            b.items.clear();
+        }
+        heap_.clear();
+        size_ = 0;
+        next_seq_ = 0;
+        std::uint64_t n = 0;
+        ar.io(n);
+        std::uint64_t cur = 0;
+        ar.io(cur);
+        cur_ = cur;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Cycle c = kNoCycle;
+            ar.io(c);
+            T ev{};
+            fn(ar, c, ev);
+            push(c, ev);
+        }
+    }
 
   private:
     struct Bucket

@@ -1533,6 +1533,7 @@ System::run()
             tickOnce();
             if (streamer_ && now_ >= streamer_->nextDue())
                 streamer_->snapshot(now_, dump());
+            maybeCheckpoint();
         }
         resetMeasurement();
         warmed_up_ = true;
@@ -1542,6 +1543,7 @@ System::run()
         tickOnce();
         if (streamer_ && now_ >= streamer_->nextDue())
             streamer_->snapshot(now_, dump());
+        maybeCheckpoint();
     }
     if (!finished()) {
         emc_warn("simulation hit max_cycles before all cores finished");

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "check/checkers.hh"
+#include "ckpt/ckpt.hh"
 #include "common/slab_pool.hh"
 #include "obs/obs.hh"
 #include "obs/phase.hh"
@@ -48,6 +49,16 @@ struct TrafficStats
     total() const
     {
         return core_demand + emc_demand + prefetch + writeback;
+    }
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(core_demand);
+        ar.io(emc_demand);
+        ar.io(prefetch);
+        ar.io(writeback);
     }
 };
 
@@ -146,6 +157,60 @@ class System : public CorePort
     /** Always-on phase-latency histograms (exported as `phase.*`). */
     const obs::PhaseAccumulator &phases() const { return phases_; }
 
+    // ---- checkpoint / restore (DESIGN.md §7; src/ckpt) ----
+
+    /**
+     * Serialize the machine to an in-memory checkpoint image.
+     * kFull captures complete state between ticks; kWarmup runs (or
+     * finishes) the warmup phase, drains the machine to a quiescent
+     * point and captures only the warmed state (see
+     * warmupCheckpointBytes()). Refused (ckpt::Error) while a tracer,
+     * stat streamer or trace capture is attached — their file offsets
+     * are not restorable.
+     */
+    std::vector<std::uint8_t> saveCheckpointBytes(ckpt::Level level);
+
+    /** saveCheckpointBytes() + atomic write to @p path. */
+    void saveCheckpoint(const std::string &path, ckpt::Level level);
+
+    /**
+     * Warmup-level image: runs the configured warmup (cfg.warmup_uops
+     * must be > 0) if it has not happened yet, pauses fetch, drains
+     * every in-flight transaction and captures functional memory, page
+     * tables, workload generators, per-core architectural state with
+     * warmed L1/TLB/branch predictors, and the LLC contents. The image
+     * is restorable into Systems with differing EMC / prefetcher /
+     * DRAM configurations (warmupConfigHash governs compatibility).
+     */
+    std::vector<std::uint8_t> warmupCheckpointBytes();
+
+    /**
+     * Restore a checkpoint image into this freshly constructed System
+     * (full level: nothing may have run yet and the configuration must
+     * hash-match; warmup level: the "fit" subset must match, and the
+     * System resumes measurement from a warmed state). Throws
+     * ckpt::Error on format, version or configuration mismatch.
+     */
+    void restoreCheckpointBytes(const std::vector<std::uint8_t> &bytes);
+
+    /** readFile() + restoreCheckpointBytes(). */
+    void restoreCheckpoint(const std::string &path);
+
+    /**
+     * Arrange for run() to save a checkpoint to @p path at the first
+     * tick with now() >= @p at (one-shot; observation only — the
+     * saving run's statistics are unperturbed).
+     */
+    void scheduleCheckpoint(const std::string &path, Cycle at,
+                            ckpt::Level level = ckpt::Level::kFull);
+
+    /**
+     * Arrange for run() to overwrite @p path with a full checkpoint
+     * every @p interval cycles (crash-resumable runs; atomic rename
+     * keeps the file valid at all times). @p interval 0 disables.
+     */
+    void setAutosave(const std::string &path, Cycle interval);
+
   private:
     friend struct EmcPortAdapter;
 
@@ -172,6 +237,14 @@ class System : public CorePort
     {
         EvType type;
         std::uint64_t token;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(type);
+            ar.io(token);
+        }
     };
 
     /** One outstanding memory transaction. */
@@ -198,6 +271,32 @@ class System : public CorePort
         Cycle t_dram_data = kNoCycle;
         Cycle t_fill = kNoCycle;        ///< fill data produced
         Cycle t_done = kNoCycle;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(id);
+            ar.io(core);
+            ar.io(line);
+            ar.io(pc);
+            ar.io(for_store);
+            ar.io(addr_tainted);
+            ar.io(is_prefetch);
+            ar.io(is_emc);
+            ar.io(emc_via_llc);
+            ar.io(emc_llc_fill_only);
+            ar.io(llc_missed);
+            ar.io(emc_token);
+            ar.io(emc_owner);
+            ar.io(t_start);
+            ar.io(t_llc_miss);
+            ar.io(t_mc_enqueue);
+            ar.io(t_dram_issue);
+            ar.io(t_dram_data);
+            ar.io(t_fill);
+            ar.io(t_done);
+        }
     };
 
     /** A chain mid-transfer on the data ring. */
@@ -205,6 +304,14 @@ class System : public CorePort
     {
         ChainRequest chain;
         unsigned msgs_remaining = 0;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(chain);
+            ar.io(msgs_remaining);
+        }
     };
 
     /** A chain result mid-transfer on the data ring. */
@@ -212,6 +319,14 @@ class System : public CorePort
     {
         ChainResult result;
         unsigned msgs_remaining = 0;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(result);
+            ar.io(msgs_remaining);
+        }
     };
 
     /** An EMC LSQ-populate notification in flight. */
@@ -221,6 +336,16 @@ class System : public CorePort
         std::uint64_t rob_seq;
         Addr paddr;
         std::uint64_t chain_id;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(core);
+            ar.io(rob_seq);
+            ar.io(paddr);
+            ar.io(chain_id);
+        }
     };
 
     /** A cross-MC fill reply heading to its issuing EMC. */
@@ -228,6 +353,14 @@ class System : public CorePort
     {
         unsigned owner;
         std::uint64_t emc_token;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(owner);
+            ar.io(emc_token);
+        }
     };
 
     // ---- EmcPort entry points (called through the adapters) ----
@@ -396,6 +529,21 @@ class System : public CorePort
     check::ConservationChecker *ck_conserve_ = nullptr;
     check::RetireOrderChecker *ck_retire_ = nullptr;
     Cycle next_deep_check_ = 0;
+
+    // Checkpoint / restore (DESIGN.md §7; implemented in
+    // system_ckpt.cc). ckptPayload() walks every serialized component
+    // in section order, symmetrically for save and load.
+    void ckptPayload(ckpt::Ar &ar, ckpt::Level level,
+                     std::vector<ckpt::Section> *toc);
+    void ckptRefuseIfObserved(const char *what) const;
+    void ckptDrainForWarmup();
+    void maybeCheckpoint();
+    std::string ckpt_path_;
+    Cycle ckpt_at_ = kNoCycle;
+    ckpt::Level ckpt_level_ = ckpt::Level::kFull;
+    std::string autosave_path_;
+    Cycle autosave_interval_ = 0;
+    Cycle next_autosave_ = kNoCycle;
 
     // Observability (DESIGN.md §6). The tracer is null unless enabled
     // (hooks are then a single null test each); the phase accumulator

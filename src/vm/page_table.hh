@@ -23,6 +23,15 @@ struct Pte
     Addr vpage = kNoAddr;
     Addr pframe = kNoAddr;
     bool valid = false;
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(vpage);
+        ar.io(pframe);
+        ar.io(valid);
+    }
 };
 
 /**
@@ -66,6 +75,16 @@ class PageTable
     }
 
     std::size_t mappedPages() const { return table_.size(); }
+
+    /** Checkpoint mappings and the frame allocator state. */
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(rng_);
+        ar.io(next_seq_);
+        ar.io(table_);
+    }
 
   private:
     /**

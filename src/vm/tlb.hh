@@ -57,6 +57,24 @@ class Tlb
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
+    /**
+     * Checkpoint the LRU stack and counters; the address -> node map
+     * is an iterator cache rebuilt from the list on load.
+     */
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(lru_);
+        ar.io(hits_);
+        ar.io(misses_);
+        if (ar.loading()) {
+            map_.clear();
+            for (auto it = lru_.begin(); it != lru_.end(); ++it)
+                map_[*it] = it;
+        }
+    }
+
   private:
     void
     insert(Addr vp)
@@ -146,6 +164,16 @@ class EmcTlb
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(buffer_);
+        ar.io(head_);
+        ar.io(hits_);
+        ar.io(misses_);
+    }
 
   private:
     std::size_t entries_;

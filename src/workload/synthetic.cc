@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "ckpt/serial.hh"
 
 namespace emc
 {
@@ -359,6 +360,26 @@ SyntheticProgram::next(DynUop &out)
     pending_.pop_front();
     ++produced_;
     return true;
+}
+
+
+void
+SyntheticProgram::ckptSer(ckpt::Ar &ar)
+{
+    // Everything that evolves after construction. Layout parameters
+    // (chase_nodes_, stream_lines_, random_mask_, pc base) and the
+    // chase ring itself are rebuilt deterministically by the
+    // constructor from the same profile and seed.
+    ar.io(rng_);
+    for (auto &r : regs_)
+        ar.io(r);
+    ar.io(pending_);
+    ar.io(produced_);
+    ar.io(kernel_pc_off_);
+    ar.io(chase_rr_);
+    ar.io(stream_pos_);
+    ar.io(stack_pos_);
+    ar.io(spill_slots_);
 }
 
 } // namespace emc

@@ -49,6 +49,10 @@ class SyntheticProgram : public TraceSource
     bool next(DynUop &out) override;
     std::uint64_t produced() const override { return produced_; }
 
+    /** Full generator state (the functional memory is saved by the
+     *  owner alongside, as it is shared infrastructure). */
+    void ckptSer(ckpt::Ar &ar) override;
+
     const BenchmarkProfile &profile() const { return profile_; }
 
   private:

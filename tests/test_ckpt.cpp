@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Checkpoint/restore subsystem tests (DESIGN.md §7):
+ *
+ *  - full-level roundtrip exactness on a fig13-class config: save at
+ *    cycle C (measured phase or mid-warmup), restore, run to the end
+ *    — every stat bit-identical to an uninterrupted run, and the
+ *    saving run itself unperturbed
+ *  - restored state passes the src/check invariant suite with zero
+ *    violations
+ *  - warmup-level images fork into differing EMC/prefetcher configs,
+ *    deterministically (byte-identical images run-to-run)
+ *  - config-hash gating, corrupt/truncated images, and refusal paths
+ *  - bench harness: per-job failure isolation in runMany(), the
+ *    shared-vs-per-job warmup equivalence of runManyWarmShared(), and
+ *    crash-resume through EMC_CKPT_DIR autosaves
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.hh"
+#include "ckpt/ckpt.hh"
+#include "sim/system.hh"
+
+using emc::Cycle;
+using emc::StatDump;
+using emc::System;
+using emc::SystemConfig;
+
+namespace
+{
+
+/** Fig 13 class: homogeneous quad-core mcf, EMC + GHB prefetcher. */
+SystemConfig
+fig13Config()
+{
+    SystemConfig cfg;
+    cfg.prefetch = emc::PrefetchConfig::kGhb;
+    cfg.emc_enabled = true;
+    cfg.target_uops = 1000;
+    cfg.warmup_uops = 500;
+    return cfg;
+}
+
+std::vector<std::string>
+fig13Mix()
+{
+    return emc::bench::homo("mcf");
+}
+
+/** Smaller dual-core config for the cheap error-path tests. */
+SystemConfig
+smallConfig()
+{
+    SystemConfig cfg;
+    cfg.num_cores = 2;
+    cfg.emc_enabled = true;
+    cfg.target_uops = 800;
+    cfg.warmup_uops = 400;
+    return cfg;
+}
+
+std::vector<std::string>
+smallMix()
+{
+    return {"mcf", "sphinx3"};
+}
+
+void
+expectIdentical(const StatDump &a, const StatDump &b, const char *what)
+{
+    ASSERT_EQ(a.all().size(), b.all().size()) << what;
+    auto ia = a.all().begin();
+    auto ib = b.all().begin();
+    for (; ia != a.all().end(); ++ia, ++ib) {
+        EXPECT_EQ(ia->first, ib->first) << what;
+        EXPECT_EQ(ia->second, ib->second)
+            << what << ": stat " << ia->first << " diverged";
+    }
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "emc_ckpt_"
+           + std::to_string(::getpid()) + "_" + name;
+}
+
+} // namespace
+
+TEST(CkptFull, RoundtripIsExact)
+{
+    const SystemConfig cfg = fig13Config();
+    System straight(cfg, fig13Mix());
+    straight.run();
+    const StatDump d_straight = straight.dump();
+    // Past warmup (500 uops/core retire well within half the run).
+    const Cycle mid = straight.cycles() / 2;
+
+    const std::string path = tmpPath("roundtrip.ckpt");
+    System saver(cfg, fig13Mix());
+    saver.scheduleCheckpoint(path, mid);
+    saver.run();
+    // Saving is observation-only: the saver's own run is unperturbed.
+    expectIdentical(d_straight, saver.dump(), "saving run");
+
+    System restored(cfg, fig13Mix());
+    restored.restoreCheckpoint(path);
+    restored.run();
+    expectIdentical(d_straight, restored.dump(), "restored run");
+    std::remove(path.c_str());
+}
+
+TEST(CkptFull, MidWarmupSaveRoundtrips)
+{
+    const SystemConfig cfg = smallConfig();
+    System straight(cfg, smallMix());
+    straight.run();
+
+    const std::string path = tmpPath("midwarm.ckpt");
+    System saver(cfg, smallMix());
+    saver.scheduleCheckpoint(path, 50);  // long before warmup ends
+    saver.run();
+
+    System restored(cfg, smallMix());
+    restored.restoreCheckpoint(path);
+    restored.run();
+    expectIdentical(straight.dump(), restored.dump(),
+                    "mid-warmup restore");
+    std::remove(path.c_str());
+}
+
+TEST(CkptFull, RestoredStatePassesInvariantChecks)
+{
+    const SystemConfig cfg = smallConfig();
+    System straight(cfg, smallMix());
+    straight.run();
+
+    System saver(cfg, smallMix());
+    const std::vector<std::uint8_t> image = [&] {
+        saver.scheduleCheckpoint(tmpPath("checked.ckpt"), 2000);
+        saver.run();
+        return emc::ckpt::readFile(tmpPath("checked.ckpt"));
+    }();
+    std::remove(tmpPath("checked.ckpt").c_str());
+
+    System restored(cfg, smallMix());
+    restored.enableInvariantChecks();
+    std::uint64_t seen = 0;
+    restored.checkRegistry()->setHandler(
+        [&seen](const emc::check::Violation &v) {
+            ++seen;
+            std::fprintf(stderr, "violation: %s\n", v.format().c_str());
+        });
+    // restore runs the deep checks once on the restored state, and the
+    // run that follows keeps every per-tick / end-of-run checker live.
+    restored.restoreCheckpointBytes(image);
+    restored.run();
+    EXPECT_EQ(seen, 0u) << "invariant violations on restored state";
+    EXPECT_EQ(restored.checkRegistry()->violationCount(), 0u);
+    // Checks are observation-only, restored or not.
+    expectIdentical(straight.dump(), restored.dump(),
+                    "checked restored run");
+}
+
+TEST(CkptFull, SaveIsDeterministic)
+{
+    const SystemConfig cfg = smallConfig();
+    System a(cfg, smallMix());
+    System b(cfg, smallMix());
+    EXPECT_EQ(a.saveCheckpointBytes(emc::ckpt::Level::kFull),
+              b.saveCheckpointBytes(emc::ckpt::Level::kFull));
+}
+
+TEST(CkptFull, ConfigHashGatesRestore)
+{
+    System saver(smallConfig(), smallMix());
+    const auto image =
+        saver.saveCheckpointBytes(emc::ckpt::Level::kFull);
+
+    SystemConfig other = smallConfig();
+    other.emc_enabled = false;
+    System wrong(other, smallMix());
+    EXPECT_THROW(wrong.restoreCheckpointBytes(image),
+                 emc::ckpt::Error);
+
+    // The same config accepts it.
+    System right(smallConfig(), smallMix());
+    EXPECT_NO_THROW(right.restoreCheckpointBytes(image));
+}
+
+TEST(CkptFull, CorruptImagesAreRejected)
+{
+    System saver(smallConfig(), smallMix());
+    const auto image =
+        saver.saveCheckpointBytes(emc::ckpt::Level::kFull);
+
+    {
+        auto t = image;
+        t.resize(t.size() / 2);  // truncated payload
+        System sys(smallConfig(), smallMix());
+        EXPECT_THROW(sys.restoreCheckpointBytes(t), emc::ckpt::Error);
+    }
+    {
+        auto t = image;
+        t[0] ^= 0xff;  // bad magic
+        System sys(smallConfig(), smallMix());
+        EXPECT_THROW(sys.restoreCheckpointBytes(t), emc::ckpt::Error);
+    }
+    {
+        auto t = image;
+        t[t.size() - 9] ^= 0x01;  // payload bit flip -> CRC mismatch
+        System sys(smallConfig(), smallMix());
+        EXPECT_THROW(sys.restoreCheckpointBytes(t), emc::ckpt::Error);
+    }
+    {
+        System sys(smallConfig(), smallMix());
+        EXPECT_THROW(sys.restoreCheckpointBytes({}), emc::ckpt::Error);
+        EXPECT_THROW(sys.restoreCheckpoint(tmpPath("missing.ckpt")),
+                     emc::ckpt::Error);
+    }
+}
+
+TEST(CkptFull, RefusesRestoreAfterRunAndSaveUnderTracing)
+{
+    System saver(smallConfig(), smallMix());
+    const auto image =
+        saver.saveCheckpointBytes(emc::ckpt::Level::kFull);
+
+    System ran(smallConfig(), smallMix());
+    ran.run();
+    EXPECT_THROW(ran.restoreCheckpointBytes(image), emc::ckpt::Error);
+
+    System traced(smallConfig(), smallMix());
+    traced.enableTracing(tmpPath("trace.json"));
+    EXPECT_THROW(traced.saveCheckpointBytes(emc::ckpt::Level::kFull),
+                 emc::ckpt::Error);
+    std::remove(tmpPath("trace.json").c_str());
+}
+
+TEST(CkptWarmup, ForksIntoDifferingConfigs)
+{
+    SystemConfig warm_cfg;
+    warm_cfg.num_cores = 1;
+    warm_cfg.target_uops = 1200;
+    warm_cfg.warmup_uops = 600;
+    const std::vector<std::string> mix = {"mcf"};
+
+    const auto image = System(warm_cfg, mix).warmupCheckpointBytes();
+
+    // The image is deterministic: a second warmup run produces the
+    // same bytes, which is what makes shared and per-job warmup
+    // equivalent in runManyWarmShared().
+    EXPECT_EQ(image, System(warm_cfg, mix).warmupCheckpointBytes());
+
+    // Fork the one warm image across EMC / prefetcher config points.
+    std::vector<SystemConfig> points;
+    {
+        SystemConfig c = warm_cfg;
+        c.emc_enabled = true;
+        points.push_back(c);
+    }
+    {
+        SystemConfig c = warm_cfg;
+        c.prefetch = emc::PrefetchConfig::kStream;
+        points.push_back(c);
+    }
+    {
+        SystemConfig c = warm_cfg;
+        c.emc_enabled = true;
+        c.emc.contexts = 4;
+        c.prefetch = emc::PrefetchConfig::kGhb;
+        points.push_back(c);
+    }
+    for (SystemConfig &c : points) {
+        c.warmup_uops = 0;  // irrelevant after a warmup restore
+        System sys(c, mix);
+        sys.restoreCheckpointBytes(image);
+        sys.run();
+        const StatDump d = sys.dump();
+        EXPECT_GT(d.get("system.cycles"), 0.0);
+        EXPECT_GT(d.get("core0.retired"), 0.0);
+
+        // Restoring the same image into the same config twice is
+        // deterministic end to end.
+        System again(c, mix);
+        again.restoreCheckpointBytes(image);
+        again.run();
+        expectIdentical(d, again.dump(), "re-forked config");
+    }
+}
+
+TEST(CkptWarmup, HashRejectsWarmupIncompatibleConfigs)
+{
+    SystemConfig warm_cfg;
+    warm_cfg.num_cores = 1;
+    warm_cfg.target_uops = 600;
+    warm_cfg.warmup_uops = 300;
+    const std::vector<std::string> mix = {"mcf"};
+    const auto image = System(warm_cfg, mix).warmupCheckpointBytes();
+
+    SystemConfig reseeded = warm_cfg;
+    reseeded.seed = warm_cfg.seed + 1;
+    System sys(reseeded, mix);
+    EXPECT_THROW(sys.restoreCheckpointBytes(image), emc::ckpt::Error);
+
+    // A different workload is a different warm state too.
+    System other_mix(warm_cfg, {"libquantum"});
+    EXPECT_THROW(other_mix.restoreCheckpointBytes(image),
+                 emc::ckpt::Error);
+}
+
+TEST(CkptWarmup, RequiresAConfiguredWarmupPhase)
+{
+    SystemConfig cfg;
+    cfg.num_cores = 1;
+    cfg.target_uops = 600;
+    cfg.warmup_uops = 0;
+    System sys(cfg, {"mcf"});
+    EXPECT_THROW(sys.warmupCheckpointBytes(), emc::ckpt::Error);
+}
+
+TEST(BenchHarness, RunManyIsolatesPerJobFailures)
+{
+    // Plant a corrupt autosave for job 1: its restore throws, the
+    // other jobs must still complete, and the failure must carry the
+    // job index and the exception text.
+    const std::string dir = tmpPath("runmany_fail");
+    std::filesystem::create_directories(dir);
+    {
+        std::FILE *f =
+            std::fopen((dir + "/job1.ckpt").c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("this is not a checkpoint", f);
+        std::fclose(f);
+    }
+    setenv("EMC_CKPT_DIR", dir.c_str(), 1);
+
+    SystemConfig cfg;
+    cfg.num_cores = 1;
+    cfg.target_uops = 400;
+    cfg.warmup_uops = 0;
+    const emc::bench::RunJob job{cfg, {"mcf"}};
+    const std::vector<emc::bench::RunJob> jobs(3, job);
+
+    std::vector<emc::bench::RunFailure> failures;
+    const std::vector<StatDump> res =
+        emc::bench::runMany(jobs, &failures);
+    ASSERT_EQ(res.size(), 3u);
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].index, 1u);
+    EXPECT_FALSE(failures[0].what.empty());
+    EXPECT_GT(res[0].get("system.cycles"), 0.0);
+    EXPECT_GT(res[2].get("system.cycles"), 0.0);
+    EXPECT_FALSE(res[1].has("system.cycles"));  // failed slot empty
+
+    // The throwing overload reports the same thing.
+    EXPECT_THROW(emc::bench::runMany(jobs), std::runtime_error);
+
+    unsetenv("EMC_CKPT_DIR");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(BenchHarness, CkptDirResumesInterruptedSweeps)
+{
+    const SystemConfig cfg = smallConfig();
+    const std::vector<emc::bench::RunJob> jobs{{cfg, smallMix()}};
+    const StatDump plain = emc::bench::runMany(jobs).at(0);
+
+    const std::string dir = tmpPath("resume");
+    std::filesystem::create_directories(dir);
+    setenv("EMC_CKPT_DIR", dir.c_str(), 1);
+    setenv("EMC_CKPT_INTERVAL", "3000", 1);
+
+    // First sweep: autosaves land next to the stats sidecar.
+    const StatDump first = emc::bench::runMany(jobs).at(0);
+    expectIdentical(plain, first, "checkpointed sweep");
+    ASSERT_TRUE(std::filesystem::exists(dir + "/job0.stats"));
+    ASSERT_TRUE(std::filesystem::exists(dir + "/job0.ckpt"));
+
+    // "Crash" after the last autosave: drop the sidecar and rerun —
+    // the job resumes from job0.ckpt and must land on the same stats.
+    std::filesystem::remove(dir + "/job0.stats");
+    const StatDump resumed = emc::bench::runMany(jobs).at(0);
+    expectIdentical(plain, resumed, "resumed sweep");
+
+    // A finished job short-circuits through its sidecar.
+    const StatDump cached = emc::bench::runMany(jobs).at(0);
+    expectIdentical(plain, cached, "sidecar reload");
+
+    unsetenv("EMC_CKPT_DIR");
+    unsetenv("EMC_CKPT_INTERVAL");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(BenchHarness, SharedWarmupMatchesPerJobWarmup)
+{
+    SystemConfig warm_cfg;
+    warm_cfg.num_cores = 1;
+    warm_cfg.target_uops = 800;
+    warm_cfg.warmup_uops = 400;
+    const std::vector<std::string> mix = {"mcf"};
+
+    std::vector<SystemConfig> points;
+    points.push_back(warm_cfg);
+    {
+        SystemConfig c = warm_cfg;
+        c.emc_enabled = true;
+        points.push_back(c);
+    }
+
+    setenv("EMC_CKPT_SHARED_WARMUP", "1", 1);
+    const std::vector<StatDump> shared =
+        emc::bench::runManyWarmShared(warm_cfg, mix, points);
+    setenv("EMC_CKPT_SHARED_WARMUP", "0", 1);
+    const std::vector<StatDump> perjob =
+        emc::bench::runManyWarmShared(warm_cfg, mix, points);
+    unsetenv("EMC_CKPT_SHARED_WARMUP");
+
+    ASSERT_EQ(shared.size(), points.size());
+    ASSERT_EQ(perjob.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        expectIdentical(shared[i], perjob[i], "shared vs per-job");
+        EXPECT_GT(shared[i].get("system.cycles"), 0.0);
+    }
+    // The EMC point must actually differ from the baseline point —
+    // otherwise the equality above compares two copies of one run.
+    EXPECT_NE(shared[0].get("system.cycles"),
+              shared[1].get("system.cycles"));
+}

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/ckpt.hh"
 #include "sim/system.hh"
 #include "workload/profile.hh"
 
@@ -60,6 +61,21 @@ usage()
         "  --replay f1,f2,...     replay captured uop-stream files\n"
         "  --warmup N             warmup uops (default uops/2)\n"
         "  --seed N               RNG seed\n"
+        "\n"
+        "checkpointing (DESIGN.md §7):\n"
+        "  --save-ckpt FILE       save a checkpoint to FILE\n"
+        "  --ckpt-at N            with --save-ckpt (full level): save\n"
+        "                         at the first cycle >= N, keep"
+        " running\n"
+        "  --ckpt-level full|warmup\n"
+        "                         full (default): complete state,\n"
+        "                         restore needs the identical config;\n"
+        "                         warmup: warmed caches/predictors"
+        " only,\n"
+        "                         restorable into differing EMC/\n"
+        "                         prefetcher configs (saves and"
+        " exits)\n"
+        "  --restore-ckpt FILE    restore FILE before running\n"
         "\n"
         "observability (DESIGN.md §6):\n"
         "  --trace FILE           write a Chrome trace_event JSON of\n"
@@ -135,6 +151,10 @@ main(int argc, char **argv)
     bool quiet = false;
     bool dual_mc = false;
     unsigned cores = 0;
+    std::string save_ckpt;
+    std::string restore_ckpt;
+    std::uint64_t ckpt_at = ~0ull;
+    ckpt::Level ckpt_level = ckpt::Level::kFull;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -229,6 +249,21 @@ main(int argc, char **argv)
             cfg.capture_prefix = need("--capture");
         } else if (a == "--replay") {
             cfg.trace_files = splitCommas(need("--replay"));
+        } else if (a == "--save-ckpt") {
+            save_ckpt = need("--save-ckpt");
+        } else if (a == "--restore-ckpt") {
+            restore_ckpt = need("--restore-ckpt");
+        } else if (a == "--ckpt-at") {
+            if (!parseU64(need("--ckpt-at"), ckpt_at)) return 2;
+        } else if (a == "--ckpt-level") {
+            const std::string l = need("--ckpt-level");
+            if (l == "full") ckpt_level = ckpt::Level::kFull;
+            else if (l == "warmup") ckpt_level = ckpt::Level::kWarmup;
+            else {
+                std::fprintf(stderr, "unknown checkpoint level %s\n",
+                             l.c_str());
+                return 2;
+            }
         } else if (a == "--trace") {
             cfg.trace_path = need("--trace");
         } else if (a == "--trace-interval") {
@@ -265,8 +300,47 @@ main(int argc, char **argv)
     workload.resize(cores);
     cfg.warmup_uops = warmup == ~0ull ? cfg.target_uops / 2 : warmup;
 
+    if ((!save_ckpt.empty() || !restore_ckpt.empty())
+        && (!cfg.trace_path.empty() || !cfg.capture_prefix.empty())) {
+        std::fprintf(stderr,
+                     "checkpointing cannot be combined with --trace or"
+                     " --capture (their file offsets are not"
+                     " restorable)\n");
+        return 2;
+    }
+    if (save_ckpt.empty() && ckpt_at != ~0ull) {
+        std::fprintf(stderr, "--ckpt-at requires --save-ckpt\n");
+        return 2;
+    }
+    if (!save_ckpt.empty() && ckpt_level == ckpt::Level::kFull
+        && ckpt_at == ~0ull) {
+        std::fprintf(stderr, "--save-ckpt at the full level needs"
+                             " --ckpt-at N (warmup level saves after"
+                             " the warmup phase instead)\n");
+        return 2;
+    }
+
     System sys(cfg, workload);
-    sys.run();
+    try {
+        if (!restore_ckpt.empty())
+            sys.restoreCheckpoint(restore_ckpt);
+        if (!save_ckpt.empty()) {
+            if (ckpt_level == ckpt::Level::kWarmup) {
+                // Draining to the warmup snapshot perturbs this run's
+                // timing, so a warmup-level saver is a dedicated run:
+                // write the image and exit.
+                sys.saveCheckpoint(save_ckpt, ckpt::Level::kWarmup);
+                std::printf("wrote warmup checkpoint %s\n",
+                            save_ckpt.c_str());
+                return 0;
+            }
+            sys.scheduleCheckpoint(save_ckpt, ckpt_at);
+        }
+        sys.run();
+    } catch (const ckpt::Error &e) {
+        std::fprintf(stderr, "checkpoint error: %s\n", e.what());
+        return 1;
+    }
     const StatDump d = sys.dump();
 
     if (!quiet) {

@@ -25,23 +25,62 @@ namespace
 
 using Stats = std::map<std::string, double>;
 
+/**
+ * Load a "name,value" dump. Returns false after printing a diagnostic
+ * naming the file and line: a stats file that is missing, empty,
+ * truncated mid-row or non-numeric should fail the comparison loudly
+ * rather than surface as a silently empty delta table.
+ */
 bool
 loadCsv(const std::string &path, Stats &out)
 {
     std::ifstream in(path);
-    if (!in)
+    if (!in) {
+        std::fprintf(stderr, "emcstat: cannot read %s\n", path.c_str());
         return false;
+    }
     std::string line;
+    unsigned lineno = 0;
     while (std::getline(in, line)) {
-        const std::size_t comma = line.rfind(',');
-        if (comma == std::string::npos)
+        ++lineno;
+        if (line.empty())
             continue;
-        const std::string name = line.substr(0, comma);
-        try {
-            out[name] = std::stod(line.substr(comma + 1));
-        } catch (...) {
-            // Skip header or malformed rows.
+        const std::size_t comma = line.rfind(',');
+        if (comma == std::string::npos || comma == 0) {
+            std::fprintf(stderr,
+                         "emcstat: %s:%u: expected \"name,value\","
+                         " got \"%s\"\n",
+                         path.c_str(), lineno, line.c_str());
+            return false;
         }
+        const std::string name = line.substr(0, comma);
+        const std::string value = line.substr(comma + 1);
+        std::size_t used = 0;
+        double v = 0;
+        try {
+            v = std::stod(value, &used);
+        } catch (...) {
+            used = 0;
+        }
+        if (used != value.size()) {
+            std::fprintf(stderr,
+                         "emcstat: %s:%u: value of \"%s\" is not a"
+                         " number: \"%s\" (truncated dump?)\n",
+                         path.c_str(), lineno, name.c_str(),
+                         value.c_str());
+            return false;
+        }
+        out[name] = v;
+    }
+    if (in.bad()) {
+        std::fprintf(stderr, "emcstat: read error on %s\n",
+                     path.c_str());
+        return false;
+    }
+    if (out.empty()) {
+        std::fprintf(stderr, "emcstat: %s contains no stats rows\n",
+                     path.c_str());
+        return false;
     }
     return true;
 }
@@ -70,14 +109,8 @@ main(int argc, char **argv)
         return 2;
     }
     Stats base, other;
-    if (!loadCsv(argv[1], base)) {
-        std::fprintf(stderr, "cannot read %s\n", argv[1]);
+    if (!loadCsv(argv[1], base) || !loadCsv(argv[2], other))
         return 1;
-    }
-    if (!loadCsv(argv[2], other)) {
-        std::fprintf(stderr, "cannot read %s\n", argv[2]);
-        return 1;
-    }
     std::vector<std::string> prefixes;
     for (int i = 3; i < argc; ++i)
         prefixes.push_back(argv[i]);

@@ -28,6 +28,15 @@ Rules (stdlib-only, regex-based -- fast enough to run on every CI push):
                  EMC_SIM_TRACE=OFF build does not evaluate them, so a
                  side effect there silently changes simulation
                  behaviour between build flavours.
+  ckpt-field     Serialization code (ser()/ckptSer()/ckptSave()/
+                 ckptLoad() bodies, including lambdas passed to the
+                 ckptSave/ckptLoad hooks) must not write raw pointers
+                 or host addresses: no reinterpret_cast, uintptr_t or
+                 intptr_t inside a serialization region.  A pointer
+                 value baked into a checkpoint is meaningless in the
+                 restoring process and breaks the byte-identical-image
+                 guarantee (DESIGN.md #7); serialize stable ids and
+                 rebuild pointers on load instead.
 
 A finding on line N is suppressed by an annotation on line N or N-1:
 
@@ -46,7 +55,7 @@ import sys
 SOURCE_EXTS = {".cc", ".cpp", ".cxx", ".hh", ".hpp", ".h"}
 
 RULES = ("rng", "unordered-iter", "raw-new", "event-push", "stat-dup",
-         "trace-hook")
+         "trace-hook", "ckpt-field")
 
 # rng: tokens that introduce nondeterminism or wall-clock dependence.
 RNG_RE = re.compile(
@@ -81,6 +90,17 @@ TRACE_HOOK_OPEN_RE = re.compile(r"\bEMC_OBS_POINT\s*\(")
 TRACE_SIDE_EFFECT_RE = re.compile(
     r"\+\+|--|[^=!<>+\-*/|&^](?:[+\-*/|&^]|<<|>>)?=[^=]"
 )
+
+# ckpt-field: serialization regions (ser/ckptSer bodies and
+# ckptSave/ckptLoad calls including their lambda arguments) must not
+# mention pointer-to-integer machinery -- a host address written into
+# an image does not survive restore.
+CKPT_FN_RE = re.compile(r"\b(?:ser|ckptSer|ckptSave|ckptLoad)\s*\(")
+CKPT_BANNED_RE = re.compile(
+    r"\breinterpret_cast\b|\b(?:std::)?u?intptr_t\b")
+# Walker safety valve: a serialization region longer than this many
+# lines means unbalanced braces (macro trickery) -- give up silently.
+CKPT_MAX_REGION_LINES = 400
 
 LINT_OK_RE = re.compile(r"//\s*lint-ok:\s*([a-z-]+)(\s*\(.+\))?")
 
@@ -174,6 +194,68 @@ class Linter:
             out.append(" ")
         return None
 
+    # -- ckpt-field: raw-pointer machinery in serialization code -------
+
+    @staticmethod
+    def ckpt_region(lines, lineno, col):
+        """Yield (line number, code substring) pairs covering one
+        serialization region that starts at (1-based) line `lineno`,
+        column `col` of its comment-stripped code.  The region spans
+        from the ser/ckptSave/... token until its signature parens and
+        any body or lambda braces balance back out (so both member
+        definitions and call sites with lambda arguments are covered).
+        Gives up after CKPT_MAX_REGION_LINES unbalanced lines."""
+        paren = brace = 0
+        seen_brace = False
+        for off in range(CKPT_MAX_REGION_LINES):
+            idx = lineno - 1 + off
+            if idx >= len(lines):
+                return
+            code = code_part(lines[idx])
+            start = col if off == 0 else 0
+            done_at = None
+            for j in range(start, len(code)):
+                ch = code[j]
+                if ch == "(":
+                    paren += 1
+                elif ch == ")":
+                    paren -= 1
+                    if paren <= 0 and seen_brace and brace == 0:
+                        done_at = j + 1
+                        break
+                elif ch == "{":
+                    brace += 1
+                    seen_brace = True
+                elif ch == "}":
+                    brace -= 1
+                    if seen_brace and brace == 0 and paren <= 0:
+                        done_at = j + 1
+                        break
+                elif ch == ";" and paren <= 0 and brace == 0:
+                    done_at = j + 1
+                    break
+            if done_at is not None:
+                yield idx + 1, code[start:done_at]
+                return
+            yield idx + 1, code[start:]
+
+    def check_ckpt_fields(self, path, lines, ok):
+        flagged = set()
+        for i, line in enumerate(lines, start=1):
+            for m in CKPT_FN_RE.finditer(code_part(line)):
+                for lineno, chunk in self.ckpt_region(lines, i, m.start()):
+                    bm = CKPT_BANNED_RE.search(chunk)
+                    if not bm or lineno in flagged:
+                        continue
+                    flagged.add(lineno)
+                    if "ckpt-field" not in ok.get(lineno, ()):
+                        self.report(
+                            path, lineno, "ckpt-field",
+                            f"'{bm.group(0)}' in serialization code; a "
+                            "host address written into a checkpoint "
+                            "does not survive restore -- serialize a "
+                            "stable id and rebuild the pointer on load")
+
     # -- pass 1: collect unordered-container member names --------------
 
     def collect_unordered_members(self, files):
@@ -197,6 +279,8 @@ class Linter:
         rel = path.replace("\\", "/")
         rng_exempt = any(rel.endswith(e) for e in RNG_EXEMPT)
         trace_exempt = any(e in rel for e in TRACE_RECORD_EXEMPT)
+
+        self.check_ckpt_fields(path, lines, ok)
 
         range_for_re = None
         if unordered_members:
