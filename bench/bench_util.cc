@@ -8,6 +8,7 @@
 #include <fstream>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "common/thread_pool.hh"
 #include "workload/profile.hh"
@@ -164,6 +165,14 @@ run(const SystemConfig &cfg, const std::vector<std::string> &benchmarks)
 unsigned
 benchThreads()
 {
+    // An explicit EMC_BENCH_THREADS always wins. Otherwise fall back
+    // to inline (single-thread) execution on machines with <= 2
+    // hardware threads — pool overhead and memory pressure outweigh
+    // any overlap there, and a 1-thread ThreadPool runs jobs inline.
+    if (std::getenv("EMC_BENCH_THREADS") != nullptr)
+        return ThreadPool::defaultThreads();
+    if (std::thread::hardware_concurrency() <= 2)
+        return 1;
     return ThreadPool::defaultThreads();
 }
 
@@ -214,6 +223,41 @@ runMany(const std::vector<RunJob> &jobs)
             + std::to_string(jobs.size()) + " jobs failed (job "
             + std::to_string(failures.front().index) + ": "
             + failures.front().what + ")");
+    }
+    return results;
+}
+
+std::vector<StatDump>
+runManySampled(const std::vector<RunJob> &jobs, const SampleParams &p)
+{
+    std::vector<StatDump> results(jobs.size());
+    std::vector<RunFailure> failed;
+    std::mutex mu;
+    ThreadPool pool(benchThreads());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const RunJob &job = jobs[i];
+        pool.submit([&, i] {
+            try {
+                System sys(job.cfg, job.benchmarks);
+                sys.runSampled(p);
+                results[i] = sys.dump();
+            } catch (const std::exception &e) {
+                std::lock_guard<std::mutex> lock(mu);
+                failed.push_back({i, e.what()});
+            }
+        });
+    }
+    pool.waitAll();
+    if (!failed.empty()) {
+        std::sort(failed.begin(), failed.end(),
+                  [](const RunFailure &a, const RunFailure &b) {
+                      return a.index < b.index;
+                  });
+        throw std::runtime_error(
+            "runManySampled: " + std::to_string(failed.size()) + " of "
+            + std::to_string(jobs.size()) + " jobs failed (job "
+            + std::to_string(failed.front().index) + ": "
+            + failed.front().what + ")");
     }
     return results;
 }

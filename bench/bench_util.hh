@@ -54,7 +54,10 @@ struct RunFailure
 
 /**
  * Worker threads runMany() fans across: EMC_BENCH_THREADS if set,
- * else the hardware concurrency.
+ * else the hardware concurrency — except on small machines
+ * (hardware_concurrency() <= 2), where jobs run inline on one thread:
+ * the thread-pool overhead outweighs any overlap there, and inline
+ * failures carry full backtraces.
  */
 unsigned benchThreads();
 
@@ -104,6 +107,18 @@ std::vector<StatDump>
 runManyWarmShared(const SystemConfig &warm_cfg,
                   const std::vector<std::string> &benchmarks,
                   const std::vector<SystemConfig> &cfgs);
+
+/**
+ * SMARTS-style sampled counterpart of runMany() (DESIGN.md §8): each
+ * job fast-warms, then alternates detailed windows of @p p.detail uops
+ * per core with fast-forwarded gaps to @p p.period, and its StatDump
+ * carries the per-window means and 95% CIs as `sampled.*` keys
+ * alongside the usual stats (which then cover detailed windows only).
+ * Results are job-indexed like runMany(); EMC_CKPT_DIR resume does not
+ * apply (sampled runs are cheap enough to restart).
+ */
+std::vector<StatDump> runManySampled(const std::vector<RunJob> &jobs,
+                                     const SampleParams &p);
 
 /**
  * Performance metric used throughout the benches: geometric mean over

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Fast-forward warming + sampled-simulation microbench
+ * (BENCH_fastwarm.json).
+ *
+ * Part 1 measures warming throughput: the same N uops per core are
+ * consumed once by the detailed simulator (full OoO/ring/DRAM timing)
+ * and once by the tag-only fastwarm path (System::fastForward), and
+ * both are reported as warmed uops/sec.  The fastwarm path must clear
+ * 10x detailed throughput in full mode — that is the whole point of
+ * functional warming.
+ *
+ * Part 2 measures sampled-run accuracy: one full detailed fig13-style
+ * run (4x mcf, EMC+GHB) against a SMARTS-style sampled run of the same
+ * workload.  The sampled 95% confidence interval must cover the
+ * full-run IPC (up to a 5% window-edge slack), and the sampled run
+ * should finish in a fraction of the detailed wall-clock.
+ *
+ * Usage: micro_fastwarm [--smoke] [output.json]
+ *   --smoke   tiny uop counts and relaxed thresholds (CI sanity run)
+ *   default output path: BENCH_fastwarm.json
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "bench/bench_util.hh"
+#include "sim/fastwarm.hh"
+#include "sim/system.hh"
+
+namespace
+{
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+emc::SystemConfig
+fig13Config()
+{
+    emc::SystemConfig cfg;
+    cfg.prefetch = emc::PrefetchConfig::kGhb;
+    cfg.emc_enabled = true;
+    return cfg;
+}
+
+/** Detailed-simulate @p uops per core; @return warmed uops/sec. */
+double
+detailedThroughput(std::uint64_t uops, double *wall_out)
+{
+    emc::SystemConfig cfg = fig13Config();
+    cfg.target_uops = uops;
+    cfg.warmup_uops = 0;
+    emc::System sys(cfg, emc::bench::homo("mcf"));
+    const auto t0 = std::chrono::steady_clock::now();
+    sys.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = seconds(t0, t1);
+    if (wall_out)
+        *wall_out = wall;
+    return static_cast<double>(uops * cfg.num_cores) / wall;
+}
+
+/** Fast-forward @p uops per core tag-only; @return warmed uops/sec. */
+double
+fastwarmThroughput(std::uint64_t uops, double *wall_out)
+{
+    emc::SystemConfig cfg = fig13Config();
+    cfg.target_uops = uops;
+    cfg.warmup_uops = 0;
+    emc::System sys(cfg, emc::bench::homo("mcf"));
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t consumed = sys.fastForward(uops);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = seconds(t0, t1);
+    if (wall_out)
+        *wall_out = wall;
+    return static_cast<double>(consumed * cfg.num_cores) / wall;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_fastwarm.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else
+            out_path = argv[i];
+    }
+
+    const std::uint64_t warm_uops = smoke ? 2'000 : 20'000;
+    const std::uint64_t run_uops = smoke ? 6'000 : 20'000;
+    const std::uint64_t warmup_uops = smoke ? 1'000 : 2'000;
+    const std::uint64_t period = smoke ? 1'500 : 2'000;
+    const std::uint64_t detail = smoke ? 400 : 500;
+
+    std::printf("warming throughput (4x mcf, EMC+GHB, %llu uops/core)\n",
+                static_cast<unsigned long long>(warm_uops));
+    double wall_detail = 0, wall_fast = 0;
+    const double tp_detail = detailedThroughput(warm_uops, &wall_detail);
+    const double tp_fast = fastwarmThroughput(warm_uops, &wall_fast);
+    const double warm_speedup = tp_fast / tp_detail;
+    std::printf("  detailed:  %12.0f uops/sec (%.2fs)\n", tp_detail,
+                wall_detail);
+    std::printf("  fastwarm:  %12.0f uops/sec (%.3fs)\n", tp_fast,
+                wall_fast);
+    std::printf("  speedup:   %12.2fx\n", warm_speedup);
+
+    std::printf("sampled accuracy (4x mcf, %llu uops/core, period %llu"
+                " detail %llu)\n",
+                static_cast<unsigned long long>(run_uops),
+                static_cast<unsigned long long>(period),
+                static_cast<unsigned long long>(detail));
+    emc::SystemConfig cfg = fig13Config();
+    cfg.target_uops = run_uops;
+    cfg.warmup_uops = warmup_uops;
+
+    emc::System full(cfg, emc::bench::homo("mcf"));
+    const auto f0 = std::chrono::steady_clock::now();
+    full.run();
+    const auto f1 = std::chrono::steady_clock::now();
+    const double wall_full = seconds(f0, f1);
+    const double full_ipc = full.dump().get("system.ipc_sum");
+
+    emc::SampleParams p;
+    p.period = period;
+    p.detail = detail;
+    emc::System sampled(cfg, emc::bench::homo("mcf"));
+    const auto s0 = std::chrono::steady_clock::now();
+    const emc::SampledStats s = sampled.runSampled(p);
+    const auto s1 = std::chrono::steady_clock::now();
+    const double wall_sampled = seconds(s0, s1);
+
+    const double err = std::abs(s.ipc_mean - full_ipc);
+    const bool covered = err <= s.ipc_ci95 + 0.05 * full_ipc;
+    std::printf("  full:      ipc=%.4f (%.2fs)\n", full_ipc, wall_full);
+    std::printf("  sampled:   ipc=%.4f +-%.4f over %llu windows"
+                " (%.2fs)\n",
+                s.ipc_mean, s.ipc_ci95,
+                static_cast<unsigned long long>(s.windows),
+                wall_sampled);
+    std::printf("  ci covers full-run ipc: %s\n",
+                covered ? "yes" : "NO");
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::perror("fopen");
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"host_hw_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"warming\": {\n");
+    std::fprintf(f, "    \"uops_per_core\": %llu,\n",
+                 static_cast<unsigned long long>(warm_uops));
+    std::fprintf(f, "    \"detailed_uops_per_sec\": %.0f,\n", tp_detail);
+    std::fprintf(f, "    \"fastwarm_uops_per_sec\": %.0f,\n", tp_fast);
+    std::fprintf(f, "    \"speedup\": %.2f\n", warm_speedup);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"sampled\": {\n");
+    std::fprintf(f, "    \"uops_per_core\": %llu,\n",
+                 static_cast<unsigned long long>(run_uops));
+    std::fprintf(f, "    \"period\": %llu,\n",
+                 static_cast<unsigned long long>(period));
+    std::fprintf(f, "    \"detail\": %llu,\n",
+                 static_cast<unsigned long long>(detail));
+    std::fprintf(f, "    \"windows\": %llu,\n",
+                 static_cast<unsigned long long>(s.windows));
+    std::fprintf(f, "    \"full_ipc\": %.4f,\n", full_ipc);
+    std::fprintf(f, "    \"sampled_ipc\": %.4f,\n", s.ipc_mean);
+    std::fprintf(f, "    \"sampled_ipc_ci95\": %.4f,\n", s.ipc_ci95);
+    std::fprintf(f, "    \"ci_covers_full\": %s,\n",
+                 covered ? "true" : "false");
+    std::fprintf(f, "    \"full_wall_sec\": %.2f,\n", wall_full);
+    std::fprintf(f, "    \"sampled_wall_sec\": %.2f\n", wall_sampled);
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    // Smoke mode only sanity-checks that both paths run; full mode
+    // enforces the acceptance thresholds.
+    if (!smoke && warm_speedup < 10.0) {
+        std::printf("ERROR: fastwarm speedup %.2fx below 10x\n",
+                    warm_speedup);
+        return 1;
+    }
+    if (!covered) {
+        std::printf("ERROR: sampled CI missed the full-run IPC\n");
+        return 1;
+    }
+    return 0;
+}

@@ -51,6 +51,21 @@ Cache::peek(Addr addr) const
     return const_cast<Cache *>(this)->peek(addr);
 }
 
+CacheLineMeta *
+Cache::warmAccess(Addr addr)
+{
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = lines_[set * ways_ + w];
+        if (line.valid && line.tag == tag) {
+            line.lru = ++lru_tick_;
+            return &line.meta;
+        }
+    }
+    return nullptr;
+}
+
 Cache::Victim
 Cache::insert(Addr addr, const CacheLineMeta &meta)
 {
@@ -92,6 +107,38 @@ Cache::insert(Addr addr, const CacheLineMeta &meta)
 }
 
 Cache::Victim
+Cache::warmInsert(Addr addr, const CacheLineMeta &meta)
+{
+    emc_assert(peek(addr) == nullptr, "insert of already-present line");
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = lines_[set * ways_ + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lru < victim->lru)
+            victim = &line;
+    }
+
+    Victim out;
+    if (victim->valid) {
+        out.valid = true;
+        out.addr = (victim->tag * sets_ + set) << kLineShift;
+        out.meta = victim->meta;
+    }
+
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = ++lru_tick_;
+    victim->meta = meta;
+    return out;
+}
+
+Cache::Victim
 Cache::invalidate(Addr addr)
 {
     const std::size_t set = setIndex(addr);
@@ -118,6 +165,19 @@ Cache::validLines() const
     for (const auto &line : lines_)
         n += line.valid ? 1 : 0;
     return n;
+}
+
+void
+Cache::forEachValidLine(
+    const std::function<void(Addr, const CacheLineMeta &)> &fn) const
+{
+    for (std::size_t set = 0; set < sets_; ++set) {
+        for (unsigned w = 0; w < ways_; ++w) {
+            const Line &line = lines_[set * ways_ + w];
+            if (line.valid)
+                fn((line.tag * sets_ + set) << kLineShift, line.meta);
+        }
+    }
 }
 
 void

@@ -102,10 +102,27 @@ class Cache
     const CacheLineMeta *peek(Addr addr) const;
 
     /**
+     * Functional-warming probe (DESIGN.md §8): updates LRU exactly as
+     * access() would — so the replacement state a fast-forwarded run
+     * leaves behind matches a detailed run's — but touches no hit/miss
+     * statistics. Fastwarm code must use this instead of access().
+     * @retval nullptr on miss, else the line's metadata (mutable)
+     */
+    CacheLineMeta *warmAccess(Addr addr);
+
+    /**
      * Insert the line for @p addr (must not be present), evicting the
      * LRU way if the set is full.
      */
     Victim insert(Addr addr, const CacheLineMeta &meta = {});
+
+    /**
+     * Functional-warming insert: identical tag/LRU/victim behaviour to
+     * insert(), but no eviction statistics and no trace hook (fastwarm
+     * runs outside simulated time, so an llc_evict instant would carry
+     * a meaningless cycle).
+     */
+    Victim warmInsert(Addr addr, const CacheLineMeta &meta = {});
 
     /** Remove the line for @p addr if present. @return its metadata. */
     Victim invalidate(Addr addr);
@@ -117,6 +134,14 @@ class Cache
 
     /** Count of valid lines (tests / occupancy studies). */
     std::size_t validLines() const;
+
+    /**
+     * Enumerate every valid line as (line address, metadata). Used by
+     * the fastwarm validation mode to compare tag state between a
+     * fast-warmed and a detailed-warmed machine.
+     */
+    void forEachValidLine(
+        const std::function<void(Addr, const CacheLineMeta &)> &fn) const;
 
     /**
      * Tag-store structural check: no set may hold the same tag in two

@@ -9,6 +9,10 @@
 #include <cstdio>
 #include <cstring>
 
+#ifdef EMC_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
 #include "sim/config.hh"
 
 namespace emc::ckpt
@@ -257,16 +261,85 @@ payloadOf(const std::vector<std::uint8_t> &file)
     return {file.begin() + static_cast<std::ptrdiff_t>(poff), file.end()};
 }
 
-void
-writeFile(const std::string &path, const std::vector<std::uint8_t> &bytes)
+bool
+compressionAvailable()
 {
+#ifdef EMC_HAVE_ZLIB
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+isCompressedImage(const std::vector<std::uint8_t> &bytes)
+{
+    return bytes.size() >= 16
+           && std::memcmp(bytes.data(), kZMagic, 8) == 0;
+}
+
+std::vector<std::uint8_t>
+compressImage(const std::vector<std::uint8_t> &raw)
+{
+#ifdef EMC_HAVE_ZLIB
+    uLongf zlen = compressBound(static_cast<uLong>(raw.size()));
+    std::vector<std::uint8_t> out(16 + zlen);
+    std::memcpy(out.data(), kZMagic, 8);
+    const std::uint64_t rawlen = raw.size();
+    for (unsigned i = 0; i < 8; ++i)
+        out[8 + i] = static_cast<std::uint8_t>(rawlen >> (8 * i));
+    const int rc = compress2(out.data() + 16, &zlen, raw.data(),
+                             static_cast<uLong>(raw.size()),
+                             Z_DEFAULT_COMPRESSION);
+    if (rc != Z_OK)
+        throw Error("deflate of checkpoint image failed");
+    out.resize(16 + zlen);
+    return out;
+#else
+    (void)raw;
+    throw Error("checkpoint compression unavailable: built without "
+                "zlib");
+#endif
+}
+
+std::vector<std::uint8_t>
+maybeDecompressImage(std::vector<std::uint8_t> bytes)
+{
+    if (!isCompressedImage(bytes))
+        return bytes;
+#ifdef EMC_HAVE_ZLIB
+    std::uint64_t rawlen = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        rawlen |= static_cast<std::uint64_t>(bytes[8 + i]) << (8 * i);
+    std::vector<std::uint8_t> raw(rawlen);
+    uLongf got = static_cast<uLongf>(rawlen);
+    const int rc =
+        uncompress(raw.data(), &got, bytes.data() + 16,
+                   static_cast<uLong>(bytes.size() - 16));
+    if (rc != Z_OK || got != rawlen) {
+        throw Error("inflate of compressed checkpoint failed (file "
+                    "corrupt or truncated)");
+    }
+    return raw;
+#else
+    throw Error("compressed checkpoint needs a zlib-enabled build");
+#endif
+}
+
+void
+writeFile(const std::string &path, const std::vector<std::uint8_t> &bytes,
+          bool compress)
+{
+    std::vector<std::uint8_t> zimg;
+    const std::vector<std::uint8_t> &img =
+        compress ? (zimg = compressImage(bytes)) : bytes;
     const std::string tmp = path + ".tmp";
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (f == nullptr)
         throw Error("cannot open '" + tmp + "' for writing");
     const std::size_t wrote =
-        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
-    const bool ok = (wrote == bytes.size()) && (std::fclose(f) == 0);
+        img.empty() ? 0 : std::fwrite(img.data(), 1, img.size(), f);
+    const bool ok = (wrote == img.size()) && (std::fclose(f) == 0);
     if (!ok) {
         std::remove(tmp.c_str());
         throw Error("short write to '" + tmp + "'");
@@ -292,7 +365,7 @@ readFile(const std::string &path)
     std::fclose(f);
     if (err)
         throw Error("read error on checkpoint '" + path + "'");
-    return out;
+    return maybeDecompressImage(std::move(out));
 }
 
 } // namespace emc::ckpt

@@ -10,6 +10,17 @@
  *   payload: the serialized System state; each section opens with an
  *            8-byte marker that load() re-validates
  *
+ * On-disk images may additionally be wrapped in a deflate container
+ * (zlib builds only):
+ *
+ *   magic "EMCKPTZ\n" (8 raw bytes)
+ *   raw image size in bytes (u64, little-endian)
+ *   deflate stream of the EMCKPT1 image above
+ *
+ * readFile() inflates transparently, so every consumer (restore,
+ * emcckpt, bench resume) reads both formats; compression is opt-in at
+ * write time (writeFile(..., compress=true)).
+ *
  * Two checkpoint levels:
  *
  *   kFull    complete machine state. Restore requires an identically
@@ -43,8 +54,10 @@ struct SystemConfig;
 namespace emc::ckpt
 {
 
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 constexpr char kMagic[8] = {'E', 'M', 'C', 'K', 'P', 'T', '1', '\n'};
+/// Outer magic of a deflate-compressed image.
+constexpr char kZMagic[8] = {'E', 'M', 'C', 'K', 'P', 'T', 'Z', '\n'};
 
 /** Checkpoint completeness level (see file header). */
 enum class Level : std::uint32_t
@@ -132,11 +145,39 @@ Header parseHeader(const std::vector<std::uint8_t> &file,
 /** Split a validated file image into its payload bytes. */
 std::vector<std::uint8_t> payloadOf(const std::vector<std::uint8_t> &file);
 
-/** Atomic write: to "<path>.tmp", then rename over @p path. */
-void writeFile(const std::string &path,
-               const std::vector<std::uint8_t> &bytes);
+/** True when this build can produce compressed images (zlib). */
+bool compressionAvailable();
 
-/** Read a whole file. Throws ckpt::Error on open/read failure. */
+/** True when @p bytes carries the compressed-image outer magic. */
+bool isCompressedImage(const std::vector<std::uint8_t> &bytes);
+
+/**
+ * Wrap a raw EMCKPT1 image in the EMCKPTZ deflate container. Throws
+ * ckpt::Error when the build lacks zlib (compressionAvailable()).
+ */
+std::vector<std::uint8_t>
+compressImage(const std::vector<std::uint8_t> &raw);
+
+/**
+ * Inflate an EMCKPTZ container back to the raw image; bytes without
+ * the EMCKPTZ magic pass through unchanged. Throws ckpt::Error on a
+ * corrupt stream, or on any compressed image in a zlib-less build.
+ */
+std::vector<std::uint8_t>
+maybeDecompressImage(std::vector<std::uint8_t> bytes);
+
+/**
+ * Atomic write: to "<path>.tmp", then rename over @p path. With
+ * @p compress, the image is deflate-wrapped first (zlib builds only).
+ */
+void writeFile(const std::string &path,
+               const std::vector<std::uint8_t> &bytes,
+               bool compress = false);
+
+/**
+ * Read a whole file, transparently inflating compressed images.
+ * Throws ckpt::Error on open/read failure.
+ */
 std::vector<std::uint8_t> readFile(const std::string &path);
 
 } // namespace emc::ckpt

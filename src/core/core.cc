@@ -156,6 +156,64 @@ Core::skipIdleCycles(std::uint64_t n)
 }
 
 // --------------------------------------------------------------------
+// Functional warming (DESIGN.md §8)
+// --------------------------------------------------------------------
+
+bool
+Core::warmStep(WarmPort &port)
+{
+    emc_assert(ckptQuiescent(),
+               "warmStep on a core with in-flight pipeline state");
+
+    // Consume the parked front-end uop first so a detailed run can
+    // hand over mid-fetch (its deferred uop was produced but never
+    // dispatched, so the predictor/TLB/cache have not seen it yet).
+    DynUop d;
+    if (have_deferred_uop_) {
+        d = deferred_uop_;
+        have_deferred_uop_ = false;
+    } else if (!trace_->next(d)) {
+        return false;
+    }
+
+    // Architectural register write, in place: the fast path never
+    // renames, so the RAT keeps its identity mapping and serWarm()'s
+    // read-through-the-RAT view sees exactly these values.
+    if (d.uop.hasDst()) {
+        PhysReg &pr = prf_[rat_[d.uop.dst]];
+        pr.value = isLoad(d.uop.op) ? d.mem_value : d.result;
+        pr.ready = true;
+        pr.taint = false;
+        pr.taint_depth = 0;
+        pr.taint_src = 0;
+    }
+
+    // Branches train the predictor once per dispatched branch, exactly
+    // as fetchRenameDispatch does — same prefix, same tables.
+    if (isBranch(d.uop.op) && cfg_.use_branch_predictor)
+        bp_.predictAndUpdate(d.uop.pc, d.taken);
+
+    if (isLoad(d.uop.op)) {
+        const Addr paddr = tlb_.warmTranslate(*pt_, d.vaddr);
+        const Addr line = lineAlign(paddr);
+        if (l1d_.warmAccess(line) == nullptr) {
+            // Mirror the fill path: the returning line is inserted
+            // into the L1; the victim is dropped (write-through L1,
+            // stale LLC presence bits are benign).
+            l1d_.warmInsert(line);
+            port.warmLine(id_, line, d.uop.pc, false);
+        }
+    } else if (isStore(d.uop.op)) {
+        const Addr paddr = tlb_.warmTranslate(*pt_, d.vaddr);
+        const Addr line = lineAlign(paddr);
+        // Write-through, no-write-allocate: no L1 state changes
+        // (drainStoreBuffer only peeks), every store goes out.
+        port.warmLine(id_, line, d.uop.pc, true);
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
 // Fetch / rename / dispatch
 // --------------------------------------------------------------------
 

@@ -159,6 +159,25 @@ struct CoreStats
 };
 
 /**
+ * Chip services a functionally-warming core needs (DESIGN.md §8): the
+ * LLC-and-beyond side of a warm access. Deliberately tiny — the fast
+ * path has no timing, so there is nothing to request or wait for.
+ */
+class WarmPort
+{
+  public:
+    virtual ~WarmPort() = default;
+
+    /**
+     * An access left this core during functional warming: a load that
+     * missed L1, or any store (write-through). The implementation
+     * touches LLC tags/metadata only.
+     */
+    virtual void warmLine(CoreId core, Addr paddr_line, Addr pc,
+                          bool is_store) = 0;
+};
+
+/**
  * One out-of-order core. The System drives it via tick() and delivers
  * memory-system events through the notification methods.
  */
@@ -222,6 +241,20 @@ class Core
     /** Back-invalidate an L1 line (LLC eviction, inclusive hierarchy). */
     void invalidateL1(Addr paddr_line);
 
+    // ---- functional warming (DESIGN.md §8) ----
+
+    /**
+     * Consume and functionally "dispatch" one uop from the trace:
+     * architectural register values, branch predictor, TLB and L1 tags
+     * are updated exactly as the detailed pipeline would in program
+     * order, but no ROB/RS/LSQ/MSHR state is built and no cycle
+     * passes. Accesses that leave the core go to @p port. Must only be
+     * called on a quiescent core (ckptQuiescent()).
+     *
+     * @retval false the trace is exhausted (nothing consumed)
+     */
+    bool warmStep(WarmPort &port);
+
     // ---- accessors ----
 
     const CoreStats &stats() const { return stats_; }
@@ -233,7 +266,11 @@ class Core
     bool fullWindowStalled() const { return full_window_stall_; }
     CoreId id() const { return id_; }
     const Cache &l1d() const { return l1d_; }
+    const Tlb &tlb() const { return tlb_; }
     const CoreConfig &config() const { return cfg_; }
+
+    /** A fetched-but-undispatched uop is parked in the front-end. */
+    bool hasDeferredUop() const { return have_deferred_uop_; }
 
     /** The dependent-miss trigger counter (tests). */
     const SatCounter &depMissCounter() const { return dep_counter_; }

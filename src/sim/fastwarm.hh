@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fast-forward functional warming + SMARTS-style interval sampling
+ * (DESIGN.md §8).
+ *
+ * The fast path consumes the same workload uop streams as detailed
+ * simulation but updates only *functional* and *warmable* state:
+ * architectural registers, branch-predictor tables, TLB residency,
+ * L1/LLC tags+metadata and the EMC miss predictor. No ROB, MSHR, ring,
+ * DRAM or event-queue state is touched and no cycle passes — which is
+ * what buys the >=10x throughput (bench/micro_fastwarm) and what the
+ * fastwarm-timing lint rule enforces.
+ *
+ * The structs here parameterize System::fastForward()/runSampled()
+ * (defined in fastwarm.cc) and carry the validation-mode comparison
+ * between a fast-warmed and a detailed-warmed machine.
+ */
+
+#ifndef EMC_SIM_FASTWARM_HH
+#define EMC_SIM_FASTWARM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace emc
+{
+
+class System;
+
+/** SMARTS-style sampling parameters (per-core uop counts). */
+struct SampleParams
+{
+    /// Total uops per core per window (detailed prefix + fast-forward
+    /// remainder).
+    std::uint64_t period = 10000;
+    /// Uops per core simulated in detail at the head of each window.
+    std::uint64_t detail = 1000;
+};
+
+/** Per-window measurements and their 95% confidence intervals. */
+struct SampledStats
+{
+    std::uint64_t windows = 0;
+
+    /// Aggregate IPC (sum of per-core retired / window cycles) of each
+    /// detailed window, and its mean +- half-width.
+    std::vector<double> window_ipc;
+    double ipc_mean = 0;
+    double ipc_ci95 = 0;
+
+    /// Mean dependent-miss end-to-end latency of each detailed window
+    /// (windows with no dependent miss contribute no sample).
+    std::vector<double> window_dep_lat;
+    double dep_lat_mean = 0;
+    double dep_lat_ci95 = 0;
+};
+
+/**
+ * Validation-mode comparison of the warmable state of two machines
+ * (DESIGN.md §8). Physical frame assignment is first-touch-ordered and
+ * the two paths touch pages in different orders, so cache and TLB
+ * contents are compared in *virtual* space via each core's page table;
+ * the branch predictor sees the identical dispatched prefix in both
+ * paths and must match bit-for-bit.
+ */
+struct WarmStateDiff
+{
+    bool bp_equal = false;      ///< predictor images byte-identical
+    double tlb_jaccard = 0;     ///< resident-vpage set overlap
+    double l1_jaccard = 0;      ///< (core, virtual line) set overlap
+    double llc_jaccard = 0;     ///< (core, virtual line) set overlap
+    std::size_t l1_lines_a = 0, l1_lines_b = 0;
+    std::size_t llc_lines_a = 0, llc_lines_b = 0;
+};
+
+/**
+ * Compare the warmable state of @p a (e.g. detailed-warmed) and @p b
+ * (e.g. fast-warmed). Both must have the same core count and geometry.
+ */
+WarmStateDiff compareWarmState(const System &a, const System &b);
+
+/** Mean of @p xs (0 when empty). */
+double sampleMean(const std::vector<double> &xs);
+
+/**
+ * Half-width of the 95% confidence interval of the mean of @p xs
+ * (1.96 * s / sqrt(n); 0 when n < 2).
+ */
+double ciHalfWidth95(const std::vector<double> &xs);
+
+} // namespace emc
+
+#endif // EMC_SIM_FASTWARM_HH

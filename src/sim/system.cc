@@ -1515,9 +1515,15 @@ System::maybeSkipIdle()
         // the machine is never idle; skipping is purely an
         // optimization, so deferring the next attempt never changes
         // any stat (only shortens the windows we manage to skip).
-        next_skip_check_ = now_ + 16;
+        // The backoff doubles per consecutive failure (up to the cap)
+        // so phases that never go idle converge to one scan per 4096
+        // cycles instead of one per 16, and resets as soon as a skip
+        // succeeds so bursty-idle phases keep skipping promptly.
+        next_skip_check_ = now_ + skip_backoff_;
+        skip_backoff_ = std::min(skip_backoff_ * 2, kSkipBackoffMax);
         return;
     }
+    skip_backoff_ = kSkipBackoffMin;
     const std::uint64_t n = target - (now_ + 1);
     now_ += n;
     for (auto &c : cores_)
@@ -1831,6 +1837,15 @@ System::dump() const
     d.put("energy.emc_dynamic_mj", eb.emc_dynamic_mj);
     d.put("energy.static_mj", eb.static_mj);
     d.put("energy.total_mj", eb.totalMj());
+
+    // Sampled-simulation summary (populated by runSampled()).
+    if (sampled_.windows > 0) {
+        d.put("sampled.windows", static_cast<double>(sampled_.windows));
+        d.put("sampled.ipc_mean", sampled_.ipc_mean);
+        d.put("sampled.ipc_ci95", sampled_.ipc_ci95);
+        d.put("sampled.dep_lat_mean", sampled_.dep_lat_mean);
+        d.put("sampled.dep_lat_ci95", sampled_.dep_lat_ci95);
+    }
 
     return d;
 }

@@ -31,6 +31,7 @@
 #include "ring/ring.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/fastwarm.hh"
 #include "isa/trace_io.hh"
 #include "workload/synthetic.hh"
 
@@ -80,6 +81,47 @@ class System : public CorePort
     /** Run until every core reaches its uop target (or max_cycles). */
     void run();
 
+    // ---- functional warming + sampling (DESIGN.md §8; fastwarm.cc) --
+
+    /**
+     * Fast-forward every core by up to @p uops_per_core uops through
+     * the functional-warming path: architectural registers, branch
+     * predictors, TLBs, L1s, LLC and the EMC miss predictors advance;
+     * no cycle passes and no timing state is touched. The machine must
+     * be quiescent (freshly constructed, or drained between sample
+     * windows). @return uops actually consumed, summed over cores.
+     */
+    std::uint64_t fastForward(std::uint64_t uops_per_core);
+
+    /**
+     * Per-core variant: core i consumes up to @p uops_per_core[i]
+     * uops. Validation mode uses this to replay the exact dispatched
+     * count of a detailed warmup, which can differ across cores.
+     */
+    std::uint64_t
+    fastForward(const std::vector<std::uint64_t> &uops_per_core);
+
+    /**
+     * Produce a warmup-level checkpoint image by fast-forwarding
+     * cfg.warmup_uops uops per core instead of running detailed
+     * warmup. Identical container format/compatibility rules to
+     * warmupCheckpointBytes(); must be called on a fresh System.
+     */
+    std::vector<std::uint8_t> fastwarmCheckpointBytes();
+
+    /**
+     * SMARTS-style sampled run: after (fast) warmup, alternate
+     * detailed windows of p.detail uops per core with fast-forwarded
+     * gaps of p.period - p.detail uops per core, until cfg.target_uops
+     * total uops per core are covered. Per-window aggregate IPC and
+     * dependent-miss latency are accumulated and reported with 95%
+     * confidence intervals (also exported as `sampled.*` stats).
+     */
+    SampledStats runSampled(const SampleParams &p);
+
+    /** Results of the last runSampled() (windows == 0 before one). */
+    const SampledStats &sampled() const { return sampled_; }
+
     /** Advance a single cycle (tests). */
     void tickOnce();
 
@@ -114,6 +156,16 @@ class System : public CorePort
     }
     bool finished() const;
     Cycle coreFinishCycle(unsigned i) const { return finish_cycle_[i]; }
+    const Cache &llcSlice(unsigned i) const { return *slices_[i]; }
+    const PageTable &pageTable(unsigned i) const
+    {
+        return *page_tables_[i];
+    }
+    /** Uops produced so far by core @p i's trace source. */
+    std::uint64_t uopsProduced(unsigned i) const
+    {
+        return programs_[i]->produced();
+    }
 
     /**
      * OS-initiated TLB shootdown for @p vpage of @p core: invalidates
@@ -210,6 +262,14 @@ class System : public CorePort
      * keeps the file valid at all times). @p interval 0 disables.
      */
     void setAutosave(const std::string &path, Cycle interval);
+
+    /**
+     * Deflate-compress checkpoint images this System writes to disk
+     * (saveCheckpoint, scheduled/autosaved saves). Reads are always
+     * transparent. Throws ckpt::Error at save time if the build lacks
+     * zlib (ckpt::compressionAvailable()).
+     */
+    void setCkptCompress(bool on) { ckpt_compress_ = on; }
 
   private:
     friend struct EmcPortAdapter;
@@ -479,6 +539,12 @@ class System : public CorePort
     CalendarQueue<Event> events_;
     bool cycle_skip_enabled_ = true;  ///< EMC_NO_CYCLE_SKIP clears it
     Cycle next_skip_check_ = 0;       ///< backoff after failed skips
+    /// Adaptive failed-skip backoff: doubles per consecutive failed
+    /// attempt up to the cap, resets on a successful skip, so phases
+    /// that never go idle stop paying for the quiescence scan.
+    Cycle skip_backoff_ = kSkipBackoffMin;
+    static constexpr Cycle kSkipBackoffMin = 16;
+    static constexpr Cycle kSkipBackoffMax = 4096;
     std::unordered_map<std::uint64_t, InFlightChain> chains_in_flight_;
     std::unordered_map<std::uint64_t, InFlightResult> results_in_flight_;
     std::unordered_map<std::uint64_t, LsqMsg> lsq_msgs_;
@@ -537,6 +603,10 @@ class System : public CorePort
                      std::vector<ckpt::Section> *toc);
     void ckptRefuseIfObserved(const char *what) const;
     void ckptDrainForWarmup();
+    /** Tick with fetch gated until every in-flight structure drains. */
+    void drainInFlight();
+    /** Assemble a warmup-level image from the current (drained) state. */
+    std::vector<std::uint8_t> warmupImageBytes();
     void maybeCheckpoint();
     std::string ckpt_path_;
     Cycle ckpt_at_ = kNoCycle;
@@ -544,6 +614,14 @@ class System : public CorePort
     std::string autosave_path_;
     Cycle autosave_interval_ = 0;
     Cycle next_autosave_ = kNoCycle;
+    bool ckpt_compress_ = false;
+
+    // Functional warming + sampling (DESIGN.md §8; fastwarm.cc).
+    friend class LlcWarmPort;
+    /** WarmPort sink: LLC tag/metadata update for one warm access. */
+    void warmLineAtLlc(CoreId core, Addr paddr_line, Addr pc,
+                       bool is_store);
+    SampledStats sampled_;
 
     // Observability (DESIGN.md §6). The tracer is null unless enabled
     // (hooks are then a single null test each); the phase accumulator

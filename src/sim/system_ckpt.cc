@@ -70,6 +70,7 @@ System::ckptPayload(ckpt::Ar &ar, ckpt::Level level,
         ar.io(warmed_up_);
         ar.io(warmup_end_cycle_);
         ar.io(next_skip_check_);
+        ar.io(skip_backoff_);
         ar.io(next_deep_check_);
         ar.io(traffic_);
         ar.io(finish_cycle_);
@@ -226,11 +227,17 @@ System::saveCheckpointBytes(ckpt::Level level)
 void
 System::saveCheckpoint(const std::string &path, ckpt::Level level)
 {
-    ckpt::writeFile(path, saveCheckpointBytes(level));
+    ckpt::writeFile(path, saveCheckpointBytes(level), ckpt_compress_);
 }
 
 void
 System::ckptDrainForWarmup()
+{
+    drainInFlight();
+}
+
+void
+System::drainInFlight()
 {
     for (auto &c : cores_)
         c->pauseFetch(true);
@@ -304,15 +311,21 @@ System::warmupCheckpointBytes()
         throw ckpt::Error("hit max_cycles before warmup completed");
     ckptDrainForWarmup();
 
+    std::vector<std::uint8_t> bytes = warmupImageBytes();
+    for (auto &c : cores_)
+        c->pauseFetch(false);
+    return bytes;
+}
+
+std::vector<std::uint8_t>
+System::warmupImageBytes()
+{
     ckpt::Ar ar = ckpt::Ar::saver();
     ckpt::Header h;
     h.level = ckpt::Level::kWarmup;
     h.config_hash = ckpt::warmupConfigHash(cfg_, benchmark_names_);
     ckptPayload(ar, ckpt::Level::kWarmup, &h.sections);
-    std::vector<std::uint8_t> bytes = ckpt::assemble(h, ar.takeBytes());
-    for (auto &c : cores_)
-        c->pauseFetch(false);
-    return bytes;
+    return ckpt::assemble(h, ar.takeBytes());
 }
 
 // --------------------------------------------------------------------

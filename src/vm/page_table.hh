@@ -8,8 +8,12 @@
 #ifndef EMC_VM_PAGE_TABLE_HH
 #define EMC_VM_PAGE_TABLE_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/types.hh"
@@ -75,6 +79,33 @@ class PageTable
     }
 
     std::size_t mappedPages() const { return table_.size(); }
+
+    /**
+     * Enumerate every mapping as (vpage, pframe). Allocation order is
+     * first-touch order, which differs between program-order (fastwarm)
+     * and execute-order (detailed) runs — so fastwarm validation uses
+     * this to compare cache contents in *virtual* space, where the two
+     * agree (DESIGN.md §8).
+     */
+    void
+    forEachMapping(const std::function<void(Addr, Addr)> &fn) const
+    {
+        for (const auto &kv : sortedMappings())
+            fn(kv.first, kv.second);
+    }
+
+    /** All (vpage, pframe) pairs in ascending vpage order. */
+    std::vector<std::pair<Addr, Addr>>
+    sortedMappings() const
+    {
+        std::vector<std::pair<Addr, Addr>> out;
+        out.reserve(table_.size());
+        // lint-ok: unordered-iter (results are sorted before use)
+        for (const auto &[vp, pte] : table_)
+            out.emplace_back(vp, pte.pframe);
+        std::sort(out.begin(), out.end());
+        return out;
+    }
 
     /** Checkpoint mappings and the frame allocator state. */
     template <class A>

@@ -54,8 +54,32 @@ class Tlb
         return pt.translate(vaddr);
     }
 
+    /**
+     * Functional-warming translate (DESIGN.md §8): identical LRU and
+     * residency behaviour to translate(), but no hit/miss counters and
+     * no walk latency — fastwarm runs outside simulated time.
+     */
+    Addr
+    warmTranslate(PageTable &pt, Addr vaddr)
+    {
+        const Addr vp = pageNum(vaddr);
+        auto it = map_.find(vp);
+        if (it != map_.end())
+            lru_.splice(lru_.begin(), lru_, it->second);
+        else
+            insert(vp);
+        return pt.translate(vaddr);
+    }
+
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+
+    /**
+     * The resident virtual pages, MRU first (fastwarm validation
+     * compares the resident sets of a fast-warmed and a detailed-warmed
+     * TLB).
+     */
+    const std::list<Addr> &residentPages() const { return lru_; }
 
     /**
      * Checkpoint the LRU stack and counters; the address -> node map

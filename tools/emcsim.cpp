@@ -11,6 +11,7 @@
  *   emcsim --list
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -76,6 +77,25 @@ usage()
         "                         prefetcher configs (saves and"
         " exits)\n"
         "  --restore-ckpt FILE    restore FILE before running\n"
+        "  --ckpt-compress        deflate-compress saved images (zlib\n"
+        "                         builds; reads are always"
+        " transparent)\n"
+        "\n"
+        "functional warming + sampling (DESIGN.md §8):\n"
+        "  --fastwarm-to N        with --save-ckpt: fast-forward N"
+        " uops\n"
+        "                         per core through tag-only warming,\n"
+        "                         write a warmup-level image and exit\n"
+        "  --fastwarm-validate    warm once detailed and once fast,\n"
+        "                         compare predictor/TLB/cache state"
+        " and\n"
+        "                         exit nonzero on disagreement\n"
+        "  --sample-period N      SMARTS sampling: total uops per core\n"
+        "                         per window (fast-forward + detail)\n"
+        "  --sample-detail N      uops per core simulated in detail"
+        " at\n"
+        "                         each window head (default"
+        " period/10)\n"
         "\n"
         "observability (DESIGN.md §6):\n"
         "  --trace FILE           write a Chrome trace_event JSON of\n"
@@ -155,6 +175,11 @@ main(int argc, char **argv)
     std::string restore_ckpt;
     std::uint64_t ckpt_at = ~0ull;
     ckpt::Level ckpt_level = ckpt::Level::kFull;
+    bool ckpt_compress = false;
+    std::uint64_t fastwarm_to = 0;
+    bool fastwarm_validate = false;
+    std::uint64_t sample_period = 0;
+    std::uint64_t sample_detail = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -264,6 +289,18 @@ main(int argc, char **argv)
                              l.c_str());
                 return 2;
             }
+        } else if (a == "--ckpt-compress") {
+            ckpt_compress = true;
+        } else if (a == "--fastwarm-to") {
+            if (!parseU64(need("--fastwarm-to"), fastwarm_to)) return 2;
+        } else if (a == "--fastwarm-validate") {
+            fastwarm_validate = true;
+        } else if (a == "--sample-period") {
+            if (!parseU64(need("--sample-period"), sample_period))
+                return 2;
+        } else if (a == "--sample-detail") {
+            if (!parseU64(need("--sample-detail"), sample_detail))
+                return 2;
         } else if (a == "--trace") {
             cfg.trace_path = need("--trace");
         } else if (a == "--trace-interval") {
@@ -312,7 +349,31 @@ main(int argc, char **argv)
         std::fprintf(stderr, "--ckpt-at requires --save-ckpt\n");
         return 2;
     }
-    if (!save_ckpt.empty() && ckpt_level == ckpt::Level::kFull
+    if (ckpt_compress && !ckpt::compressionAvailable()) {
+        std::fprintf(stderr, "--ckpt-compress needs a zlib-enabled"
+                             " build\n");
+        return 2;
+    }
+    if (fastwarm_to != 0 && save_ckpt.empty()) {
+        std::fprintf(stderr, "--fastwarm-to requires --save-ckpt\n");
+        return 2;
+    }
+    if (sample_detail != 0 && sample_period == 0) {
+        std::fprintf(stderr,
+                     "--sample-detail requires --sample-period\n");
+        return 2;
+    }
+    if (sample_period != 0) {
+        if (sample_detail == 0)
+            sample_detail = std::max<std::uint64_t>(sample_period / 10, 1);
+        if (sample_detail > sample_period) {
+            std::fprintf(stderr, "--sample-detail must be <="
+                                 " --sample-period\n");
+            return 2;
+        }
+    }
+    if (!save_ckpt.empty() && fastwarm_to == 0
+        && ckpt_level == ckpt::Level::kFull
         && ckpt_at == ~0ull) {
         std::fprintf(stderr, "--save-ckpt at the full level needs"
                              " --ckpt-at N (warmup level saves after"
@@ -320,10 +381,69 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (fastwarm_validate) {
+        // Warm one machine through the detailed pipeline and one
+        // through the tag-only fast path, then compare the warmable
+        // state (DESIGN.md §8). Frame allocation order differs, so
+        // caches/TLBs are compared in virtual space; the predictors
+        // must match bit-for-bit once the fast path replays the exact
+        // per-core dispatched uop counts.
+        if (cfg.warmup_uops == 0) {
+            std::fprintf(stderr,
+                         "--fastwarm-validate needs --warmup > 0\n");
+            return 2;
+        }
+        try {
+            System detailed(cfg, workload);
+            (void)detailed.warmupCheckpointBytes();
+            std::vector<std::uint64_t> dispatched(cfg.num_cores);
+            for (unsigned i = 0; i < cfg.num_cores; ++i) {
+                dispatched[i] =
+                    detailed.uopsProduced(i)
+                    - (detailed.core(i).hasDeferredUop() ? 1 : 0);
+            }
+            System fast(cfg, workload);
+            fast.fastForward(dispatched);
+            const WarmStateDiff d = compareWarmState(detailed, fast);
+            std::printf("fastwarm validation:\n"
+                        "  branch predictors : %s\n"
+                        "  tlb overlap       : %.4f\n"
+                        "  l1 overlap        : %.4f (%zu vs %zu lines)\n"
+                        "  llc overlap       : %.4f (%zu vs %zu lines)\n",
+                        d.bp_equal ? "byte-identical" : "DIVERGED",
+                        d.tlb_jaccard, d.l1_jaccard, d.l1_lines_a,
+                        d.l1_lines_b, d.llc_jaccard, d.llc_lines_a,
+                        d.llc_lines_b);
+            const bool ok = d.bp_equal && d.tlb_jaccard >= 0.8
+                            && d.l1_jaccard >= 0.6
+                            && d.llc_jaccard >= 0.7;
+            std::printf("fastwarm validation %s\n",
+                        ok ? "PASSED" : "FAILED");
+            return ok ? 0 : 1;
+        } catch (const ckpt::Error &e) {
+            std::fprintf(stderr, "fastwarm validation error: %s\n",
+                         e.what());
+            return 1;
+        }
+    }
+
     System sys(cfg, workload);
+    sys.setCkptCompress(ckpt_compress);
     try {
         if (!restore_ckpt.empty())
             sys.restoreCheckpoint(restore_ckpt);
+        if (fastwarm_to != 0) {
+            // Dedicated fast-warming run: produce a warmup-level image
+            // without ever entering detailed simulation.
+            SystemConfig warm_cfg = cfg;
+            warm_cfg.warmup_uops = fastwarm_to;
+            System warm(warm_cfg, workload);
+            ckpt::writeFile(save_ckpt, warm.fastwarmCheckpointBytes(),
+                            ckpt_compress);
+            std::printf("wrote fastwarm checkpoint %s\n",
+                        save_ckpt.c_str());
+            return 0;
+        }
         if (!save_ckpt.empty()) {
             if (ckpt_level == ckpt::Level::kWarmup) {
                 // Draining to the warmup snapshot perturbs this run's
@@ -336,7 +456,19 @@ main(int argc, char **argv)
             }
             sys.scheduleCheckpoint(save_ckpt, ckpt_at);
         }
-        sys.run();
+        if (sample_period != 0) {
+            SampleParams p;
+            p.period = sample_period;
+            p.detail = sample_detail;
+            const SampledStats s = sys.runSampled(p);
+            std::printf("sampled: windows=%llu ipc=%.4f +-%.4f"
+                        " dep_lat=%.1f +-%.1f (95%% CI)\n",
+                        static_cast<unsigned long long>(s.windows),
+                        s.ipc_mean, s.ipc_ci95, s.dep_lat_mean,
+                        s.dep_lat_ci95);
+        } else {
+            sys.run();
+        }
     } catch (const ckpt::Error &e) {
         std::fprintf(stderr, "checkpoint error: %s\n", e.what());
         return 1;

@@ -28,6 +28,15 @@ Rules (stdlib-only, regex-based -- fast enough to run on every CI push):
                  EMC_SIM_TRACE=OFF build does not evaluate them, so a
                  side effect there silently changes simulation
                  behaviour between build flavours.
+  fastwarm-timing
+                 Functional-warming code (fastwarm.* files plus any
+                 warmXxx()/fastForwardXxx() function region) must stay
+                 tag-only: no event scheduling, stat mutation, traffic
+                 accounting, or observability hooks.  The warming
+                 contract (DESIGN.md #8) promises that fast-forwarded
+                 and detailed-warmed runs produce identical measured
+                 stats; a timing or stat side effect on the warm path
+                 silently breaks that equivalence.
   ckpt-field     Serialization code (ser()/ckptSer()/ckptSave()/
                  ckptLoad() bodies, including lambdas passed to the
                  ckptSave/ckptLoad hooks) must not write raw pointers
@@ -55,7 +64,7 @@ import sys
 SOURCE_EXTS = {".cc", ".cpp", ".cxx", ".hh", ".hpp", ".h"}
 
 RULES = ("rng", "unordered-iter", "raw-new", "event-push", "stat-dup",
-         "trace-hook", "ckpt-field")
+         "trace-hook", "ckpt-field", "fastwarm-timing")
 
 # rng: tokens that introduce nondeterminism or wall-clock dependence.
 RNG_RE = re.compile(
@@ -90,6 +99,16 @@ TRACE_HOOK_OPEN_RE = re.compile(r"\bEMC_OBS_POINT\s*\(")
 TRACE_SIDE_EFFECT_RE = re.compile(
     r"\+\+|--|[^=!<>+\-*/|&^](?:[+\-*/|&^]|<<|>>)?=[^=]"
 )
+
+# fastwarm-timing: functional-warming code must not touch the timing
+# model or the stat machinery.  warm-prefixed (capitalized next letter,
+# so warmupCheckpointBytes -- which legitimately drives the detailed
+# simulator -- is excluded) and fastForward-prefixed function regions
+# are scanned, plus fastwarm.* files wholesale.
+FASTWARM_FN_RE = re.compile(r"\b(?:warm[A-Z]\w*|fastForward\w*)\s*\(")
+FASTWARM_BANNED_RE = re.compile(
+    r"\bschedule\s*\(|\bevents_\b|\.sample\s*\(|\btraffic_\b"
+    r"|\btracer_\b|\bstreamer_\b|\bEMC_OBS_POINT\b|\bstats_\b")
 
 # ckpt-field: serialization regions (ser/ckptSer bodies and
 # ckptSave/ckptLoad calls including their lambda arguments) must not
@@ -256,6 +275,36 @@ class Linter:
                             "does not survive restore -- serialize a "
                             "stable id and rebuild the pointer on load")
 
+    # -- fastwarm-timing: timing/stat side effects on warm paths -------
+
+    def fastwarm_hit(self, path, lineno, chunk, ok, flagged):
+        bm = FASTWARM_BANNED_RE.search(chunk)
+        if not bm or lineno in flagged:
+            return
+        flagged.add(lineno)
+        if "fastwarm-timing" not in ok.get(lineno, ()):
+            self.report(
+                path, lineno, "fastwarm-timing",
+                f"'{bm.group(0).strip()}' on a functional-warming "
+                "path; warming must be tag-only (no events, stats, "
+                "traffic, or trace hooks -- DESIGN.md #8)")
+
+    def check_fastwarm(self, path, lines, ok):
+        flagged = set()
+        if os.path.basename(path).startswith("fastwarm"):
+            for i, line in enumerate(lines, start=1):
+                self.fastwarm_hit(path, i, code_part(line), ok, flagged)
+            return
+        # Elsewhere, scan warmXxx()/fastForwardXxx() regions only.
+        # Declarations and call sites balance out at the ';' after a
+        # few lines; definitions span their whole body (the same
+        # walker the ckpt-field rule uses).
+        for i, line in enumerate(lines, start=1):
+            for m in FASTWARM_FN_RE.finditer(code_part(line)):
+                for lineno, chunk in self.ckpt_region(lines, i,
+                                                      m.start()):
+                    self.fastwarm_hit(path, lineno, chunk, ok, flagged)
+
     # -- pass 1: collect unordered-container member names --------------
 
     def collect_unordered_members(self, files):
@@ -281,6 +330,7 @@ class Linter:
         trace_exempt = any(e in rel for e in TRACE_RECORD_EXEMPT)
 
         self.check_ckpt_fields(path, lines, ok)
+        self.check_fastwarm(path, lines, ok)
 
         range_for_re = None
         if unordered_members:
