@@ -6,11 +6,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "ckpt/store.hh"
 #include "common/thread_pool.hh"
+#include "sweep/sweep.hh"
 #include "workload/profile.hh"
 
 namespace emc::bench
@@ -87,38 +90,146 @@ fileExists(const std::string &path)
     return std::ifstream(path).good();
 }
 
+/** Non-empty env var, or nullptr. */
+const char *
+envOr(const char *name)
+{
+    const char *v = std::getenv(name);
+    return (v && *v) ? v : nullptr;
+}
+
 /**
- * One runMany() job, honoring the EMC_CKPT_DIR resume protocol: load
- * the job's .stats sidecar if a previous sweep already finished it,
- * otherwise restore its autosaved .ckpt (if any), run with periodic
- * autosave, and leave the sidecar behind for the next rerun.
+ * Sharded-run trace naming: job-indexed instead of the process-wide
+ * counter, because forked workers each inherit a copy of that counter
+ * and would collide on "<prefix>.run0.json".
+ */
+void
+applyShardedTraceEnv(SystemConfig &cfg, std::size_t index)
+{
+    const char *prefix = envOr("EMC_TRACE");
+    if (!prefix || !cfg.trace_path.empty())
+        return;
+    cfg.trace_path =
+        std::string(prefix) + ".job" + std::to_string(index) + ".json";
+    if (const char *iv = std::getenv("EMC_TRACE_INTERVAL"))
+        cfg.trace_interval = std::strtoull(iv, nullptr, 10);
+}
+
+/**
+ * Attach best-effort interval streaming onto the worker's message
+ * pipe (EMC_SWEEP_STREAM_INTERVAL cycles; off unless set). The lines
+ * ride the coordinator protocol as "interval" records.
+ */
+void
+maybeAttachStream(System &sys, std::size_t index, std::FILE *msg)
+{
+    const char *iv = msg ? envOr("EMC_SWEEP_STREAM_INTERVAL") : nullptr;
+    if (!iv)
+        return;
+    char prefix[64];
+    std::snprintf(prefix, sizeof prefix,
+                  "\"type\":\"interval\",\"job\":%zu,", index);
+    sys.enableStatStream(msg, std::strtoull(iv, nullptr, 10), prefix);
+}
+
+/**
+ * One runMany() job, honoring the crash-resume protocol: load the
+ * job's .stats sidecar if a previous sweep already finished it,
+ * otherwise restore its autosaved checkpoint (if any), run with
+ * periodic autosave, and leave the sidecar behind for the next rerun.
+ * Autosaves go to flat "<EMC_CKPT_DIR>/jobN.ckpt" files, or — when
+ * EMC_CKPT_STORE is set instead — into a content-addressed
+ * ckpt::Store, where config-point images of one sweep deduplicate
+ * against each other. @p msg is the sharded worker's message pipe
+ * (null for in-process runs).
  */
 StatDump
-runJob(const RunJob &job, std::size_t index)
+runJob(const RunJob &job, std::size_t index, std::FILE *msg = nullptr)
 {
-    const char *dir = std::getenv("EMC_CKPT_DIR");
-    if (!dir || !*dir)
+    const char *dir = envOr("EMC_CKPT_DIR");
+    const char *store_dir = envOr("EMC_CKPT_STORE");
+    if (!dir && !store_dir && !msg)
         return run(job.cfg, job.benchmarks);
 
-    const std::string stem =
-        std::string(dir) + "/job" + std::to_string(index);
+    SystemConfig cfg = job.cfg;
+    if (msg)
+        applyShardedTraceEnv(cfg, index);
+    else
+        applyTraceEnv(cfg);
+
+    const std::string jobname = "job" + std::to_string(index);
+    const std::string base = dir ? dir : (store_dir ? store_dir : "");
     StatDump cached;
-    if (loadStatsFile(stem + ".stats", cached))
+    if (!base.empty()
+        && loadStatsFile(base + "/" + jobname + ".stats", cached))
         return cached;
 
     Cycle interval = 1000000;
     if (const char *iv = std::getenv("EMC_CKPT_INTERVAL"))
         interval = std::strtoull(iv, nullptr, 10);
 
-    System sys(job.cfg, job.benchmarks);
-    const std::string ckpt = stem + ".ckpt";
-    if (fileExists(ckpt))
-        sys.restoreCheckpoint(ckpt);
-    sys.setAutosave(ckpt, interval);
+    System sys(cfg, job.benchmarks);
+    std::shared_ptr<ckpt::Store> store;
+    if (store_dir) {
+        store = std::make_shared<ckpt::Store>(store_dir);
+        if (store->has(jobname))
+            sys.restoreCheckpointBytes(store->get(jobname));
+    } else if (dir) {
+        const std::string ckpt = base + "/" + jobname + ".ckpt";
+        if (fileExists(ckpt))
+            sys.restoreCheckpoint(ckpt);
+    }
+    maybeAttachStream(sys, index, msg);
+    if (store) {
+        sys.setAutosave(
+            [store, jobname](std::vector<std::uint8_t> &&img) {
+                store->put(jobname, img);
+            },
+            interval);
+    } else if (dir) {
+        sys.setAutosave(base + "/" + jobname + ".ckpt", interval);
+    }
     sys.run();
     StatDump d = sys.dump();
-    writeStatsFile(stem + ".stats", d);
+    if (!base.empty())
+        writeStatsFile(base + "/" + jobname + ".stats", d);
     return d;
+}
+
+/**
+ * One runManySampled() job with sidecar-granular resume: a finished
+ * job's "<EMC_CKPT_DIR>/jobN.sampled.stats" is reloaded instead of
+ * re-simulating; an *interrupted* sampled job restarts from scratch
+ * (the fastwarm phase has no mid-run checkpoint), so resume here is
+ * job-granular, not cycle-granular.
+ */
+StatDump
+runSampledJob(const RunJob &job, const SampleParams &p,
+              std::size_t index, std::FILE *msg = nullptr)
+{
+    std::string sidecar;
+    if (const char *dir = envOr("EMC_CKPT_DIR")) {
+        sidecar = std::string(dir) + "/job" + std::to_string(index)
+                  + ".sampled.stats";
+        StatDump cached;
+        if (loadStatsFile(sidecar, cached))
+            return cached;
+    }
+    System sys(job.cfg, job.benchmarks);
+    maybeAttachStream(sys, index, msg);
+    sys.runSampled(p);
+    StatDump d = sys.dump();
+    if (!sidecar.empty())
+        writeStatsFile(sidecar, d);
+    return d;
+}
+
+/** Coordinator-side merged interval stream (EMC_SWEEP_STREAM=path). */
+std::FILE *
+openStreamSink()
+{
+    const char *path = envOr("EMC_SWEEP_STREAM");
+    return path ? std::fopen(path, "a") : nullptr;
 }
 
 } // namespace
@@ -176,10 +287,65 @@ benchThreads()
     return ThreadPool::defaultThreads();
 }
 
+unsigned
+benchProcs()
+{
+    const char *e = envOr("EMC_BENCH_PROCS");
+    if (!e)
+        return 0;
+    return static_cast<unsigned>(std::strtoul(e, nullptr, 10));
+}
+
+std::vector<StatDump>
+runManySharded(const std::vector<RunJob> &jobs, unsigned procs,
+               std::vector<RunFailure> *failures)
+{
+    sweep::ShardOptions opt;
+    opt.abort_on_fail = false;
+    opt.forward_intervals = openStreamSink();
+
+    sweep::ShardReport rep;
+    try {
+        rep = sweep::runShardedReport(
+            jobs.size(), procs,
+            [&jobs](std::size_t i, std::FILE *msg) {
+                return runJob(jobs[i], i, msg);
+            },
+            opt);
+    } catch (...) {
+        if (opt.forward_intervals)
+            std::fclose(opt.forward_intervals);
+        throw;
+    }
+    if (opt.forward_intervals)
+        std::fclose(opt.forward_intervals);
+
+    std::vector<RunFailure> failed;
+    for (const sweep::JobFailure &f : rep.failures)
+        failed.push_back({f.job, f.what});
+    if (failures) {
+        *failures = std::move(failed);
+    } else if (!failed.empty()) {
+        for (const RunFailure &f : failed) {
+            std::fprintf(stderr, "runManySharded: job %zu failed: %s\n",
+                         f.index, f.what.c_str());
+        }
+        throw std::runtime_error(
+            "runManySharded: " + std::to_string(failed.size()) + " of "
+            + std::to_string(jobs.size()) + " jobs failed (job "
+            + std::to_string(failed.front().index) + ": "
+            + failed.front().what + ")");
+    }
+    return std::move(rep.results);
+}
+
 std::vector<StatDump>
 runMany(const std::vector<RunJob> &jobs,
         std::vector<RunFailure> *failures)
 {
+    if (const unsigned procs = benchProcs())
+        return runManySharded(jobs, procs, failures);
+
     std::vector<StatDump> results(jobs.size());
     std::vector<RunFailure> failed;
     std::mutex mu;
@@ -230,6 +396,27 @@ runMany(const std::vector<RunJob> &jobs)
 std::vector<StatDump>
 runManySampled(const std::vector<RunJob> &jobs, const SampleParams &p)
 {
+    if (const unsigned procs = benchProcs()) {
+        sweep::ShardOptions opt;
+        opt.forward_intervals = openStreamSink();
+        std::vector<StatDump> results;
+        try {
+            results = sweep::runSharded(
+                jobs.size(), procs,
+                [&jobs, &p](std::size_t i, std::FILE *msg) {
+                    return runSampledJob(jobs[i], p, i, msg);
+                },
+                opt);
+        } catch (...) {
+            if (opt.forward_intervals)
+                std::fclose(opt.forward_intervals);
+            throw;
+        }
+        if (opt.forward_intervals)
+            std::fclose(opt.forward_intervals);
+        return results;
+    }
+
     std::vector<StatDump> results(jobs.size());
     std::vector<RunFailure> failed;
     std::mutex mu;
@@ -238,9 +425,7 @@ runManySampled(const std::vector<RunJob> &jobs, const SampleParams &p)
         const RunJob &job = jobs[i];
         pool.submit([&, i] {
             try {
-                System sys(job.cfg, job.benchmarks);
-                sys.runSampled(p);
-                results[i] = sys.dump();
+                results[i] = runSampledJob(job, p, i);
             } catch (const std::exception &e) {
                 std::lock_guard<std::mutex> lock(mu);
                 failed.push_back({i, e.what()});
@@ -274,6 +459,41 @@ runManyWarmShared(const SystemConfig &warm_cfg,
     std::vector<std::uint8_t> warm;
     if (shared)
         warm = System(warm_cfg, benchmarks).warmupCheckpointBytes();
+
+    if (const unsigned procs = benchProcs()) {
+        // The warm image is materialized *before* the fork, so every
+        // worker shares its pages copy-on-write — N processes, one
+        // warmup RSS.
+        sweep::ShardOptions opt;
+        opt.forward_intervals = openStreamSink();
+        std::vector<StatDump> results;
+        try {
+            results = sweep::runSharded(
+                cfgs.size(), procs,
+                [&](std::size_t i, std::FILE *msg) {
+                    std::vector<std::uint8_t> own;
+                    if (!shared) {
+                        own = System(warm_cfg, benchmarks)
+                                  .warmupCheckpointBytes();
+                    }
+                    SystemConfig cfg = cfgs[i];
+                    cfg.warmup_uops = 0;
+                    System sys(cfg, benchmarks);
+                    sys.restoreCheckpointBytes(shared ? warm : own);
+                    maybeAttachStream(sys, i, msg);
+                    sys.run();
+                    return sys.dump();
+                },
+                opt);
+        } catch (...) {
+            if (opt.forward_intervals)
+                std::fclose(opt.forward_intervals);
+            throw;
+        }
+        if (opt.forward_intervals)
+            std::fclose(opt.forward_intervals);
+        return results;
+    }
 
     std::vector<StatDump> results(cfgs.size());
     std::vector<RunFailure> failed;

@@ -62,10 +62,20 @@ struct RunFailure
 unsigned benchThreads();
 
 /**
+ * Worker *processes* for sharded sweeps: the value of EMC_BENCH_PROCS
+ * (0 when unset/empty). 0 keeps the in-process thread-pool path; any
+ * other value routes runMany()/runManySampled()/runManyWarmShared()
+ * through the src/sweep coordinator (DESIGN.md §9).
+ */
+unsigned benchProcs();
+
+/**
  * Run every job to completion, fanning independent System instances
- * across benchThreads() hardware threads. Results come back indexed
- * by job — result[i] belongs to jobs[i] no matter which worker ran
- * it or in what order jobs finished, so output is deterministic.
+ * across benchThreads() hardware threads — or, when EMC_BENCH_PROCS
+ * is set, across that many forked worker processes (DESIGN.md §9).
+ * Results come back indexed by job — result[i] belongs to jobs[i] no
+ * matter which worker ran it or in what order jobs finished, so
+ * output is deterministic and byte-identical at any worker count.
  */
 std::vector<StatDump> runMany(const std::vector<RunJob> &jobs);
 
@@ -82,11 +92,28 @@ std::vector<StatDump> runMany(const std::vector<RunJob> &jobs);
  * EMC_CKPT_INTERVAL cycles (default 1000000) and writes its final
  * stats to "<dir>/jobN.stats". A rerun of the same job list resumes:
  * finished jobs load their .stats file without simulating, interrupted
- * jobs restore their .ckpt and continue. Checkpointing is incompatible
- * with EMC_TRACE on the same run (restore refuses attached tracers).
+ * jobs restore their .ckpt and continue. EMC_CKPT_STORE=<dir> is the
+ * content-addressed variant: autosaves deduplicate into a ckpt::Store
+ * instead of flat per-job files (DESIGN.md §9). Checkpointing is
+ * incompatible with EMC_TRACE on the same run (restore refuses
+ * attached tracers).
  */
 std::vector<StatDump> runMany(const std::vector<RunJob> &jobs,
                               std::vector<RunFailure> *failures);
+
+/**
+ * The EMC_BENCH_PROCS execution engine, callable directly: shard
+ * @p jobs across @p procs forked worker processes with dynamic
+ * self-scheduling, per-job crash-resume (EMC_CKPT_DIR /
+ * EMC_CKPT_STORE, as above) and automatic re-queue of jobs whose
+ * worker dies. With EMC_SWEEP_STREAM_INTERVAL=N set, workers stream
+ * interval stats over their message pipes, and EMC_SWEEP_STREAM=path
+ * appends the merged JSONL to @p path. Failure semantics follow the
+ * two runMany() overloads (@p failures null => throw).
+ */
+std::vector<StatDump>
+runManySharded(const std::vector<RunJob> &jobs, unsigned procs,
+               std::vector<RunFailure> *failures = nullptr);
 
 /**
  * Warm-once-fork-many sweep (DESIGN.md §7): run the warmup phase under
@@ -114,8 +141,11 @@ runManyWarmShared(const SystemConfig &warm_cfg,
  * per core with fast-forwarded gaps to @p p.period, and its StatDump
  * carries the per-window means and 95% CIs as `sampled.*` keys
  * alongside the usual stats (which then cover detailed windows only).
- * Results are job-indexed like runMany(); EMC_CKPT_DIR resume does not
- * apply (sampled runs are cheap enough to restart).
+ * Results are job-indexed like runMany(). EMC_CKPT_DIR resume applies
+ * at job granularity: a finished job's "<dir>/jobN.sampled.stats"
+ * sidecar is reloaded instead of re-simulating, while an interrupted
+ * job restarts from scratch (the fastwarm phase has no mid-run
+ * checkpoint). EMC_BENCH_PROCS shards jobs across processes.
  */
 std::vector<StatDump> runManySampled(const std::vector<RunJob> &jobs,
                                      const SampleParams &p);

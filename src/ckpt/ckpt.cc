@@ -357,6 +357,22 @@ readFile(const std::string &path)
     if (f == nullptr)
         throw Error("cannot open checkpoint '" + path + "'");
     std::vector<std::uint8_t> out;
+    // Size the buffer once and read in a single pass; checkpoint
+    // images run to ~100 MB, so incremental vector growth over small
+    // reads costs real restore time. Unseekable inputs (pipes) fall
+    // back to chunked reads.
+    long size = -1;
+    if (std::fseek(f, 0, SEEK_END) == 0) {
+        size = std::ftell(f);
+        if (std::fseek(f, 0, SEEK_SET) != 0)
+            size = -1;
+    }
+    if (size > 0) {
+        out.resize(static_cast<std::size_t>(size));
+        const std::size_t got =
+            std::fread(out.data(), 1, out.size(), f);
+        out.resize(got);
+    }
     std::uint8_t buf[1 << 16];
     std::size_t n = 0;
     while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)

@@ -34,6 +34,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <list>
 #include <map>
@@ -71,7 +72,25 @@ class Ar
     static Ar
     loader(std::vector<std::uint8_t> bytes)
     {
-        return Ar(false, std::move(bytes));
+        Ar ar(false, std::move(bytes));
+        ar.rd_ = ar.buf_.data();
+        ar.rd_size_ = ar.buf_.size();
+        return ar;
+    }
+
+    /**
+     * A loading archive that borrows @p n bytes at @p data instead of
+     * owning a copy — restore paths hand whole ~100 MB images through
+     * here, where the copy is measurable. The caller keeps the bytes
+     * alive for the archive's lifetime.
+     */
+    static Ar
+    loaderView(const std::uint8_t *data, std::size_t n)
+    {
+        Ar ar(false, {});
+        ar.rd_ = data;
+        ar.rd_size_ = n;
+        return ar;
     }
 
     bool saving() const { return saving_; }
@@ -89,7 +108,7 @@ class Ar
     }
 
     /** True when a loading archive consumed every byte. */
-    bool exhausted() const { return loading() && pos_ == buf_.size(); }
+    bool exhausted() const { return loading() && pos_ == rd_size_; }
 
     /**
      * The primitive: one 64-bit little-endian word. Loading past the
@@ -98,20 +117,34 @@ class Ar
     void
     raw64(std::uint64_t &v)
     {
+        // On little-endian hosts the wire format (64-bit LE words) is
+        // the in-memory representation, so whole words move with
+        // memcpy; the shift loops are the byte-order-independent
+        // fallback. Either path produces the identical byte stream.
         if (saving_) {
-            for (unsigned i = 0; i < 8; ++i)
-                buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+            std::uint8_t b[8];
+            if constexpr (std::endian::native == std::endian::little) {
+                std::memcpy(b, &v, 8);
+            } else {
+                for (unsigned i = 0; i < 8; ++i)
+                    b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+            }
+            buf_.insert(buf_.end(), b, b + 8);
             pos_ += 8;
             return;
         }
-        if (pos_ + 8 > buf_.size()) {
+        if (pos_ + 8 > rd_size_) {
             throw Error("checkpoint truncated: need 8 bytes at offset "
                         + std::to_string(pos_) + " of "
-                        + std::to_string(buf_.size()));
+                        + std::to_string(rd_size_));
         }
         std::uint64_t w = 0;
-        for (unsigned i = 0; i < 8; ++i)
-            w |= static_cast<std::uint64_t>(buf_[pos_ + i]) << (8 * i);
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(&w, rd_ + pos_, 8);
+        } else {
+            for (unsigned i = 0; i < 8; ++i)
+                w |= static_cast<std::uint64_t>(rd_[pos_ + i]) << (8 * i);
+        }
         pos_ += 8;
         v = w;
     }
@@ -225,6 +258,47 @@ class Ar
     {
         std::uint64_t n = v.size();
         raw64(n);
+        if (loading()) {
+            v.clear();
+            v.resize(static_cast<std::size_t>(n));
+        }
+        for (auto &e : v)
+            io(e);
+    }
+
+    /**
+     * Bulk path for word vectors: the element encoding is exactly the
+     * little-endian in-memory layout, so the whole payload moves as
+     * one memcpy on little-endian hosts (byte stream unchanged).
+     */
+    void
+    io(std::vector<std::uint64_t> &v)
+    {
+        std::uint64_t n = v.size();
+        raw64(n);
+        if constexpr (std::endian::native == std::endian::little) {
+            const std::size_t len = static_cast<std::size_t>(n) * 8;
+            if (saving_) {
+                const auto *p =
+                    reinterpret_cast<const std::uint8_t *>(v.data());
+                // lint-ok: ckpt-field (byte view, not a host address)
+                buf_.insert(buf_.end(), p, p + len);
+                pos_ += len;
+                return;
+            }
+            if (pos_ + len > rd_size_) {
+                throw Error(
+                    "checkpoint truncated: need "
+                    + std::to_string(len) + " bytes at offset "
+                    + std::to_string(pos_) + " of "
+                    + std::to_string(rd_size_));
+            }
+            v.resize(static_cast<std::size_t>(n));
+            if (len != 0)
+                std::memcpy(v.data(), rd_ + pos_, len);
+            pos_ += len;
+            return;
+        }
         if (loading()) {
             v.clear();
             v.resize(static_cast<std::size_t>(n));
@@ -349,6 +423,7 @@ class Ar
             return;
         }
         v.clear();
+        v.reserve(static_cast<std::size_t>(n));
         for (std::uint64_t i = 0; i < n; ++i) {
             K k{};
             V val{};
@@ -372,6 +447,7 @@ class Ar
             return;
         }
         v.clear();
+        v.reserve(static_cast<std::size_t>(n));
         for (std::uint64_t i = 0; i < n; ++i) {
             K k{};
             io(k);
@@ -386,6 +462,9 @@ class Ar
 
     bool saving_;
     std::vector<std::uint8_t> buf_;
+    /// Loading source: buf_'s bytes (owning) or a borrowed span.
+    const std::uint8_t *rd_ = nullptr;
+    std::size_t rd_size_ = 0;
     std::uint64_t pos_ = 0;
 };
 

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Content-addressed checkpoint store implementation (store.hh).
+ */
+
+#include "ckpt/store.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <utility>
+
+#include <unistd.h>
+
+#include "ckpt/ckpt.hh"
+
+namespace emc::ckpt
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr char kManifestMagic[] = "EMCSTOR1";
+constexpr std::uint32_t kManifestVersion = 1;
+
+/** One chunk of a stored image, in reassembly order. */
+struct ChunkRef
+{
+    std::uint64_t hash = 0;
+    std::uint64_t length = 0;
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(hash);
+        ar.io(length);
+    }
+};
+
+struct Manifest
+{
+    std::uint32_t version = kManifestVersion;
+    std::uint64_t image_bytes = 0;
+    std::vector<ChunkRef> chunks;
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.marker(kManifestMagic);
+        ar.io(version);
+        ar.io(image_bytes);
+        ar.io(chunks);
+    }
+};
+
+void
+validateName(const std::string &name)
+{
+    bool ok = !name.empty() && name != "." && name != "..";
+    for (char c : name) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '.'
+              || c == '_' || c == '-')) {
+            ok = false;
+        }
+    }
+    if (!ok) {
+        throw Error("invalid store image name '" + name
+                    + "' (use [A-Za-z0-9._-])");
+    }
+}
+
+Manifest
+loadManifest(const std::string &path)
+{
+    Manifest m;
+    Deser ar = Ar::loader(readFile(path));
+    ar.io(m);
+    if (m.version != kManifestVersion) {
+        throw Error("unsupported store manifest version "
+                    + std::to_string(m.version));
+    }
+    if (!ar.exhausted())
+        throw Error("store manifest has trailing bytes: " + path);
+    return m;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/**
+ * Atomically publish an object file. Concurrent sweep workers put
+ * into one store, so the temp name must be writer-unique (a shared
+ * name lets one writer truncate another's in-flight bytes), and
+ * losing the rename race is success: objects are content-addressed,
+ * so whatever landed at @p path has the same bytes.
+ */
+void
+writeObject(const std::string &path,
+            const std::vector<std::uint8_t> &bytes)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        throw Error("cannot open '" + tmp + "' for writing");
+    const std::size_t wrote =
+        bytes.empty() ? 0
+                      : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool ok = (wrote == bytes.size()) && (std::fclose(f) == 0);
+    if (!ok) {
+        std::remove(tmp.c_str());
+        throw Error("short write to '" + tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        std::error_code ec;
+        if (!fs::exists(path, ec))
+            throw Error("cannot rename '" + tmp + "' to '" + path
+                        + "'");
+    }
+}
+
+} // namespace
+
+std::vector<std::pair<std::size_t, std::size_t>>
+chunkSpans(const std::vector<std::uint8_t> &image)
+{
+    // Section-aware spans for checkpoint images (see store.hh); a
+    // parse failure means "some other blob" and gets one flat span.
+    std::vector<std::pair<std::size_t, std::size_t>> spans;
+    try {
+        std::size_t payload_off = 0;
+        const Header h = parseHeader(image, &payload_off, true);
+        spans.emplace_back(0, payload_off);
+        for (const Section &s : h.sections) {
+            spans.emplace_back(payload_off
+                                   + static_cast<std::size_t>(s.offset),
+                               static_cast<std::size_t>(s.length));
+        }
+        // Tolerate payload bytes past the TOC (future sections).
+        std::size_t covered = payload_off;
+        for (const Section &s : h.sections)
+            covered += static_cast<std::size_t>(s.length);
+        if (covered < image.size())
+            spans.emplace_back(covered, image.size() - covered);
+        return spans;
+    } catch (const Error &) {
+        spans.clear();
+        spans.emplace_back(0, image.size());
+        return spans;
+    }
+}
+
+Store::Store(std::string dir, std::size_t chunk_bytes)
+    : dir_(std::move(dir)),
+      chunk_bytes_(chunk_bytes < 4096 ? 4096 : chunk_bytes)
+{
+    std::error_code ec;
+    fs::create_directories(fs::path(dir_) / "objects", ec);
+    if (ec) {
+        throw Error("cannot create store directory '" + dir_
+                    + "': " + ec.message());
+    }
+}
+
+std::string
+Store::manifestPath(const std::string &name) const
+{
+    return dir_ + "/" + name + ".manifest";
+}
+
+std::string
+Store::objectPath(std::uint64_t hash, std::uint64_t length) const
+{
+    return dir_ + "/objects/" + hex16(hash) + "-" + hex16(length);
+}
+
+StorePut
+Store::put(const std::string &name,
+           const std::vector<std::uint8_t> &image)
+{
+    validateName(name);
+    const std::vector<std::uint8_t> raw = maybeDecompressImage(image);
+
+    StorePut out;
+    out.image_bytes = raw.size();
+
+    Manifest m;
+    m.image_bytes = raw.size();
+    for (const auto &[span_off, span_len] : chunkSpans(raw)) {
+        for (std::size_t off = 0; off < span_len;
+             off += chunk_bytes_) {
+            const std::size_t len =
+                std::min(chunk_bytes_, span_len - off);
+            const std::uint8_t *p = raw.data() + span_off + off;
+            const std::uint64_t h = fnv1a(p, len);
+            m.chunks.push_back({h, len});
+            ++out.chunks;
+
+            const std::string opath = objectPath(h, len);
+            std::error_code ec;
+            if (fs::exists(opath, ec)) {
+                ++out.reused_chunks;
+                out.reused_bytes += len;
+                continue;
+            }
+            std::vector<std::uint8_t> chunk(p, p + len);
+            if (compressionAvailable())
+                chunk = compressImage(chunk);
+            writeObject(opath, chunk);
+            ++out.new_chunks;
+            out.new_bytes += chunk.size();
+        }
+    }
+
+    Ser ar = Ar::saver();
+    ar.io(m);
+    const std::vector<std::uint8_t> mb = ar.takeBytes();
+    writeFile(manifestPath(name), mb);
+    out.new_bytes += mb.size();
+    return out;
+}
+
+std::vector<std::uint8_t>
+Store::get(const std::string &name) const
+{
+    validateName(name);
+    if (!has(name)) {
+        throw Error("store has no image named '" + name + "' in "
+                    + dir_);
+    }
+    const Manifest m = loadManifest(manifestPath(name));
+    std::vector<std::uint8_t> out;
+    out.reserve(static_cast<std::size_t>(m.image_bytes));
+    for (const ChunkRef &c : m.chunks) {
+        std::vector<std::uint8_t> chunk;
+        try {
+            chunk = readFile(objectPath(c.hash, c.length));
+        } catch (const Error &) {
+            throw;
+        } catch (const std::exception &) {
+            // A corrupted EMCKPTZ wrapper can fail before the hash
+            // check (e.g. bad_alloc from a garbage length field);
+            // report it as the store corruption it is.
+            throw Error("store object " + hex16(c.hash)
+                        + " is corrupt (container unreadable)");
+        }
+        if (chunk.size() != c.length
+            || fnv1a(chunk.data(), chunk.size()) != c.hash) {
+            throw Error("store object " + hex16(c.hash)
+                        + " is corrupt (hash/length mismatch)");
+        }
+        out.insert(out.end(), chunk.begin(), chunk.end());
+    }
+    if (out.size() != m.image_bytes) {
+        throw Error("store image '" + name
+                    + "' reassembled to the wrong size");
+    }
+    return out;
+}
+
+bool
+Store::has(const std::string &name) const
+{
+    std::error_code ec;
+    return fs::exists(manifestPath(name), ec);
+}
+
+void
+Store::remove(const std::string &name)
+{
+    validateName(name);
+    std::error_code ec;
+    fs::remove(manifestPath(name), ec);
+}
+
+std::vector<std::string>
+Store::names() const
+{
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(dir_, ec)) {
+        const fs::path p = e.path();
+        if (p.extension() == ".manifest")
+            out.push_back(p.stem().string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+StoreStats
+Store::stats() const
+{
+    StoreStats s;
+    for (const std::string &n : names()) {
+        ++s.manifests;
+        std::error_code ec;
+        s.manifest_bytes += fs::file_size(manifestPath(n), ec);
+        s.logical_bytes += loadManifest(manifestPath(n)).image_bytes;
+    }
+    std::error_code ec;
+    for (const auto &e :
+         fs::directory_iterator(fs::path(dir_) / "objects", ec)) {
+        // Published objects only — not .tmp.PID files from writers
+        // that died mid-put (gc() reclaims those).
+        if (!e.is_regular_file()
+            || e.path().filename().string().find('.')
+                   != std::string::npos) {
+            continue;
+        }
+        ++s.objects;
+        s.object_bytes += e.file_size();
+    }
+    return s;
+}
+
+std::uint64_t
+Store::gc()
+{
+    std::set<std::string> live;
+    for (const std::string &n : names()) {
+        for (const ChunkRef &c : loadManifest(manifestPath(n)).chunks)
+            live.insert(hex16(c.hash) + "-" + hex16(c.length));
+    }
+    std::uint64_t freed = 0;
+    std::error_code ec;
+    std::vector<fs::path> dead;
+    for (const auto &e :
+         fs::directory_iterator(fs::path(dir_) / "objects", ec)) {
+        if (e.is_regular_file()
+            && live.find(e.path().filename().string()) == live.end()) {
+            dead.push_back(e.path());
+        }
+    }
+    for (const fs::path &p : dead) {
+        std::error_code fec;
+        const std::uint64_t sz = fs::file_size(p, fec);
+        if (fs::remove(p, fec))
+            freed += sz;
+    }
+    return freed;
+}
+
+} // namespace emc::ckpt

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Content-addressed checkpoint store (DESIGN.md §9).
+ *
+ * A Store turns a directory into a deduplicated home for checkpoint
+ * images. Images are split into content-hashed chunks; each distinct
+ * chunk is written once to `<dir>/objects/<hash>-<len>` (deflate
+ * compressed in zlib builds, raw otherwise — the chunk container is
+ * the same EMCKPTZ framing readFile() already inflates transparently)
+ * and a small manifest `<dir>/<name>.manifest` lists the chunk
+ * sequence that reassembles the image.
+ *
+ * Chunking is *section-aware*: when the image parses as an EMCKPT1
+ * checkpoint, the chunk stream restarts at the header boundary and at
+ * every payload-section boundary from the TOC. Config-point images of
+ * one sweep differ only in a few sections (EMC, prefetcher, cores)
+ * while the dominant ones (functional memory, page tables, workload)
+ * are byte-identical after a shared warmup — restarting chunks per
+ * section keeps those shared bytes aligned, so every config point
+ * after the first stores only its small delta. Non-checkpoint byte
+ * blobs fall back to straight fixed-size chunking.
+ *
+ * Determinism contract: get(name) returns exactly the raw
+ * (decompressed) bytes that were put(); chunk hashes are re-verified
+ * on read so a corrupt or truncated object fails loudly instead of
+ * reassembling garbage. Like the rest of src/ckpt, a store is a
+ * transient artifact of one simulator version, not an archive format.
+ */
+
+#ifndef EMC_CKPT_STORE_HH
+#define EMC_CKPT_STORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/serial.hh"
+
+namespace emc::ckpt
+{
+
+/** Outcome of one Store::put() (all sizes in bytes). */
+struct StorePut
+{
+    std::uint64_t image_bytes = 0;    ///< raw image size
+    std::uint64_t chunks = 0;         ///< chunks the image split into
+    std::uint64_t new_chunks = 0;     ///< chunks not previously stored
+    std::uint64_t reused_chunks = 0;  ///< chunks deduplicated away
+    std::uint64_t new_bytes = 0;      ///< on-disk bytes this put added
+    std::uint64_t reused_bytes = 0;   ///< raw bytes covered by reuse
+};
+
+/** Aggregate store accounting (Store::stats()). */
+struct StoreStats
+{
+    std::uint64_t manifests = 0;      ///< images in the store
+    std::uint64_t objects = 0;        ///< distinct chunks on disk
+    std::uint64_t object_bytes = 0;   ///< on-disk chunk bytes
+    std::uint64_t manifest_bytes = 0; ///< on-disk manifest bytes
+    std::uint64_t logical_bytes = 0;  ///< sum of raw image sizes
+
+    /** Total on-disk footprint. */
+    std::uint64_t
+    storedBytes() const
+    {
+        return object_bytes + manifest_bytes;
+    }
+};
+
+class Store
+{
+  public:
+    /**
+     * Open (creating directories as needed) the store at @p dir.
+     * @p chunk_bytes is the chunking granularity for images written
+     * through this handle; reads accept any granularity.
+     */
+    explicit Store(std::string dir, std::size_t chunk_bytes = 1 << 16);
+
+    /**
+     * Store @p image under @p name (names are restricted to
+     * [A-Za-z0-9._-]; no path separators). EMCKPTZ-compressed images
+     * are inflated first so dedup always runs over raw bytes. An
+     * existing manifest of the same name is replaced atomically.
+     */
+    StorePut put(const std::string &name,
+                 const std::vector<std::uint8_t> &image);
+
+    /**
+     * Reassemble the raw image stored under @p name, re-verifying
+     * every chunk hash. Throws ckpt::Error when absent or corrupt.
+     */
+    std::vector<std::uint8_t> get(const std::string &name) const;
+
+    /** True when a manifest for @p name exists. */
+    bool has(const std::string &name) const;
+
+    /** Drop @p name's manifest (chunks stay until gc()). */
+    void remove(const std::string &name);
+
+    /** Sorted names of every stored image. */
+    std::vector<std::string> names() const;
+
+    /** Current accounting over manifests and objects. */
+    StoreStats stats() const;
+
+    /**
+     * Delete every object no manifest references.
+     * @return on-disk bytes freed.
+     */
+    std::uint64_t gc();
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string manifestPath(const std::string &name) const;
+    std::string objectPath(std::uint64_t hash,
+                           std::uint64_t length) const;
+
+    std::string dir_;
+    std::size_t chunk_bytes_;
+};
+
+/**
+ * Chunk-boundary plan for @p image: section-aware spans for EMCKPT1
+ * images, one whole-buffer span otherwise (see file header). Exposed
+ * for `emcckpt diff`, which reports section-level shared-vs-unique
+ * bytes with the exact chunking the store would use.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+chunkSpans(const std::vector<std::uint8_t> &image);
+
+} // namespace emc::ckpt
+
+#endif // EMC_CKPT_STORE_HH

@@ -5,6 +5,19 @@
 namespace emc::obs
 {
 
+void
+writeStatsObject(std::FILE *out, const StatDump &d, int digits)
+{
+    std::fputc('{', out);
+    bool first = true;
+    for (const auto &[name, value] : d.all()) {
+        std::fprintf(out, "%s\"%s\":%.*g", first ? "" : ",",
+                     name.c_str(), digits, value);
+        first = false;
+    }
+    std::fputc('}', out);
+}
+
 StatStreamer::StatStreamer(const std::string &path, Cycle interval)
     : interval_(interval < 1 ? 1 : interval)
 {
@@ -12,26 +25,30 @@ StatStreamer::StatStreamer(const std::string &path, Cycle interval)
     out_ = std::fopen(path.c_str(), "w");
 }
 
+StatStreamer::StatStreamer(std::FILE *out, Cycle interval,
+                           std::string prefix)
+    : out_(out),
+      owns_(false),
+      prefix_(std::move(prefix)),
+      interval_(interval < 1 ? 1 : interval)
+{
+    next_ = interval_;
+}
+
 StatStreamer::~StatStreamer()
 {
-    if (out_) {
+    if (out_ && owns_)
         std::fclose(out_);
-        out_ = nullptr;
-    }
+    out_ = nullptr;
 }
 
 void
 StatStreamer::writeLine(Cycle now, const StatDump &d)
 {
-    std::fprintf(out_, "{\"cycle\":%" PRIu64 ",\"stats\":{",
-                 static_cast<std::uint64_t>(now));
-    bool first = true;
-    for (const auto &[name, value] : d.all()) {
-        std::fprintf(out_, "%s\"%s\":%.9g", first ? "" : ",",
-                     name.c_str(), value);
-        first = false;
-    }
-    std::fputs("}}\n", out_);
+    std::fprintf(out_, "{%s\"cycle\":%" PRIu64 ",\"stats\":",
+                 prefix_.c_str(), static_cast<std::uint64_t>(now));
+    writeStatsObject(out_, d, 9);
+    std::fputs("}\n", out_);
     ++lines_;
 }
 
@@ -52,7 +69,10 @@ StatStreamer::finish(Cycle now, const StatDump &d)
     if (!out_)
         return;
     writeLine(now, d);
-    std::fclose(out_);
+    if (owns_)
+        std::fclose(out_);
+    else
+        std::fflush(out_);
     out_ = nullptr;
 }
 

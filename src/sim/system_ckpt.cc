@@ -198,7 +198,10 @@ System::ckptPayload(ckpt::Ar &ar, ckpt::Level level,
 void
 System::ckptRefuseIfObserved(const char *what) const
 {
-    if (tracer_ || streamer_) {
+    // A streamer on a borrowed FILE (the sweep worker pipe) is exempt:
+    // that stream is declared best-effort, so resumed runs may repeat
+    // interval lines instead of blocking checkpoints.
+    if (tracer_ || (streamer_ && streamer_->ownsFile())) {
         throw ckpt::Error(
             std::string(what)
             + " refused: a tracer or stat streamer is attached and "
@@ -359,7 +362,11 @@ System::restoreCheckpointBytes(const std::vector<std::uint8_t> &bytes)
         }
     }
 
-    ckpt::Ar ar = ckpt::Ar::loader(ckpt::payloadOf(bytes));
+    // parseHeader above already CRC-validated the payload; borrow the
+    // payload bytes in place instead of re-parsing and copying ~100 MB
+    // (the bulk of restore wall time on big images).
+    ckpt::Ar ar = ckpt::Ar::loaderView(bytes.data() + payload_off,
+                                       bytes.size() - payload_off);
     ckptPayload(ar, h.level, nullptr);
     if (!ar.exhausted())
         throw ckpt::Error("checkpoint payload has trailing bytes");
@@ -403,6 +410,25 @@ System::setAutosave(const std::string &path, Cycle interval)
         return;
     }
     autosave_path_ = path;
+    autosave_sink_ = nullptr;
+    autosave_interval_ = interval;
+    next_autosave_ = now_ + interval;
+}
+
+void
+System::setAutosave(
+    std::function<void(std::vector<std::uint8_t> &&)> sink,
+    Cycle interval)
+{
+    if (interval == 0 || !sink) {
+        autosave_path_.clear();
+        autosave_sink_ = nullptr;
+        autosave_interval_ = 0;
+        next_autosave_ = kNoCycle;
+        return;
+    }
+    autosave_path_.clear();
+    autosave_sink_ = std::move(sink);
     autosave_interval_ = interval;
     next_autosave_ = now_ + interval;
 }
@@ -418,6 +444,10 @@ System::maybeCheckpoint()
     }
     if (!autosave_path_.empty() && now_ >= next_autosave_) {
         saveCheckpoint(autosave_path_, ckpt::Level::kFull);
+        next_autosave_ = now_ + autosave_interval_;
+    }
+    if (autosave_sink_ && now_ >= next_autosave_) {
+        autosave_sink_(saveCheckpointBytes(ckpt::Level::kFull));
         next_autosave_ = now_ + autosave_interval_;
     }
 }

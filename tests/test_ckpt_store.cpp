@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Content-addressed checkpoint store tests (DESIGN.md §9):
+ *
+ *  - put/get roundtrip exactness and re-verified chunk hashes
+ *  - deduplication across blobs sharing a common prefix, and across
+ *    real config-point checkpoint images forked from one shared
+ *    warmup (the sweep-store workload, where the >=10x reduction
+ *    comes from)
+ *  - section-aware chunkSpans() coverage of EMCKPT1 images
+ *  - corruption detection, remove()/gc() accounting
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/ckpt.hh"
+#include "ckpt/store.hh"
+#include "sim/system.hh"
+
+using emc::System;
+using emc::SystemConfig;
+using emc::ckpt::chunkSpans;
+using emc::ckpt::Store;
+using emc::ckpt::StorePut;
+using emc::ckpt::StoreStats;
+
+namespace
+{
+
+std::string
+tmpDir(const std::string &name)
+{
+    const std::string d = testing::TempDir() + "emc_store_"
+                          + std::to_string(::getpid()) + "_" + name;
+    std::filesystem::remove_all(d);
+    return d;
+}
+
+/** Deterministic pseudo-random filler (no global RNG in tests). */
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint64_t seed)
+{
+    std::vector<std::uint8_t> out(n);
+    std::uint64_t x = seed * 0x9e3779b97f4a7c15ull + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        out[i] = static_cast<std::uint8_t>(x);
+    }
+    return out;
+}
+
+/** Tiny dual-core config whose images are cheap to produce. */
+SystemConfig
+smallConfig(bool emc)
+{
+    SystemConfig cfg;
+    cfg.num_cores = 2;
+    cfg.emc_enabled = emc;
+    cfg.target_uops = 1000;
+    cfg.warmup_uops = 500;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CkptStore, PutGetRoundtrip)
+{
+    Store store(tmpDir("roundtrip"));
+    const std::vector<std::uint8_t> blob = pattern(300000, 7);
+    const StorePut put = store.put("img-a", blob);
+    EXPECT_EQ(put.image_bytes, blob.size());
+    EXPECT_GT(put.chunks, 1u);
+    EXPECT_EQ(put.reused_chunks, 0u);
+    EXPECT_TRUE(store.has("img-a"));
+    EXPECT_EQ(store.get("img-a"), blob);
+}
+
+TEST(CkptStore, SecondPutOfIdenticalImageReusesEverything)
+{
+    Store store(tmpDir("idem"));
+    const std::vector<std::uint8_t> blob = pattern(200000, 11);
+    store.put("one", blob);
+    const StorePut again = store.put("two", blob);
+    EXPECT_EQ(again.new_chunks, 0u);
+    EXPECT_EQ(again.reused_chunks, again.chunks);
+    EXPECT_EQ(store.get("two"), blob);
+
+    const StoreStats s = store.stats();
+    EXPECT_EQ(s.manifests, 2u);
+    EXPECT_EQ(s.logical_bytes, 2 * blob.size());
+    // Two manifests, one set of chunks: on-disk is ~half of logical.
+    EXPECT_LT(s.storedBytes(), s.logical_bytes);
+}
+
+TEST(CkptStore, SharedPrefixDeduplicates)
+{
+    Store store(tmpDir("prefix"), 1 << 14);
+    std::vector<std::uint8_t> a = pattern(1 << 20, 3);
+    std::vector<std::uint8_t> b = a;
+    // Same 1 MB prefix, different final 16 KB.
+    const std::vector<std::uint8_t> tail = pattern(1 << 14, 5);
+    b.insert(b.end(), tail.begin(), tail.end());
+    a.insert(a.end(), 1 << 14, 0xAB);
+
+    store.put("a", a);
+    const StorePut pb = store.put("b", b);
+    EXPECT_GT(pb.reused_bytes, (1u << 20) - (1u << 14));
+    EXPECT_LE(pb.new_chunks, 2u);
+    EXPECT_EQ(store.get("a"), a);
+    EXPECT_EQ(store.get("b"), b);
+}
+
+TEST(CkptStore, ConfigPointImagesDeduplicate)
+{
+    // The sweep-store workload: fork two config points from one warm
+    // image and store their full checkpoints. The workload sections
+    // (functional memory, page tables) are byte-identical across
+    // points, so the second put must reuse the bulk of its bytes.
+    const SystemConfig warm_cfg = smallConfig(true);
+    const std::vector<std::string> mix = {"mcf", "lbm"};
+    const std::vector<std::uint8_t> warm =
+        System(warm_cfg, mix).warmupCheckpointBytes();
+
+    Store store(tmpDir("points"));
+    StorePut puts[2];
+    for (int point = 0; point < 2; ++point) {
+        SystemConfig cfg = smallConfig(point == 1);
+        cfg.warmup_uops = 0;
+        System sys(cfg, mix);
+        sys.restoreCheckpointBytes(warm);
+        puts[point] = store.put(
+            "point" + std::to_string(point),
+            sys.saveCheckpointBytes(emc::ckpt::Level::kFull));
+    }
+    // The first image may reuse a few chunks against itself (repeated
+    // content), but the bulk of it must be new ...
+    EXPECT_LT(puts[0].reused_bytes, puts[0].image_bytes / 10);
+    // ... while the second config point shares its workload sections
+    // with the first and stores only a small delta.
+    EXPECT_GT(puts[1].reused_bytes, puts[1].image_bytes / 2);
+    EXPECT_LT(puts[1].new_bytes, puts[1].image_bytes / 4);
+}
+
+TEST(CkptStore, ChunkSpansFollowSections)
+{
+    const SystemConfig cfg = smallConfig(true);
+    System sys(cfg, {"mcf", "lbm"});
+    sys.run();
+    const std::vector<std::uint8_t> img =
+        sys.saveCheckpointBytes(emc::ckpt::Level::kFull);
+
+    const auto spans = chunkSpans(img);
+    const emc::ckpt::Header h = emc::ckpt::parseHeader(img);
+    // Header span + one span per TOC section, covering every byte.
+    EXPECT_GE(spans.size(), h.sections.size() + 1);
+    std::size_t covered = 0;
+    std::size_t expect_off = 0;
+    for (const auto &[off, len] : spans) {
+        EXPECT_EQ(off, expect_off);
+        expect_off = off + len;
+        covered += len;
+    }
+    EXPECT_EQ(covered, img.size());
+
+    // Non-checkpoint bytes: one flat span.
+    const std::vector<std::uint8_t> blob = pattern(1000, 1);
+    const auto flat = chunkSpans(blob);
+    ASSERT_EQ(flat.size(), 1u);
+    EXPECT_EQ(flat[0].second, blob.size());
+}
+
+TEST(CkptStore, CorruptObjectIsDetected)
+{
+    const std::string dir = tmpDir("corrupt");
+    Store store(dir);
+    store.put("img", pattern(100000, 9));
+
+    // Flip one byte in some object file.
+    std::string victim;
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir + "/objects")) {
+        victim = e.path().string();
+        break;
+    }
+    ASSERT_FALSE(victim.empty());
+    {
+        std::FILE *f = std::fopen(victim.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 12, SEEK_SET);
+        const int c = std::fgetc(f);
+        std::fseek(f, 12, SEEK_SET);
+        std::fputc(c ^ 0x5A, f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(store.get("img"), emc::ckpt::Error);
+}
+
+TEST(CkptStore, RemoveAndGcFreeUnreferencedChunks)
+{
+    Store store(tmpDir("gc"));
+    const std::vector<std::uint8_t> a = pattern(200000, 21);
+    const std::vector<std::uint8_t> b = pattern(200000, 22);
+    store.put("a", a);
+    store.put("b", b);
+    ASSERT_EQ(store.names().size(), 2u);
+
+    EXPECT_EQ(store.gc(), 0u) << "live chunks must survive gc";
+    store.remove("a");
+    EXPECT_FALSE(store.has("a"));
+    const std::uint64_t freed = store.gc();
+    EXPECT_GT(freed, 0u);
+    EXPECT_EQ(store.get("b"), b) << "gc must not break live images";
+    EXPECT_THROW(store.get("a"), emc::ckpt::Error);
+}
+
+TEST(CkptStore, RejectsBadNames)
+{
+    Store store(tmpDir("names"));
+    const std::vector<std::uint8_t> blob = pattern(100, 1);
+    EXPECT_THROW(store.put("", blob), emc::ckpt::Error);
+    EXPECT_THROW(store.put("a/b", blob), emc::ckpt::Error);
+    EXPECT_THROW(store.put("..", blob), emc::ckpt::Error);
+    EXPECT_NO_THROW(store.put("ok-1.0_x", blob));
+}
+
+TEST(CkptStore, CompressedImagePutsDeduplicateAgainstRaw)
+{
+    if (!emc::ckpt::compressionAvailable())
+        GTEST_SKIP() << "no zlib in this build";
+    Store store(tmpDir("zmix"));
+    const std::vector<std::uint8_t> blob = pattern(150000, 33);
+    store.put("raw", blob);
+    const StorePut pz =
+        store.put("packed", emc::ckpt::compressImage(blob));
+    EXPECT_EQ(pz.new_chunks, 0u) << "dedup must run over raw bytes";
+    EXPECT_EQ(store.get("packed"), blob);
+}

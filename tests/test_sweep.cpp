@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Multi-process sharded sweep tests (DESIGN.md §9):
+ *
+ *  - job-indexed results independent of worker count and completion
+ *    order, with %.17g stats surviving the pipe bit-exactly
+ *  - failure semantics: abort-on-fail and collect-failures modes
+ *  - worker death mid-job: the coordinator reaps, respawns and
+ *    re-queues, and — composed with the EMC_CKPT_DIR autosave
+ *    protocol — the killed job resumes from its checkpoint and the
+ *    final stats match both an uninterrupted sharded run and the
+ *    single-process runMany() path
+ *  - protocol plumbing: parseStatsObject, interval-line forwarding
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.hh"
+#include "sim/system.hh"
+#include "sweep/sweep.hh"
+
+using emc::StatDump;
+using emc::System;
+using emc::SystemConfig;
+using emc::bench::RunJob;
+using emc::sweep::runSharded;
+using emc::sweep::runShardedReport;
+using emc::sweep::ShardOptions;
+using emc::sweep::ShardReport;
+
+namespace
+{
+
+std::string
+tmpDir(const std::string &name)
+{
+    const std::string d = testing::TempDir() + "emc_sweep_"
+                          + std::to_string(::getpid()) + "_" + name;
+    std::filesystem::remove_all(d);
+    std::filesystem::create_directories(d);
+    return d;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+void
+touch(const std::string &path)
+{
+    std::ofstream(path) << "x\n";
+}
+
+/** Cheap dual-core sim jobs for the end-to-end tests. */
+std::vector<RunJob>
+smallJobs()
+{
+    std::vector<RunJob> jobs;
+    for (int i = 0; i < 3; ++i) {
+        RunJob j;
+        j.cfg.num_cores = 2;
+        j.cfg.emc_enabled = (i != 0);
+        j.cfg.target_uops = 800;
+        j.cfg.warmup_uops = 400;
+        j.benchmarks = {"mcf", "sphinx3"};
+        jobs.push_back(std::move(j));
+    }
+    return jobs;
+}
+
+void
+expectSameStats(const std::vector<StatDump> &a,
+                const std::vector<StatDump> &b, const char *what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].all().size(), b[i].all().size())
+            << what << ": job " << i << " stat count";
+        auto ia = a[i].all().begin();
+        auto ib = b[i].all().begin();
+        for (; ia != a[i].all().end(); ++ia, ++ib) {
+            EXPECT_EQ(ia->first, ib->first) << what;
+            EXPECT_EQ(ia->second, ib->second)
+                << what << ": job " << i << " stat " << ia->first;
+        }
+    }
+}
+
+} // namespace
+
+TEST(Sweep, ResultsAreJobIndexedAtAnyWorkerCount)
+{
+    const auto fn = [](std::size_t job, std::FILE *) {
+        StatDump d;
+        d.put("job", static_cast<double>(job));
+        d.put("val", 1.0 / (1.0 + static_cast<double>(job)));
+        return d;
+    };
+    for (unsigned procs : {1u, 2u, 5u, 16u}) {
+        const std::vector<StatDump> r = runSharded(9, procs, fn);
+        ASSERT_EQ(r.size(), 9u) << "procs=" << procs;
+        for (std::size_t j = 0; j < r.size(); ++j) {
+            EXPECT_EQ(r[j].get("job"), static_cast<double>(j));
+            EXPECT_EQ(r[j].get("val"),
+                      1.0 / (1.0 + static_cast<double>(j)));
+        }
+    }
+}
+
+TEST(Sweep, DoublesSurviveThePipeBitExactly)
+{
+    const double uglies[] = {1.0 / 3.0, 1e-308, 123456789.123456789,
+                             std::nextafter(1.0, 2.0), 0.1 + 0.2};
+    const auto fn = [&](std::size_t job, std::FILE *) {
+        StatDump d;
+        for (std::size_t k = 0; k < std::size(uglies); ++k)
+            d.put("u" + std::to_string(k), uglies[k]);
+        d.put("scaled", uglies[job % std::size(uglies)] * job);
+        return d;
+    };
+    const std::vector<StatDump> r = runSharded(4, 2, fn);
+    for (std::size_t j = 0; j < r.size(); ++j) {
+        for (std::size_t k = 0; k < std::size(uglies); ++k) {
+            EXPECT_EQ(r[j].get("u" + std::to_string(k)), uglies[k])
+                << "job " << j << " stat u" << k;
+        }
+        EXPECT_EQ(r[j].get("scaled"),
+                  uglies[j % std::size(uglies)] * j);
+    }
+}
+
+TEST(Sweep, ParseStatsObject)
+{
+    StatDump d;
+    EXPECT_TRUE(emc::sweep::parseStatsObject("{}", d));
+    EXPECT_TRUE(d.all().empty());
+    EXPECT_TRUE(emc::sweep::parseStatsObject(
+        "{\"a.b\":1.5,\"c\":-2e-3}", d));
+    EXPECT_EQ(d.get("a.b"), 1.5);
+    EXPECT_EQ(d.get("c"), -2e-3);
+    StatDump bad;
+    EXPECT_FALSE(emc::sweep::parseStatsObject("nope", bad));
+    EXPECT_FALSE(emc::sweep::parseStatsObject("{\"x\":}", bad));
+    EXPECT_FALSE(emc::sweep::parseStatsObject("{\"x\":1", bad));
+}
+
+TEST(Sweep, ReportedFailureAbortsByDefault)
+{
+    const auto fn = [](std::size_t job, std::FILE *) {
+        if (job == 2)
+            throw std::runtime_error("synthetic \"quoted\" boom");
+        StatDump d;
+        d.put("ok", 1);
+        return d;
+    };
+    try {
+        runSharded(5, 2, fn);
+        FAIL() << "expected sweep::Error";
+    } catch (const emc::sweep::Error &e) {
+        EXPECT_NE(std::string(e.what()).find("job 2"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("\"quoted\""),
+                  std::string::npos)
+            << "escaped message must round-trip";
+    }
+}
+
+TEST(Sweep, CollectedFailuresLeaveOtherJobsIntact)
+{
+    const auto fn = [](std::size_t job, std::FILE *) {
+        if (job == 1 || job == 3)
+            throw std::runtime_error("boom " + std::to_string(job));
+        StatDump d;
+        d.put("job", static_cast<double>(job));
+        return d;
+    };
+    ShardOptions opt;
+    opt.abort_on_fail = false;
+    const ShardReport rep = runShardedReport(5, 3, fn, opt);
+    ASSERT_EQ(rep.failures.size(), 2u);
+    EXPECT_EQ(rep.failures[0].job, 1u);
+    EXPECT_EQ(rep.failures[1].job, 3u);
+    EXPECT_NE(rep.failures[1].what.find("boom 3"), std::string::npos);
+    for (std::size_t j : {0u, 2u, 4u})
+        EXPECT_EQ(rep.results[j].get("job"), static_cast<double>(j));
+    EXPECT_TRUE(rep.results[1].all().empty());
+}
+
+TEST(Sweep, WorkerDeathReschedulesOntoFreshWorker)
+{
+    const std::string dir = tmpDir("death");
+    const std::string marker = dir + "/died";
+    const auto fn = [&](std::size_t job, std::FILE *) {
+        if (job == 4 && !fileExists(marker)) {
+            touch(marker);
+            ::_exit(3); // die without a word: coordinator sees EOF
+        }
+        StatDump d;
+        d.put("job", static_cast<double>(job));
+        return d;
+    };
+    const ShardReport rep = runShardedReport(6, 2, fn);
+    EXPECT_EQ(rep.worker_deaths, 1u);
+    EXPECT_EQ(rep.jobs_requeued, 1u);
+    EXPECT_GT(rep.workers_spawned, 2u);
+    for (std::size_t j = 0; j < 6; ++j)
+        EXPECT_EQ(rep.results[j].get("job"), static_cast<double>(j));
+}
+
+TEST(Sweep, RepeatedWorkerDeathExhaustsAttempts)
+{
+    const auto fn = [](std::size_t job, std::FILE *) -> StatDump {
+        if (job == 0)
+            ::_exit(3);
+        StatDump d;
+        d.put("job", static_cast<double>(job));
+        return d;
+    };
+    ShardOptions opt;
+    opt.max_attempts = 2;
+    EXPECT_THROW(runShardedReport(2, 1, fn, opt), emc::sweep::Error);
+}
+
+TEST(Sweep, IntervalLinesAreForwardedVerbatim)
+{
+    const std::string dir = tmpDir("stream");
+    const std::string path = dir + "/merged.jsonl";
+    std::FILE *sink = std::fopen(path.c_str(), "w");
+    ASSERT_NE(sink, nullptr);
+    ShardOptions opt;
+    opt.forward_intervals = sink;
+    const auto fn = [](std::size_t job, std::FILE *msg) {
+        std::fprintf(msg,
+                     "{\"type\":\"interval\",\"job\":%zu,\"cycle\":10,"
+                     "\"stats\":{\"x\":%zu}}\n",
+                     job, job);
+        std::fflush(msg);
+        StatDump d;
+        d.put("job", static_cast<double>(job));
+        return d;
+    };
+    const ShardReport rep = runShardedReport(3, 2, fn, opt);
+    std::fclose(sink);
+    EXPECT_EQ(rep.interval_lines, 3u);
+    std::ifstream in(path);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        EXPECT_NE(line.find("\"type\":\"interval\""),
+                  std::string::npos);
+        ++lines;
+    }
+    EXPECT_EQ(lines, 3u);
+}
+
+// The satellite end-to-end: a worker is killed mid-simulation after
+// autosaving, the coordinator reschedules, the retry restores from
+// the autosave, and the final stats are bit-identical to both an
+// uninterrupted sharded run and single-process runMany().
+TEST(Sweep, KilledSimJobResumesAndMatchesAllPaths)
+{
+    const std::vector<RunJob> jobs = smallJobs();
+
+    // Reference 1: single-process, in-thread runMany().
+    const std::vector<StatDump> base = emc::bench::runMany(jobs);
+
+    // Reference 2: uninterrupted sharded run.
+    setenv("EMC_BENCH_PROCS", "2", 1);
+    const std::vector<StatDump> sharded = emc::bench::runMany(jobs);
+    unsetenv("EMC_BENCH_PROCS");
+    expectSameStats(base, sharded, "uninterrupted sharded");
+
+    // Interrupted run: job 1's first worker simulates half-way, saves
+    // a full checkpoint (the autosave protocol's file name), then
+    // dies. The resume protocol in the retry must finish it.
+    const std::string dir = tmpDir("ckpt");
+    const std::string marker = dir + "/died";
+
+    const auto fn = [&](std::size_t i, std::FILE *) {
+        const std::string stem = dir + "/job" + std::to_string(i);
+        if (i == 1 && !fileExists(marker)) {
+            touch(marker);
+            System sys(jobs[i].cfg, jobs[i].benchmarks);
+            for (int t = 0; t < 3000; ++t)
+                sys.tickOnce();
+            sys.saveCheckpoint(stem + ".ckpt",
+                               emc::ckpt::Level::kFull);
+            ::_exit(3);
+        }
+        // The regular resume protocol (mirrors bench runJob).
+        System sys(jobs[i].cfg, jobs[i].benchmarks);
+        if (fileExists(stem + ".ckpt"))
+            sys.restoreCheckpoint(stem + ".ckpt");
+        sys.run();
+        return sys.dump();
+    };
+    const ShardReport rep = runShardedReport(jobs.size(), 2, fn);
+    EXPECT_EQ(rep.worker_deaths, 1u);
+    EXPECT_EQ(rep.jobs_requeued, 1u);
+    ASSERT_TRUE(fileExists(dir + "/job1.ckpt"))
+        << "the dying worker must have left its autosave behind";
+    expectSameStats(base, rep.results, "killed-and-resumed sharded");
+}
+
+// EMC_BENCH_PROCS applied to the real bench entry points must be
+// byte-identical to the thread-pool path (the CI sweep job checks the
+// same property over a whole bench binary's stdout).
+TEST(Sweep, BenchEntryPointsMatchAcrossEngines)
+{
+    const std::vector<RunJob> jobs = smallJobs();
+    const std::vector<StatDump> base = emc::bench::runMany(jobs);
+
+    setenv("EMC_BENCH_PROCS", "3", 1);
+    const std::vector<StatDump> p3 = emc::bench::runMany(jobs);
+    const std::vector<StatDump> direct =
+        emc::bench::runManySharded(jobs, 2);
+    unsetenv("EMC_BENCH_PROCS");
+
+    expectSameStats(base, p3, "procs=3");
+    expectSameStats(base, direct, "runManySharded(2)");
+}
+
+TEST(Sweep, SampledSidecarResume)
+{
+    // Satellite: runManySampled() honors EMC_CKPT_DIR at job
+    // granularity — second invocation reloads sidecars bit-exactly
+    // without re-simulating.
+    std::vector<RunJob> jobs = smallJobs();
+    jobs.resize(2);
+    for (RunJob &j : jobs) {
+        j.cfg.target_uops = 4000;
+        j.cfg.warmup_uops = 1000;
+    }
+    emc::SampleParams p;
+    p.period = 1000;
+    p.detail = 250;
+
+    const std::vector<StatDump> fresh =
+        emc::bench::runManySampled(jobs, p);
+
+    const std::string dir = tmpDir("sampled");
+    setenv("EMC_CKPT_DIR", dir.c_str(), 1);
+    const std::vector<StatDump> first =
+        emc::bench::runManySampled(jobs, p);
+    ASSERT_TRUE(fileExists(dir + "/job0.sampled.stats"));
+    ASSERT_TRUE(fileExists(dir + "/job1.sampled.stats"));
+    const std::vector<StatDump> resumed =
+        emc::bench::runManySampled(jobs, p);
+    unsetenv("EMC_CKPT_DIR");
+
+    expectSameStats(fresh, first, "sampled with sidecars");
+    expectSameStats(first, resumed, "sampled resumed from sidecars");
+}

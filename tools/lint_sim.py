@@ -37,6 +37,13 @@ Rules (stdlib-only, regex-based -- fast enough to run on every CI push):
                  and detailed-warmed runs produce identical measured
                  stats; a timing or stat side effect on the warm path
                  silently breaks that equivalence.
+  process-spawn  No raw fork()/vfork()/system()/popen()/exec*()/
+                 posix_spawn() outside src/sweep/.  Process management
+                 lives in the sweep coordinator (DESIGN.md #9): an ad
+                 hoc fork elsewhere inherits the simulator's open stat
+                 streams, trace files, and checkpoint fds, and a child
+                 that exits through atexit handlers corrupts them.
+
   ckpt-field     Serialization code (ser()/ckptSer()/ckptSave()/
                  ckptLoad() bodies, including lambdas passed to the
                  ckptSave/ckptLoad hooks) must not write raw pointers
@@ -64,7 +71,8 @@ import sys
 SOURCE_EXTS = {".cc", ".cpp", ".cxx", ".hh", ".hpp", ".h"}
 
 RULES = ("rng", "unordered-iter", "raw-new", "event-push", "stat-dup",
-         "trace-hook", "ckpt-field", "fastwarm-timing")
+         "trace-hook", "ckpt-field", "fastwarm-timing",
+         "process-spawn")
 
 # rng: tokens that introduce nondeterminism or wall-clock dependence.
 RNG_RE = re.compile(
@@ -86,6 +94,12 @@ RAW_NEW_RE = re.compile(r"\bnew\s+Transaction\b|\bdelete\s+\w*txn\w*\b")
 
 # event-push: direct pushes into the event queue.
 EVENT_PUSH_RE = re.compile(r"\bevents_\.push\s*\(")
+
+# process-spawn: raw process management outside the sweep coordinator.
+PROCESS_SPAWN_RE = re.compile(
+    r"\b(?:::\s*)?(?:fork|vfork|system|popen|execl|execlp|execle|"
+    r"execv|execvp|execvpe|posix_spawnp?)\s*\(")
+PROCESS_SPAWN_EXEMPT = ("src/sweep/",)
 
 # stat-dup: literal stat keys registered via StatMap::put("name", ...).
 STAT_PUT_RE = re.compile(r"\.put\(\s*\"([^\"]+)\"")
@@ -328,6 +342,7 @@ class Linter:
         rel = path.replace("\\", "/")
         rng_exempt = any(rel.endswith(e) for e in RNG_EXEMPT)
         trace_exempt = any(e in rel for e in TRACE_RECORD_EXEMPT)
+        spawn_exempt = any(e in rel for e in PROCESS_SPAWN_EXEMPT)
 
         self.check_ckpt_fields(path, lines, ok)
         self.check_fastwarm(path, lines, ok)
@@ -363,6 +378,11 @@ class Linter:
             if EVENT_PUSH_RE.search(code):
                 hit("event-push",
                     "direct event-queue push; go through System::schedule")
+
+            if not spawn_exempt and PROCESS_SPAWN_RE.search(code):
+                hit("process-spawn",
+                    "raw process spawn; process management lives in "
+                    "the sweep coordinator (src/sweep/)")
 
             if not trace_exempt and TRACE_RECORD_RE.search(code):
                 hit("trace-hook",
