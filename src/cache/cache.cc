@@ -158,6 +158,25 @@ Cache::invalidate(Addr addr)
     return out;
 }
 
+Cache::Victim
+Cache::warmInvalidate(Addr addr)
+{
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Victim out;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = lines_[set * ways_ + w];
+        if (line.valid && line.tag == tag) {
+            out.valid = true;
+            out.addr = lineAlign(addr);
+            out.meta = line.meta;
+            line.valid = false;
+            return out;
+        }
+    }
+    return out;
+}
+
 std::size_t
 Cache::validLines() const
 {

@@ -127,6 +127,13 @@ class Cache
     /** Remove the line for @p addr if present. @return its metadata. */
     Victim invalidate(Addr addr);
 
+    /**
+     * Functional-warming invalidate: identical tag behaviour to
+     * invalidate(), but no invalidation statistics — fastwarm's
+     * back-invalidations happen outside simulated time.
+     */
+    Victim warmInvalidate(Addr addr);
+
     const CacheStats &stats() const { return stats_; }
     std::size_t sets() const { return sets_; }
     unsigned ways() const { return ways_; }
@@ -198,14 +205,14 @@ class Cache
     std::size_t setIndex(Addr addr) const { return lineNum(addr) % sets_; }
     Addr tagOf(Addr addr) const { return lineNum(addr) / sets_; }
 
-    std::size_t sets_;
-    unsigned ways_;
+    std::size_t sets_;  // ckpt-skip: (geometry is config)
+    unsigned ways_;     // ckpt-skip: (geometry is config)
     const char *name_;
     std::vector<Line> lines_;   ///< sets_ * ways_, row-major by set
     std::uint64_t lru_tick_ = 0;
     CacheStats stats_;
     obs::Tracer *tracer_ = nullptr;
-    obs::Track trace_track_{};
+    obs::Track trace_track_{};  // ckpt-skip: (obs wiring, reattached)
     const Cycle *trace_clock_ = nullptr;
 };
 
@@ -326,7 +333,7 @@ class MshrFile
         return -1;
     }
 
-    std::size_t capacity_;
+    std::size_t capacity_;  // ckpt-skip: (capacity is config)
     std::vector<Entry> entries_;
 };
 

@@ -221,7 +221,9 @@ class Ar
             if (loading())
                 v = static_cast<T>(w);
         } else {
-            static_assert(sizeof(T) == 0,
+            // Dependent-false: fires only when this branch is
+            // instantiated (C++20 has no static_assert(false) here).
+            static_assert(!std::is_same_v<T, T>,
                           "no serialization defined for this type");
         }
     }

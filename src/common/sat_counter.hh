@@ -70,7 +70,7 @@ class SatCounter
     }
 
   private:
-    unsigned max_;
+    unsigned max_;  // ckpt-skip: (counter ceiling is config)
     unsigned value_;
 };
 

@@ -144,7 +144,7 @@ class Histogram
     }
 
   private:
-    double width_;
+    double width_;  // ckpt-skip: (bucket width is config)
     std::vector<std::uint64_t> counts_;
     std::uint64_t overflow_;
     double total_ = 0.0;

@@ -20,7 +20,23 @@ HybridBranchPredictor::HybridBranchPredictor(unsigned table_bits,
 bool
 HybridBranchPredictor::predictAndUpdate(Addr pc, bool taken)
 {
-    ++stats_.lookups;
+    return update(pc, taken, &stats_);
+}
+
+void
+HybridBranchPredictor::warmUpdate(Addr pc, bool taken)
+{
+    // Same training, no counters: stats would otherwise accumulate
+    // during functional warming, which runs outside simulated time.
+    update(pc, taken, nullptr);
+}
+
+bool
+HybridBranchPredictor::update(Addr pc, bool taken,
+                              BranchPredictorStats *stats)
+{
+    if (stats)
+        ++stats->lookups;
 
     std::uint8_t &b = bimodal_[bimodalIndex(pc)];
     std::uint8_t &g = gshare_[gshareIndex(pc)];
@@ -30,10 +46,12 @@ HybridBranchPredictor::predictAndUpdate(Addr pc, bool taken)
     const bool gsh_pred = predictCounter(g);
     const bool use_gshare = ch >= 2;
     const bool pred = use_gshare ? gsh_pred : bim_pred;
-    if (use_gshare)
-        ++stats_.gshare_used;
-    else
-        ++stats_.bimodal_used;
+    if (stats) {
+        if (use_gshare)
+            ++stats->gshare_used;
+        else
+            ++stats->bimodal_used;
+    }
 
     // Chooser trains toward whichever component was right (only when
     // they disagree).
@@ -45,8 +63,8 @@ HybridBranchPredictor::predictAndUpdate(Addr pc, bool taken)
     ghr_ = ((ghr_ << 1) | (taken ? 1 : 0)) & history_mask_;
 
     const bool mispredict = pred != taken;
-    if (mispredict)
-        ++stats_.mispredicts;
+    if (mispredict && stats)
+        ++stats->mispredicts;
     return mispredict;
 }
 

@@ -67,7 +67,17 @@ class HybridBranchPredictor
      */
     bool predictAndUpdate(Addr pc, bool taken);
 
+    /**
+     * Functional-warming variant of predictAndUpdate(): identical
+     * table, chooser and history training — a fast-warmed predictor is
+     * byte-exact with a detail-warmed one — but no stats counters,
+     * because fastwarm runs outside simulated time (DESIGN.md §8).
+     */
+    void warmUpdate(Addr pc, bool taken);
+
     const BranchPredictorStats &stats() const { return stats_; }
+
+    void resetStats() { stats_ = BranchPredictorStats{}; }
 
     /** Current global history (tests). */
     std::uint64_t history() const { return ghr_; }
@@ -85,6 +95,8 @@ class HybridBranchPredictor
     }
 
   private:
+    bool update(Addr pc, bool taken, BranchPredictorStats *stats);
+
     static bool predictCounter(std::uint8_t c) { return c >= 2; }
 
     static void
@@ -110,8 +122,8 @@ class HybridBranchPredictor
         return ((pc >> 2) ^ ghr_) & mask_;
     }
 
-    std::size_t mask_;
-    std::uint64_t history_mask_;
+    std::size_t mask_;            // ckpt-skip: (derived from config)
+    std::uint64_t history_mask_;  // ckpt-skip: (derived from config)
     std::vector<std::uint8_t> bimodal_;
     std::vector<std::uint8_t> gshare_;
     std::vector<std::uint8_t> chooser_;  ///< >=2 -> use gshare

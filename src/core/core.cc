@@ -189,9 +189,10 @@ Core::warmStep(WarmPort &port)
     }
 
     // Branches train the predictor once per dispatched branch, exactly
-    // as fetchRenameDispatch does — same prefix, same tables.
+    // as fetchRenameDispatch does — same prefix, same tables, but no
+    // stats counters (warming is outside simulated time).
     if (isBranch(d.uop.op) && cfg_.use_branch_predictor)
-        bp_.predictAndUpdate(d.uop.pc, d.taken);
+        bp_.warmUpdate(d.uop.pc, d.taken);
 
     if (isLoad(d.uop.op)) {
         const Addr paddr = tlb_.warmTranslate(*pt_, d.vaddr);
@@ -1194,6 +1195,12 @@ void
 Core::invalidateL1(Addr paddr_line)
 {
     l1d_.invalidate(paddr_line);
+}
+
+void
+Core::warmInvalidateL1(Addr paddr_line)
+{
+    l1d_.warmInvalidate(paddr_line);
 }
 
 // --------------------------------------------------------------------

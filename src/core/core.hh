@@ -241,6 +241,9 @@ class Core
     /** Back-invalidate an L1 line (LLC eviction, inclusive hierarchy). */
     void invalidateL1(Addr paddr_line);
 
+    /** Stat-free invalidateL1() for the functional-warming path. */
+    void warmInvalidateL1(Addr paddr_line);
+
     // ---- functional warming (DESIGN.md §8) ----
 
     /**
@@ -548,8 +551,8 @@ class Core
     bool buildChain(RobEntry &source, ChainRequest &chain);
     void unOffloadChain(const ChainRequest &chain);
 
-    CoreId id_;
-    CoreConfig cfg_;
+    CoreId id_;       // ckpt-skip: (identity is config)
+    CoreConfig cfg_;  // ckpt-skip: (config, not state)
     TraceSource *trace_;
     PageTable *pt_;
     CorePort *port_;

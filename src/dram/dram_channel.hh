@@ -198,13 +198,13 @@ class DramChannel
     Bank &bankFor(const DramCoord &c);
     void applyActConstraints(const DramCoord &c, Cycle act_cycle);
 
-    DramGeometry geo_;
-    DramTiming t_;
-    SchedPolicy policy_;
+    DramGeometry geo_;    // ckpt-skip: (config, not state)
+    DramTiming t_;        // ckpt-skip: (config, not state)
+    SchedPolicy policy_;  // ckpt-skip: (config, not state)
     obs::Tracer *tracer_ = nullptr;
-    std::uint32_t trace_bank_base_ = 0;
-    std::size_t queue_limit_;
-    unsigned num_cores_;
+    std::uint32_t trace_bank_base_ = 0;  // ckpt-skip: (obs wiring)
+    std::size_t queue_limit_;  // ckpt-skip: (config, not state)
+    unsigned num_cores_;       // ckpt-skip: (config, not state)
 
     std::vector<Bank> banks_;          ///< [rank * banks_per_rank + bank]
     std::deque<Queued> read_q_;

@@ -507,6 +507,12 @@ Emc::invalidateLine(Addr paddr_line)
 }
 
 void
+Emc::warmInvalidateLine(Addr paddr_line)
+{
+    dcache_.warmInvalidate(paddr_line);
+}
+
+void
 Emc::tlbShootdown(CoreId core, Addr vpage)
 {
     tlbs_[core % num_cores_].shootdown(vpage);

@@ -184,6 +184,9 @@ class Emc
     /** LLC evicted/invalidated a line the EMC caches (directory bit). */
     void invalidateLine(Addr paddr_line);
 
+    /** Stat-free invalidateLine() for the functional-warming path. */
+    void warmInvalidateLine(Addr paddr_line);
+
     /** TLB shootdown for @p vpage of @p core. */
     void tlbShootdown(CoreId core, Addr vpage);
 
@@ -369,8 +372,8 @@ class Emc
     void haltContext(unsigned ctx_idx, ChainOutcome reason);
     unsigned predictorIndex(Addr pc) const;
 
-    EmcConfig cfg_;
-    unsigned num_cores_;
+    EmcConfig cfg_;       // ckpt-skip: (config, not state)
+    unsigned num_cores_;  // ckpt-skip: (config, not state)
     EmcPort *port_;
 
     std::vector<Context> contexts_;
@@ -386,7 +389,7 @@ class Emc
     // Invariant checking (null when disabled; observation only)
     check::CheckRegistry *check_ = nullptr;
     obs::Tracer *tracer_ = nullptr;
-    unsigned trace_mc_ = 0;
+    unsigned trace_mc_ = 0;  // ckpt-skip: (obs wiring)
 
     EmcStats stats_;
 };

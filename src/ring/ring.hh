@@ -210,8 +210,8 @@ class Ring
     void advance(Direction &dir, Cycle now);
     void inject(Cycle now);
 
-    unsigned stops_;
-    bool is_data_;
+    unsigned stops_;  // ckpt-skip: (topology is config)
+    bool is_data_;    // ckpt-skip: (topology is config)
     Direction cw_;   ///< clockwise
     Direction ccw_;  ///< counter-clockwise
     std::vector<std::deque<RingMsg>> inject_q_;  ///< per stop

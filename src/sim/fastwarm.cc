@@ -99,11 +99,11 @@ System::warmLineAtLlc(CoreId core, Addr paddr_line, Addr pc,
         // functional memory already holds every committed value.
         if (victim.meta.emc && !emcs_.empty()) {
             for (auto &e : emcs_)
-                e->invalidateLine(victim.addr);
+                e->warmInvalidateLine(victim.addr);
         }
         for (unsigned c = 0; c < cfg_.num_cores; ++c) {
             if (victim.meta.presence & (1u << c))
-                cores_[c]->invalidateL1(victim.addr);
+                cores_[c]->warmInvalidateL1(victim.addr);
         }
     }
 }
@@ -368,7 +368,13 @@ jaccard(const std::set<CoreLine> &a, const std::set<CoreLine> &b)
 std::vector<std::uint8_t>
 bpBytes(const HybridBranchPredictor &bp)
 {
+    // Compare the *warmable* predictor image — tables, chooser and
+    // history. The stats counters are masked: detailed warming counts
+    // lookups while functional warming must not touch statistics
+    // (DESIGN.md §8), and the counters are measurement artifacts, not
+    // predictor state.
     HybridBranchPredictor copy = bp;
+    copy.resetStats();
     ckpt::Ar ar = ckpt::Ar::saver();
     ar.io(copy);
     return ar.takeBytes();

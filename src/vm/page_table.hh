@@ -133,7 +133,7 @@ class PageTable
         return (static_cast<Addr>(core_) << 28) | (seq * 8 + scatter);
     }
 
-    CoreId core_;
+    CoreId core_;  // ckpt-skip: (identity is config)
     Rng rng_;
     Addr next_seq_ = 1;
     std::unordered_map<Addr, Pte> table_;

@@ -111,8 +111,8 @@ class Tlb
         map_[vp] = lru_.begin();
     }
 
-    std::size_t entries_;
-    Cycle walk_latency_;
+    std::size_t entries_;  // ckpt-skip: (capacity is config)
+    Cycle walk_latency_;   // ckpt-skip: (latency is config)
     std::list<Addr> lru_;
     std::unordered_map<Addr, std::list<Addr>::iterator> map_;
     std::uint64_t hits_ = 0;
@@ -200,7 +200,7 @@ class EmcTlb
     }
 
   private:
-    std::size_t entries_;
+    std::size_t entries_;  // ckpt-skip: (capacity is config)
     std::vector<Pte> buffer_;
     std::size_t head_ = 0;
     std::uint64_t hits_ = 0;

@@ -108,5 +108,40 @@ TEST(BranchPredictorTest, StatsAccounting)
     EXPECT_LE(bp.stats().mispredictRate(), 1.0);
 }
 
+TEST(BranchPredictorTest, WarmUpdateTrainsByteExactly)
+{
+    // A fast-warmed predictor must be indistinguishable from a
+    // detail-warmed one: same history, same subsequent predictions.
+    HybridBranchPredictor warm, detailed;
+    Rng rng(7);
+    for (int i = 0; i < 500; ++i) {
+        const Addr pc = 0x400 + 4 * rng.range(0, 63);
+        const bool taken = rng.range(0, 1) == 0;
+        detailed.predictAndUpdate(pc, taken);
+        warm.warmUpdate(pc, taken);
+    }
+    EXPECT_EQ(warm.history(), detailed.history());
+    for (int i = 0; i < 200; ++i) {
+        const Addr pc = 0x400 + 4 * rng.range(0, 63);
+        const bool taken = rng.range(0, 1) == 0;
+        EXPECT_EQ(warm.predictAndUpdate(pc, taken),
+                  detailed.predictAndUpdate(pc, taken));
+    }
+}
+
+TEST(BranchPredictorTest, WarmUpdateTouchesNoStats)
+{
+    // Functional warming runs outside simulated time: training must
+    // not count lookups, component use, or mispredicts (DESIGN.md §8
+    // — caught by the warm-contract lint rule).
+    HybridBranchPredictor bp;
+    for (int i = 0; i < 100; ++i)
+        bp.warmUpdate(0x400 + 4 * (i % 16), (i % 3) == 0);
+    EXPECT_EQ(bp.stats().lookups, 0u);
+    EXPECT_EQ(bp.stats().mispredicts, 0u);
+    EXPECT_EQ(bp.stats().gshare_used, 0u);
+    EXPECT_EQ(bp.stats().bimodal_used, 0u);
+}
+
 } // namespace
 } // namespace emc

@@ -80,6 +80,23 @@ TEST(CacheTest, InvalidateRemovesLine)
     EXPECT_FALSE(c.invalidate(0x1000).valid);
 }
 
+TEST(CacheTest, WarmInvalidateRemovesLineWithoutStats)
+{
+    // Functional warming runs outside simulated time: back-
+    // invalidations on the warm path must not count invalidation
+    // statistics (DESIGN.md §8 — caught by the warm-contract lint).
+    Cache c(4096, 4, "t");
+    CacheLineMeta meta;
+    meta.dirty = true;
+    c.insert(0x1000, meta);
+    Cache::Victim v = c.warmInvalidate(0x1000);
+    ASSERT_TRUE(v.valid);
+    EXPECT_TRUE(v.meta.dirty);
+    EXPECT_EQ(c.peek(0x1000), nullptr);
+    EXPECT_FALSE(c.warmInvalidate(0x1000).valid);
+    EXPECT_EQ(c.stats().invalidations, 0u);
+}
+
 TEST(CacheTest, MetadataRoundTrip)
 {
     Cache c(4096, 4, "t");

@@ -121,6 +121,36 @@ TEST(FastwarmEquivalence, MatchesDetailedWarmup)
                                   << d.llc_lines_b << " lines";
 }
 
+// A pure fast-forward from reset must leave every statistic untouched:
+// warming advances tag/LRU/predictor state only (DESIGN.md §8). The
+// tiny LLC forces warm insertions to evict lines with live presence
+// bits, exercising the back-invalidation path into the core L1s and
+// the EMC data cache — the paths where stat-counting calls once hid.
+TEST(FastwarmContract, FastForwardTouchesNoStats)
+{
+    SystemConfig cfg = fig13Config();
+    cfg.warmup_uops = 4000;
+    cfg.llc_slice_bytes = 8 * 1024;
+    System sys(cfg, fig13Mix());
+    sys.fastForward(cfg.warmup_uops);
+
+    for (unsigned i = 0; i < cfg.num_cores; ++i) {
+        const auto &bp = sys.core(i).branchPredictor().stats();
+        EXPECT_EQ(bp.lookups, 0u) << "core " << i;
+        EXPECT_EQ(bp.mispredicts, 0u) << "core " << i;
+        const auto &l1 = sys.core(i).l1d().stats();
+        EXPECT_EQ(l1.hits + l1.misses + l1.evictions
+                      + l1.invalidations, 0u) << "L1 of core " << i;
+        const auto &llc = sys.llcSlice(i).stats();
+        EXPECT_EQ(llc.hits + llc.misses + llc.evictions
+                      + llc.invalidations, 0u) << "LLC slice " << i;
+    }
+    ASSERT_NE(sys.emc(), nullptr);
+    const auto &dc = sys.emc()->dcache().stats();
+    EXPECT_EQ(dc.hits + dc.misses + dc.evictions + dc.invalidations,
+              0u) << "EMC dcache";
+}
+
 // Different uop prefixes must NOT produce equal predictors — guards
 // against compareWarmState trivially returning equality.
 TEST(FastwarmEquivalence, DetectsDivergence)

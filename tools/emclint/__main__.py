@@ -1,0 +1,16 @@
+"""Entry point: `python3 tools/emclint` or `python3 -m emclint`."""
+
+import os
+import sys
+
+if __package__ in (None, ""):
+    # Executed as a directory (`python3 tools/emclint`): make the
+    # package importable from its parent, then re-enter it properly.
+    sys.path.insert(0, os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    from emclint.cli import main
+else:
+    from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

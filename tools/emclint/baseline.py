@@ -1,0 +1,46 @@
+"""Checked-in baseline: accepted pre-existing findings.
+
+The baseline lets the CI gate stay red-free while a newly-added rule's
+historical findings are burned down: `--write-baseline` records the
+current findings' fingerprints (path + rule + message, deliberately
+line-number free so unrelated edits don't churn the file), and
+subsequent runs report only findings *not* in the baseline.
+
+The shipped baseline (tools/emclint/baseline.json) is empty and must
+stay empty for src/ — the acceptance bar is annotated suppressions
+with reasons, not a bulk waiver file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .model import Finding
+
+
+def load(path: str) -> List[str]:
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, dict) or data.get("version") != 1:
+        raise RuntimeError("%s: not an emclint baseline (version 1)"
+                           % path)
+    return list(data.get("fingerprints", []))
+
+
+def write(path: str, findings: List[Finding]) -> None:
+    data = {
+        "version": 1,
+        "comment": "emclint accepted-findings baseline; regenerate "
+                   "with --write-baseline",
+        "fingerprints": sorted({f.fingerprint() for f in findings}),
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def filter_known(findings: List[Finding],
+                 fingerprints: List[str]) -> List[Finding]:
+    known = set(fingerprints)
+    return [f for f in findings if f.fingerprint() not in known]

@@ -1,0 +1,334 @@
+"""libclang frontend: the precise parser.
+
+Lowers real clang ASTs (via the `clang.cindex` Python bindings) to the
+shared model.  Range-for types come from the AST's canonical types, so
+`auto`, typedefs and nested member chains resolve exactly; members
+carry canonical type spellings; call sites carry the referenced
+declaration's name instead of a token guess.
+
+Availability is probed at import *use* time, never at module import:
+`available()` returns False (with a reason) when the bindings or a
+loadable libclang are missing, and the engine falls back to the token
+frontend.  Set EMCLINT_LIBCLANG to point at a specific libclang.so.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import List, Optional, Tuple
+
+from .model import (CallSite, ClassInfo, Function, MacroUse, Member,
+                    NewDelete, RangeFor, StatPut, TranslationUnit)
+
+_ERR: Optional[str] = None
+_READY = False
+
+
+def _probe() -> Tuple[bool, Optional[str]]:
+    global _READY, _ERR
+    if _READY or _ERR:
+        return _READY, _ERR
+    try:
+        from clang import cindex  # noqa: F401
+    except ImportError as e:
+        _ERR = "python clang bindings not importable (%s)" % e
+        return False, _ERR
+    from clang import cindex
+    override = os.environ.get("EMCLINT_LIBCLANG")
+    candidates = [override] if override else []
+    candidates += sorted(
+        glob.glob("/usr/lib/llvm-*/lib/libclang-*.so*")
+        + glob.glob("/usr/lib/llvm-*/lib/libclang.so*")
+        + glob.glob("/usr/lib/*/libclang-*.so*")
+        + glob.glob("/usr/lib/*/libclang.so*"),
+        reverse=True)
+    last = None
+    for cand in candidates + [None]:
+        try:
+            if cand:
+                cindex.Config.set_library_file(cand)
+            cindex.Index.create()
+            _READY = True
+            return True, None
+        except Exception as e:  # cindex.LibclangError and friends
+            last = str(e)
+            # Config is sticky once an Index exists; retrying with a
+            # fresh set_library_file is fine before the first success.
+            try:
+                cindex.Config.loaded = False
+            except Exception:
+                pass
+    _ERR = "libclang not loadable (%s)" % (last or "no candidates")
+    return False, _ERR
+
+
+def available() -> Tuple[bool, Optional[str]]:
+    """(usable, reason-if-not)."""
+    return _probe()
+
+
+def load_compdb(path: str) -> dict:
+    """file -> argument list from a compile_commands.json (or the
+    directory containing one)."""
+    if os.path.isdir(path):
+        path = os.path.join(path, "compile_commands.json")
+    with open(path, encoding="utf-8") as f:
+        entries = json.load(f)
+    out = {}
+    for e in entries:
+        args = e.get("arguments")
+        if not args and "command" in e:
+            import shlex
+            args = shlex.split(e["command"])
+        src = os.path.normpath(
+            os.path.join(e.get("directory", "."), e["file"]))
+        out[src] = [a for a in (args or [])[1:]
+                    if a not in ("-c", "-o") and not a.endswith(".o")
+                    and os.path.normpath(a) != src]
+    return out
+
+
+_DEFAULT_ARGS = ["-std=c++20", "-xc++"]
+
+
+def parse_file(path: str, compdb: Optional[dict] = None,
+               extra_args: Optional[List[str]] = None
+               ) -> TranslationUnit:
+    from clang import cindex
+
+    args = list(_DEFAULT_ARGS)
+    norm = os.path.normpath(os.path.abspath(path))
+    if compdb and norm in compdb:
+        args = compdb[norm]
+    if extra_args:
+        args += extra_args
+
+    index = cindex.Index.create()
+    tu_ast = index.parse(
+        path, args=args,
+        options=cindex.TranslationUnit
+        .PARSE_DETAILED_PROCESSING_RECORD)
+    with open(path, encoding="utf-8", errors="replace") as f:
+        tu = TranslationUnit(path=path, lines=f.read().splitlines(),
+                             frontend="clang")
+    _Lowerer(tu, tu_ast, path).run()
+    return tu
+
+
+class _Lowerer:
+    def __init__(self, tu: TranslationUnit, ast, path: str):
+        self.tu = tu
+        self.ast = ast
+        self.path = os.path.abspath(path)
+
+    def in_main_file(self, cursor) -> bool:
+        loc = cursor.location
+        return bool(loc.file) and \
+            os.path.abspath(loc.file.name) == self.path
+
+    def run(self) -> None:
+        from clang.cindex import CursorKind as CK
+        for c in self.ast.cursor.get_children():
+            self.visit(c, [])
+        # Macro instantiations live at TU level with detailed
+        # preprocessing records; attribute them to enclosing functions
+        # by line range.
+        macro_uses = []
+        for c in self.ast.cursor.get_children():
+            if c.kind == CK.MACRO_INSTANTIATION \
+                    and self.in_main_file(c) \
+                    and c.spelling == "EMC_OBS_POINT":
+                macro_uses.append(MacroUse(
+                    name=c.spelling, line=c.location.line,
+                    arg_text=self._tokens_text(c)))
+        for mu in macro_uses:
+            for fn in self.tu.functions:
+                if fn.line <= mu.line <= (fn.end_line or fn.line):
+                    if all(m.line != mu.line for m in fn.macro_uses):
+                        fn.macro_uses.append(mu)
+                        fn.calls.append(CallSite(
+                            callee=mu.name, line=mu.line,
+                            arg_text=mu.arg_text))
+                    break
+
+    def _tokens_text(self, cursor) -> str:
+        toks = [t.spelling for t in cursor.get_tokens()]
+        # strip NAME ( ... )
+        if len(toks) >= 3 and toks[1] == "(":
+            toks = toks[2:-1]
+        return " ".join(toks)
+
+    # ---- declaration walk ----------------------------------------------
+
+    def visit(self, cursor, scope: List[str]) -> None:
+        from clang.cindex import CursorKind as CK
+        k = cursor.kind
+        if k == CK.NAMESPACE:
+            for c in cursor.get_children():
+                self.visit(c, scope + [cursor.spelling])
+            return
+        if k in (CK.CLASS_DECL, CK.STRUCT_DECL, CK.CLASS_TEMPLATE,
+                 CK.UNION_DECL):
+            if cursor.is_definition() and self.in_main_file(cursor):
+                self.lower_class(cursor, scope)
+            return
+        if k in (CK.CXX_METHOD, CK.FUNCTION_DECL, CK.CONSTRUCTOR,
+                 CK.DESTRUCTOR, CK.FUNCTION_TEMPLATE):
+            if cursor.is_definition() and self.in_main_file(cursor):
+                self.lower_function(cursor, scope, None)
+            return
+        if k in (CK.TYPE_ALIAS_DECL, CK.TYPEDEF_DECL) \
+                and self.in_main_file(cursor):
+            try:
+                self.tu.aliases[cursor.spelling] = \
+                    cursor.underlying_typedef_type.get_canonical() \
+                    .spelling
+            except Exception:
+                pass
+            return
+        if k == CK.LINKAGE_SPEC or k == CK.UNEXPOSED_DECL:
+            for c in cursor.get_children():
+                self.visit(c, scope)
+
+    def lower_class(self, cursor, scope: List[str]) -> None:
+        from clang.cindex import CursorKind as CK, TypeKind as TK
+        name = cursor.spelling or "<anon>"
+        qname = "::".join(scope + [name])
+        ci = ClassInfo(name=name, qname=qname, file=self.tu.path,
+                       line=cursor.location.line)
+        self.tu.classes.append(ci)
+        for c in cursor.get_children():
+            if c.kind == CK.FIELD_DECL:
+                t = c.type
+                canon = t.get_canonical()
+                ci.members.append(Member(
+                    name=c.spelling,
+                    type_text=t.spelling,
+                    line=c.location.line,
+                    is_static=False,
+                    is_const=canon.is_const_qualified(),
+                    is_pointer=canon.kind in (
+                        TK.POINTER, TK.MEMBERPOINTER),
+                    is_reference=canon.kind in (
+                        TK.LVALUEREFERENCE, TK.RVALUEREFERENCE),
+                    is_function_like="function<" in
+                    canon.spelling.replace(" ", "")))
+            elif c.kind == CK.VAR_DECL:
+                ci.members.append(Member(
+                    name=c.spelling, type_text=c.type.spelling,
+                    line=c.location.line, is_static=True))
+            elif c.kind in (CK.CXX_METHOD, CK.CONSTRUCTOR,
+                            CK.DESTRUCTOR, CK.FUNCTION_TEMPLATE):
+                ci.method_names.add(c.spelling)
+                if c.is_definition():
+                    self.lower_function(c, scope, ci)
+            elif c.kind in (CK.CLASS_DECL, CK.STRUCT_DECL,
+                            CK.CLASS_TEMPLATE, CK.UNION_DECL):
+                if c.is_definition():
+                    self.lower_class(c, scope + [name])
+
+    def lower_function(self, cursor, scope: List[str],
+                       cls: Optional[ClassInfo]) -> None:
+        sem = cursor.semantic_parent
+        cls_q = cls.qname if cls else None
+        if cls_q is None and sem is not None and sem.kind.name in (
+                "CLASS_DECL", "STRUCT_DECL", "CLASS_TEMPLATE"):
+            parts = []
+            p = sem
+            while p is not None and p.spelling and \
+                    p.kind.name != "TRANSLATION_UNIT":
+                parts.insert(0, p.spelling)
+                p = p.semantic_parent
+            cls_q = "::".join(parts)
+        qname = (cls_q + "::" + cursor.spelling) if cls_q \
+            else "::".join(scope + [cursor.spelling])
+        fn = Function(
+            name=cursor.spelling, qname=qname, cls=cls_q,
+            file=self.tu.path, line=cursor.extent.start.line,
+            end_line=cursor.extent.end.line)
+        self.tu.functions.append(fn)
+        self.walk_body(cursor, fn)
+
+    def walk_body(self, cursor, fn: Function) -> None:
+        from clang.cindex import CursorKind as CK
+        for c in cursor.walk_preorder():
+            k = c.kind
+            if k == CK.CALL_EXPR and c.spelling:
+                recv = None
+                kids = list(c.get_children())
+                if kids and kids[0].kind == CK.MEMBER_REF_EXPR:
+                    base = list(kids[0].get_children())
+                    if base:
+                        recv = base[0].spelling or None
+                elif kids:
+                    first = kids[0]
+                    if first.kind == CK.MEMBER_REF_EXPR:
+                        recv = first.spelling
+                arg_text = ""
+                if c.spelling in ("put", "ckptSave", "ckptLoad"):
+                    arg_text = " ".join(
+                        t.spelling for t in c.get_tokens())
+                fn.calls.append(CallSite(
+                    callee=c.spelling, line=c.location.line,
+                    recv=recv, arg_text=arg_text))
+                if c.spelling == "put":
+                    self.lower_stat_put(c, fn)
+            elif k == CK.CXX_FOR_RANGE_STMT:
+                kids = list(c.get_children())
+                rng = kids[-2] if len(kids) >= 2 else None
+                if rng is not None:
+                    fn.range_fors.append(RangeFor(
+                        line=c.location.line,
+                        range_text=" ".join(
+                            t.spelling for t in rng.get_tokens()),
+                        resolved_type=rng.type.get_canonical()
+                        .spelling))
+            elif k in (CK.DECL_REF_EXPR, CK.MEMBER_REF_EXPR):
+                if c.spelling:
+                    fn.mention(c.spelling, c.location.line)
+            elif k == CK.VAR_DECL and c.spelling:
+                fn.local_types[c.spelling] = \
+                    c.type.get_canonical().spelling
+                fn.mention(c.spelling, c.location.line)
+            elif k == CK.CXX_NEW_EXPR:
+                t = c.type.get_pointee()
+                fn.news.append(NewDelete(
+                    line=c.location.line, kind="new",
+                    type_or_expr=t.spelling.split("::")[-1]))
+            elif k == CK.CXX_DELETE_EXPR:
+                kids = list(c.get_children())
+                expr = kids[0].spelling if kids else ""
+                fn.news.append(NewDelete(
+                    line=c.location.line, kind="delete",
+                    type_or_expr=expr or ""))
+            elif k == CK.TYPE_REF and c.spelling:
+                fn.mention(c.spelling.split("::")[-1],
+                           c.location.line)
+
+    def lower_stat_put(self, cursor, fn: Function) -> None:
+        from clang.cindex import CursorKind as CK
+        key = None
+        prefix = ""
+        args = list(cursor.get_arguments())
+        if args:
+            a0 = args[0]
+            lits = [c for c in a0.walk_preorder()
+                    if c.kind == CK.STRING_LITERAL]
+            if lits:
+                text = lits[0].spelling.strip('"')
+                if a0.kind == CK.STRING_LITERAL or \
+                        a0.kind == CK.UNEXPOSED_EXPR and len(lits) == 1 \
+                        and "+" not in " ".join(
+                            t.spelling for t in a0.get_tokens()):
+                    key = text
+                else:
+                    prefix = text
+        fn.stat_puts.append(StatPut(
+            line=cursor.location.line, key=key, key_prefix=prefix))
+
+
+def parse_many(paths: List[str], compdb: Optional[dict] = None
+               ) -> List[TranslationUnit]:
+    return [parse_file(p, compdb) for p in sorted(paths)]

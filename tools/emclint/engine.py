@@ -1,0 +1,99 @@
+"""Analysis driver: file collection, frontend selection, rule
+execution, suppression and baseline filtering."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import annotations, clang_frontend, token_frontend
+from .model import Finding, Program, TranslationUnit
+from .rules import all_rules, rule_names
+
+SOURCE_EXTS = {".cc", ".cpp", ".cxx", ".hh", ".hpp", ".h"}
+
+
+@dataclasses.dataclass
+class Result:
+    findings: List[Finding]
+    frontend: str           #: "clang" | "tokens"
+    frontend_note: Optional[str]
+    files: List[str]
+
+
+def collect_sources(roots: Sequence[str]) -> List[str]:
+    out: List[str] = []
+    for root in roots:
+        if os.path.isfile(root):
+            out.append(root)
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if not d.startswith("build"))
+            for f in sorted(filenames):
+                if os.path.splitext(f)[1] in SOURCE_EXTS:
+                    out.append(os.path.join(dirpath, f))
+    return out
+
+
+def pick_frontend(requested: str) -> Tuple[str, Optional[str]]:
+    """Resolve 'auto'/'clang'/'tokens' to a usable frontend name plus
+    an optional human-readable note."""
+    if requested == "tokens":
+        return "tokens", None
+    ok, why = clang_frontend.available()
+    if ok:
+        return "clang", None
+    if requested == "clang":
+        raise RuntimeError(
+            "libclang frontend requested but unavailable: %s" % why)
+    return "tokens", ("libclang unavailable (%s); "
+                      "using the token frontend" % why)
+
+
+def analyze(roots: Sequence[str], frontend: str = "auto",
+            compdb_path: Optional[str] = None,
+            rules: Optional[Sequence[str]] = None) -> Result:
+    files = collect_sources(roots)
+    chosen, note = pick_frontend(frontend)
+
+    compdb = None
+    if chosen == "clang" and compdb_path:
+        compdb = clang_frontend.load_compdb(compdb_path)
+
+    tus: List[TranslationUnit] = []
+    for path in files:
+        if chosen == "clang":
+            tu = clang_frontend.parse_file(path, compdb)
+        else:
+            tu = token_frontend.parse_file(path)
+        annotations.scan(tu, rule_names())
+        tus.append(tu)
+
+    program = Program(tus)
+    catalog = all_rules()
+    selected = list(rules) if rules else sorted(catalog.keys())
+    unknown = [r for r in selected if r not in catalog]
+    if unknown:
+        raise RuntimeError("unknown rule(s): %s" % ", ".join(unknown))
+
+    findings: List[Finding] = []
+    tu_by_path: Dict[str, TranslationUnit] = {t.path: t for t in tus}
+    for tu in tus:
+        findings.extend(tu.annotation_errors)
+    for name in selected:
+        rule = catalog[name]()
+        for tu in tus:
+            findings.extend(rule.check_tu(tu, program))
+        findings.extend(rule.check_program(program))
+
+    kept = []
+    for f in findings:
+        tu = tu_by_path.get(f.path)
+        if tu is not None and annotations.suppressed(tu, f):
+            continue
+        kept.append(f)
+    kept = sorted(set(kept), key=lambda f: f.sort_key())
+    return Result(findings=kept, frontend=chosen, frontend_note=note,
+                  files=files)

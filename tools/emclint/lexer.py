@@ -1,0 +1,137 @@
+"""A small C++ lexer for the token frontend.
+
+Produces (kind, text, line) tokens with comments and preprocessor
+directives stripped but line numbers preserved, so findings point at
+real source lines.  Kinds: `id`, `num`, `str`, `chr`, `punct`.
+
+This is a *lexer*, not a preprocessor: macros are not expanded (the
+token frontend treats `EMC_OBS_POINT(...)` as a call-shaped construct,
+which is exactly what the trace-hook rule wants), and `#include`s are
+not followed (the engine parses every file under the analysis roots,
+which covers all first-party headers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+_PUNCT3 = {"<<=", ">>=", "->*", "...", "<=>"}
+_PUNCT2 = {"::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+           "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+           ".*", "##"}
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+def _is_id_start(c: str) -> bool:
+    return c.isalpha() or c == "_"
+
+
+def _is_id(c: str) -> bool:
+    return c.isalnum() or c == "_"
+
+
+def tokenize(text: str) -> List[Token]:
+    toks: List[Token] = []
+    i = 0
+    n = len(text)
+    line = 1
+    at_line_start = True
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Preprocessor directive: skip the logical line (continuations).
+        if c == "#" and at_line_start:
+            while i < n:
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    line += 1
+                    i += 2
+                    continue
+                if text[i] == "\n":
+                    break
+                i += 1
+            continue
+        at_line_start = False
+        # Comments.
+        if c == "/" and i + 1 < n:
+            if text[i + 1] == "/":
+                while i < n and text[i] != "\n":
+                    i += 1
+                continue
+            if text[i + 1] == "*":
+                end = text.find("*/", i + 2)
+                if end < 0:
+                    end = n
+                line += text.count("\n", i, end)
+                i = end + 2
+                continue
+        # Raw string literal R"delim( ... )delim".
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            j = text.find("(", i + 2)
+            if 0 < j < i + 20:
+                delim = text[i + 2:j]
+                close = ")" + delim + '"'
+                end = text.find(close, j + 1)
+                if end < 0:
+                    end = n
+                lit = text[i:end + len(close)]
+                toks.append(Token("str", lit, line))
+                line += lit.count("\n")
+                i = end + len(close)
+                continue
+        # String / char literals (with escapes).
+        if c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                if text[j] == "\\":
+                    j += 1
+                elif text[j] == "\n":
+                    break  # unterminated; tolerate
+                j += 1
+            lit = text[i:j + 1]
+            toks.append(Token("str" if c == '"' else "chr", lit, line))
+            i = j + 1
+            continue
+        # Identifiers / keywords.
+        if _is_id_start(c):
+            j = i + 1
+            while j < n and _is_id(text[j]):
+                j += 1
+            toks.append(Token("id", text[i:j], line))
+            i = j
+            continue
+        # Numbers (incl. hex, digit separators, suffixes, floats).
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "._'"
+                             or (text[j] in "+-"
+                                 and text[j - 1] in "eEpP")):
+                j += 1
+            toks.append(Token("num", text[i:j], line))
+            i = j
+            continue
+        # Punctuation, longest match first.
+        if text[i:i + 3] in _PUNCT3:
+            toks.append(Token("punct", text[i:i + 3], line))
+            i += 3
+            continue
+        if text[i:i + 2] in _PUNCT2:
+            toks.append(Token("punct", text[i:i + 2], line))
+            i += 2
+            continue
+        toks.append(Token("punct", c, line))
+        i += 1
+    return toks

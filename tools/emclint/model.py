@@ -1,0 +1,216 @@
+"""Frontend-agnostic semantic model.
+
+Both frontends (libclang and the token fallback) lower a translation
+unit to these dataclasses; every rule is written against this model
+only, so rule behaviour cannot depend on which frontend produced it
+beyond documented precision differences (the clang frontend resolves
+types through `auto`, typedefs and overload sets exactly; the token
+frontend approximates by name).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional, Set
+
+#: Container type names whose iteration order is hash-dependent.
+UNORDERED_TYPES = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\b")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def sort_key(self):
+        return (self.path, self.line, self.rule, self.message)
+
+    def fingerprint(self) -> str:
+        """Location-independent identity used by the baseline file, so
+        unrelated edits that shift line numbers don't churn it."""
+        return "%s:%s:%s" % (self.path, self.rule, self.message)
+
+
+@dataclasses.dataclass
+class Member:
+    """One non-static data member of a class."""
+    name: str
+    type_text: str
+    line: int
+    is_static: bool = False
+    is_const: bool = False
+    is_pointer: bool = False
+    is_reference: bool = False
+    is_function_like: bool = False  #: std::function / member-fn pointer
+
+    def serializable(self) -> bool:
+        """True when ckpt-coverage expects this member in ser().
+
+        Pointers and references cannot appear in a checkpoint at all
+        (ckpt::Ar static-asserts on them — they are reattached on
+        load), const members are immutable configuration, and
+        std::function members are wiring, not state.
+        """
+        return not (self.is_static or self.is_const or self.is_pointer
+                    or self.is_reference or self.is_function_like)
+
+
+@dataclasses.dataclass
+class CallSite:
+    """A function or method call inside a function body."""
+    callee: str            #: simple name (`push`, `schedule`, ...)
+    line: int
+    recv: Optional[str] = None   #: receiver tail (`events_` in `a.events_.push`)
+    arg_text: str = ""           #: argument text (selected callees only)
+
+
+@dataclasses.dataclass
+class RangeFor:
+    """A range-based for statement and its resolved range type."""
+    line: int
+    range_text: str
+    #: Fully resolved type of the range expression when the frontend
+    #: could determine it (clang: always; tokens: via decl lookup).
+    resolved_type: Optional[str] = None
+
+
+@dataclasses.dataclass
+class MacroUse:
+    """An EMC_OBS_POINT (or similar) macro instantiation."""
+    name: str
+    line: int
+    arg_text: str
+
+
+@dataclasses.dataclass
+class StatPut:
+    """A StatDump::put() registration."""
+    line: int
+    key: Optional[str]      #: literal key, or None when dynamic
+    key_prefix: str = ""    #: leading literal of a dynamic key, if any
+
+
+@dataclasses.dataclass
+class NewDelete:
+    """A raw new/delete expression."""
+    line: int
+    kind: str       #: "new" | "delete"
+    type_or_expr: str
+
+
+@dataclasses.dataclass
+class Function:
+    """A function or method definition (bodies only, not declarations)."""
+    name: str
+    qname: str                      #: e.g. `emc::Cache::warmAccess`
+    cls: Optional[str]              #: enclosing/owning class qname
+    file: str
+    line: int
+    end_line: int
+    calls: List[CallSite] = dataclasses.field(default_factory=list)
+    range_fors: List[RangeFor] = dataclasses.field(default_factory=list)
+    macro_uses: List[MacroUse] = dataclasses.field(default_factory=list)
+    stat_puts: List[StatPut] = dataclasses.field(default_factory=list)
+    news: List[NewDelete] = dataclasses.field(default_factory=list)
+    mentions: Set[str] = dataclasses.field(default_factory=set)
+    #: identifier -> line of first mention (for identifier-level findings)
+    mention_lines: Dict[str, int] = dataclasses.field(
+        default_factory=dict)
+    #: identifier -> declared type text for locals the frontend could type
+    local_types: Dict[str, str] = dataclasses.field(default_factory=dict)
+
+    def mention(self, name: str, line: int) -> None:
+        self.mentions.add(name)
+        self.mention_lines.setdefault(name, line)
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """A class/struct definition."""
+    name: str
+    qname: str
+    file: str
+    line: int
+    members: List[Member] = dataclasses.field(default_factory=list)
+    method_names: Set[str] = dataclasses.field(default_factory=set)
+
+    def has_ser(self) -> bool:
+        return "ser" in self.method_names
+
+    def member(self, name: str) -> Optional[Member]:
+        for m in self.members:
+            if m.name == name:
+                return m
+        return None
+
+
+@dataclasses.dataclass
+class TranslationUnit:
+    """Everything the rules need to know about one source file."""
+    path: str
+    lines: List[str]
+    classes: List[ClassInfo] = dataclasses.field(default_factory=list)
+    functions: List[Function] = dataclasses.field(default_factory=list)
+    #: using/typedef aliases visible in this file: name -> aliased type
+    aliases: Dict[str, str] = dataclasses.field(default_factory=dict)
+    #: `// lint-ok: rule (reason)` suppressions: line -> set of rules
+    suppressions: Dict[int, Set[str]] = dataclasses.field(
+        default_factory=dict)
+    #: `// ckpt-skip: (reason)` annotations: line -> has_reason
+    ckpt_skips: Dict[int, bool] = dataclasses.field(default_factory=dict)
+    #: annotation syntax errors found while scanning (reported by engine)
+    annotation_errors: List["Finding"] = dataclasses.field(
+        default_factory=list)
+    frontend: str = "tokens"
+
+
+class Program:
+    """The merged cross-TU view rules use for whole-program checks."""
+
+    def __init__(self, tus: List[TranslationUnit]):
+        self.tus: List[TranslationUnit] = tus
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: List[Function] = []
+        self.functions_by_name: Dict[str, List[Function]] = {}
+        self.member_types: Dict[str, str] = {}
+        self.aliases: Dict[str, str] = {}
+        for tu in tus:
+            for ci in tu.classes:
+                prev = self.classes.get(ci.qname)
+                if prev is None or (not prev.members and ci.members):
+                    self.classes[ci.qname] = ci
+                elif prev is not None:
+                    prev.method_names |= ci.method_names
+            for fn in tu.functions:
+                self.functions.append(fn)
+                self.functions_by_name.setdefault(fn.name, []).append(fn)
+            self.aliases.update(tu.aliases)
+        for ci in self.classes.values():
+            for m in ci.members:
+                self.member_types.setdefault(m.name, m.type_text)
+
+    def resolve_alias(self, type_text: str, depth: int = 4) -> str:
+        """Expand using/typedef aliases appearing in a type string."""
+        out = type_text
+        for _ in range(depth):
+            changed = False
+            for name, target in self.aliases.items():
+                pat = r"\b%s\b" % re.escape(name)
+                if re.search(pat, out) and name not in target:
+                    out = re.sub(pat, target, out)
+                    changed = True
+            if not changed:
+                break
+        return out
+
+    def methods_of(self, cls_qname: Optional[str],
+                   name: str) -> List[Function]:
+        if cls_qname is None:
+            return []
+        return [f for f in self.functions_by_name.get(name, [])
+                if f.cls == cls_qname]

@@ -1,0 +1,50 @@
+"""Rule engine: base class, registry, and the rule catalog.
+
+Each rule is a class with a unique `name` (the id used in findings,
+`// lint-ok:` suppressions and `--rules` filters), a `description`
+shown by `--list-rules` and embedded in SARIF output, and two hooks:
+
+    check_tu(tu, program)    per-translation-unit findings
+    check_program(program)   whole-program (cross-TU) findings
+
+Rules never see raw text — only the semantic model — so they behave
+identically under both frontends.  Fixtures for every rule live in
+tests/emclint/fixtures and run as ctest `test_emclint`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ..model import Finding, Program, TranslationUnit
+
+
+class Rule:
+    name: str = ""
+    description: str = ""
+
+    def check_tu(self, tu: TranslationUnit,
+                 program: Program) -> List[Finding]:
+        return []
+
+    def check_program(self, program: Program) -> List[Finding]:
+        return []
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    assert cls.name and cls.name not in _REGISTRY, cls
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    # Import the rule modules on first use so `register` has run.
+    from . import checkpoint, determinism, statreg, tracing, warming  # noqa: F401
+    return dict(_REGISTRY)
+
+
+def rule_names() -> List[str]:
+    return sorted(all_rules().keys())

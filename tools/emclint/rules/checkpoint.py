@@ -1,0 +1,126 @@
+"""Checkpoint rules: ckpt-field and ckpt-coverage.
+
+ckpt-field (ported): serialization code must not bake host addresses
+into an image — no reinterpret_cast / [u]intptr_t inside ser()-family
+bodies or ckptSave/ckptLoad call arguments.  A pointer value written
+into a checkpoint is meaningless in the restoring process (DESIGN.md
+§7): serialize stable ids and rebuild pointers on load.
+
+ckpt-coverage (new, impossible as a regex): for every class with a
+`ser(A&)` member, diff the declared non-static data members against
+the fields the ser() body actually visits.  A member that is neither
+visited nor annotated is exactly the bug class that silently breaks
+bit-identical restore: the field rides through save/restore with the
+*restoring* process's default value, and nothing fails until a resumed
+run diverges from an uninterrupted one.
+
+Exempt by construction (documented in DESIGN.md §10):
+  * static / constexpr members (not per-instance state),
+  * const members (immutable configuration),
+  * pointers / references (ckpt::Ar static-asserts on them; they are
+    reattached on load, e.g. tracer/streamer wiring),
+  * std::function members (wiring, not state).
+
+Everything else must be visited in ser() or carry an explicit
+`// ckpt-skip: (reason)` on its declaration (or the line above).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..model import ClassInfo, Finding, Function, Program, TranslationUnit
+from . import Rule, register
+
+_SER_FNS = {"ser", "ckptSer", "ckptSave", "ckptLoad"}
+_BANNED_IDS = ("reinterpret_cast", "uintptr_t", "intptr_t")
+
+
+@register
+class CkptFieldRule(Rule):
+    name = "ckpt-field"
+    description = ("No reinterpret_cast / [u]intptr_t in serialization "
+                   "code: a host address written into a checkpoint "
+                   "does not survive restore.")
+
+    def check_tu(self, tu: TranslationUnit,
+                 program: Program) -> List[Finding]:
+        out: List[Finding] = []
+        msg = ("'%s' in serialization code; a host address written "
+               "into a checkpoint does not survive restore — "
+               "serialize a stable id and rebuild the pointer on load")
+        for fn in tu.functions:
+            if fn.name in _SER_FNS:
+                for banned in _BANNED_IDS:
+                    if banned in fn.mentions:
+                        out.append(Finding(
+                            tu.path,
+                            fn.mention_lines.get(banned, fn.line),
+                            self.name, msg % banned))
+            for call in fn.calls:
+                if call.callee in ("ckptSave", "ckptLoad"):
+                    for banned in _BANNED_IDS:
+                        if banned in call.arg_text:
+                            out.append(Finding(
+                                tu.path, call.line, self.name,
+                                msg % banned))
+        return out
+
+
+@register
+class CkptCoverageRule(Rule):
+    name = "ckpt-coverage"
+    description = ("Every serializable data member of a ser()-bearing "
+                   "class must be visited by ser() or annotated "
+                   "'// ckpt-skip: (reason)'; an unserialized member "
+                   "silently breaks bit-identical restore.")
+
+    def check_program(self, program: Program) -> List[Finding]:
+        out: List[Finding] = []
+        tus_by_path = {tu.path: tu for tu in program.tus}
+        for ci in sorted(program.classes.values(),
+                         key=lambda c: (c.file, c.line)):
+            if not ci.has_ser():
+                continue
+            body = self._ser_body(ci, program)
+            if body is None:
+                continue  # declaration without a parsed body
+            tu = tus_by_path.get(ci.file)
+            for m in ci.members:
+                if not m.serializable():
+                    continue
+                if self._exempt_through_alias(m, program):
+                    continue
+                if m.name in body.mentions:
+                    continue
+                if tu is not None and m.line in tu.ckpt_skips:
+                    continue
+                out.append(Finding(
+                    ci.file, m.line, self.name,
+                    "member '%s' of %s is not serialized in ser(); "
+                    "checkpoint restore will silently lose it — "
+                    "add ar.io(%s) or annotate "
+                    "'// ckpt-skip: (reason)'"
+                    % (m.name, ci.qname, m.name)))
+        return out
+
+    @staticmethod
+    def _exempt_through_alias(m, program: Program) -> bool:
+        """Member.serializable() sees only the spelled type; a member
+        declared through an alias (`using Callback = std::function<..>;
+        Callback cb_;`) is still wiring, not state."""
+        flat = program.resolve_alias(m.type_text).replace(" ", "")
+        return ("function<" in flat or "(*" in flat
+                or flat.endswith("*") or flat.endswith("&"))
+
+    @staticmethod
+    def _ser_body(ci: ClassInfo,
+                  program: Program) -> Optional[Function]:
+        defs = program.methods_of(ci.qname, "ser")
+        if defs:
+            # Merge multiple definitions (save/load split, if any).
+            merged = defs[0]
+            for extra in defs[1:]:
+                merged.mentions |= extra.mentions
+            return merged
+        return None

@@ -1,0 +1,91 @@
+"""Stat registry rules: stat-dup (per file) and stat-registry
+(cross-TU, new).
+
+StatDump is a flat name→value map: a key registered twice silently
+overwrites the first value.  stat-dup keeps the ported per-file check
+for single-file runs; stat-registry supersedes it across translation
+units — the case a per-file regex can never see — and additionally
+enforces the repo's stat naming schema so downstream tooling
+(emcstat, the sweep JSONL pipeline, EXPERIMENTS.md recipes) can rely
+on `group.metric_name` keys.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from ..model import Finding, Program, TranslationUnit
+from . import Rule, register
+
+#: `group.metric` keys: lowercase, digits, underscores; dot-separated
+#: hierarchy with at least two components.
+_SCHEMA_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+#: Leading literal of a dynamically-built key must still start a
+#: schema-conforming key.
+_PREFIX_RE = re.compile(r"^[a-z][a-z0-9_.]*$")
+
+
+@register
+class StatDupRule(Rule):
+    name = "stat-dup"
+    description = ("The same literal stat key must not be put() twice "
+                   "in one file; the second registration silently "
+                   "overwrites the first.")
+
+    def check_tu(self, tu: TranslationUnit,
+                 program: Program) -> List[Finding]:
+        out: List[Finding] = []
+        seen: Dict[str, int] = {}
+        puts = [(sp.line, sp.key) for fn in tu.functions
+                for sp in fn.stat_puts if sp.key is not None]
+        for line, key in sorted(puts):
+            if key in seen:
+                out.append(Finding(
+                    tu.path, line, self.name,
+                    'stat "%s" already registered at line %d'
+                    % (key, seen[key])))
+            else:
+                seen[key] = line
+        return out
+
+
+@register
+class StatRegistryRule(Rule):
+    name = "stat-registry"
+    description = ("Cross-TU stat-key registry: a literal key may be "
+                   "registered from only one translation unit, and "
+                   "every key must follow the group.metric naming "
+                   "schema ([a-z0-9_], dot-separated).")
+
+    def check_program(self, program: Program) -> List[Finding]:
+        out: List[Finding] = []
+        first: Dict[str, Tuple[str, int]] = {}
+        for tu in sorted(program.tus, key=lambda t: t.path):
+            for fn in sorted(tu.functions, key=lambda f: f.line):
+                for sp in fn.stat_puts:
+                    if sp.key is not None:
+                        if not _SCHEMA_RE.match(sp.key):
+                            out.append(Finding(
+                                tu.path, sp.line, self.name,
+                                'stat key "%s" violates the '
+                                "group.metric naming schema "
+                                "([a-z0-9_] components, dot-separated, "
+                                "at least two levels)" % sp.key))
+                        prev = first.get(sp.key)
+                        if prev is None:
+                            first[sp.key] = (tu.path, sp.line)
+                        elif prev[0] != tu.path:
+                            out.append(Finding(
+                                tu.path, sp.line, self.name,
+                                'stat "%s" collides with the '
+                                "registration at %s:%d — the later "
+                                "put() silently overwrites it"
+                                % (sp.key, prev[0], prev[1])))
+                    elif sp.key_prefix and \
+                            not _PREFIX_RE.match(sp.key_prefix):
+                        out.append(Finding(
+                            tu.path, sp.line, self.name,
+                            'dynamic stat key prefix "%s" violates '
+                            "the naming schema" % sp.key_prefix))
+        return out

@@ -1,0 +1,154 @@
+"""Warming rules: fastwarm-timing (direct) and warm-contract
+(call-graph, new).
+
+The fast-warm equivalence contract (DESIGN.md §8) promises that
+fast-forwarded and detailed-warmed runs produce identical measured
+stats.  That holds only if functional-warming code is tag-only: no
+event scheduling, no stat mutation, no traffic accounting, no
+observability hooks.
+
+fastwarm-timing is the AST port of the regex rule: it inspects the
+bodies of warm entry points (`warm[A-Z]*` / `fastForward*` functions
+and everything defined in fastwarm.* files) for direct violations.
+
+warm-contract is what the regex could never do: it walks the call
+graph from every warm entry point and flags *transitively* reachable
+timing/stat sinks, reporting the offending call chain.  Callees are
+resolved conservatively — same-class methods first, otherwise only
+uniquely-named free functions/methods — so an unrelated overload in
+another class cannot produce a false chain.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..model import Finding, Function, Program
+from . import Rule, register
+
+_ENTRY_RE = re.compile(r"^(?:warm[A-Z]\w*|fastForward\w*)$")
+_BANNED_MENTIONS = ("events_", "traffic_", "tracer_", "streamer_",
+                    "stats_")
+_MAX_DEPTH = 12
+
+
+def is_warm_named(fn: Function) -> bool:
+    """Functions whose *name* marks them as functional-warming code
+    (`warm*` / `fastForward*`).  These are the call-graph entry points:
+    the whole tree under them must be tag-only."""
+    return bool(_ENTRY_RE.match(fn.name))
+
+
+def in_fastwarm_file(fn: Function) -> bool:
+    base = fn.file.replace("\\", "/").rsplit("/", 1)[-1]
+    return base.startswith("fastwarm")
+
+
+def is_warm_entry(fn: Function) -> bool:
+    """Scope of the *direct* (depth-0) scan, matching the regex rule:
+    warm-named functions plus everything defined in fastwarm.* files.
+    fastwarm.cc also hosts the sampling driver (runSampled) and
+    checkpoint sizing, which legitimately re-enter detailed simulation
+    through tickOnce()/ckptPayload() — so the transitive walk must NOT
+    treat file residency as an entry mark, only the naming contract."""
+    return is_warm_named(fn) or in_fastwarm_file(fn)
+
+
+def direct_violations(fn: Function) -> List[Tuple[int, str]]:
+    """(line, what) pairs for timing/stat sinks used directly in fn."""
+    out: List[Tuple[int, str]] = []
+    for call in fn.calls:
+        if call.callee == "schedule":
+            out.append((call.line, "schedule()"))
+        elif call.callee == "sample" and call.recv is not None:
+            out.append((call.line, "%s.sample()" % call.recv))
+    for banned in _BANNED_MENTIONS:
+        if banned in fn.mentions:
+            out.append((fn.mention_lines.get(banned, fn.line), banned))
+    for mu in fn.macro_uses:
+        out.append((mu.line, "EMC_OBS_POINT"))
+    return sorted(set(out))
+
+
+@register
+class FastwarmTimingRule(Rule):
+    name = "fastwarm-timing"
+    description = ("Functional-warming code must stay tag-only: no "
+                   "event scheduling, stat mutation, traffic "
+                   "accounting, or observability hooks (DESIGN.md §8).")
+
+    def check_tu(self, tu, program: Program) -> List[Finding]:
+        out: List[Finding] = []
+        for fn in tu.functions:
+            if not is_warm_entry(fn):
+                continue
+            for line, what in direct_violations(fn):
+                out.append(Finding(
+                    tu.path, line, self.name,
+                    "'%s' on the functional-warming path '%s'; "
+                    "warming must be tag-only (no events, stats, "
+                    "traffic, or trace hooks — DESIGN.md §8)"
+                    % (what, fn.qname)))
+        return out
+
+
+@register
+class WarmContractRule(Rule):
+    name = "warm-contract"
+    description = ("Call-graph check: no function transitively "
+                   "reachable from a warm*/fastForward* entry point "
+                   "may schedule events, mutate stats, or emit "
+                   "observability hooks; violations report the call "
+                   "chain.")
+
+    def check_program(self, program: Program) -> List[Finding]:
+        out: List[Finding] = []
+        entries = [fn for fn in program.functions if is_warm_named(fn)]
+        for entry in entries:
+            out.extend(self._walk(entry, program))
+        # One finding per (sink location, entry) pair is enough.
+        return sorted(set(out), key=lambda f: f.sort_key())
+
+    def _walk(self, entry: Function,
+              program: Program) -> List[Finding]:
+        out: List[Finding] = []
+        seen: Set[int] = {id(entry)}
+        stack: List[Tuple[Function, Tuple[str, ...]]] = \
+            [(entry, (entry.name,))]
+        while stack:
+            fn, chain = stack.pop()
+            if len(chain) > 1:
+                # Depth ≥ 1: direct sinks in `fn` are violations
+                # *reached from* the warm entry (depth-0 sinks are
+                # fastwarm-timing's).
+                for line, what in direct_violations(fn):
+                    out.append(Finding(
+                        fn.file, line, self.name,
+                        "'%s' reachable from warm entry '%s' via %s; "
+                        "the warming contract (DESIGN.md §8) forbids "
+                        "timing/stat effects anywhere on the warm "
+                        "path" % (what, entry.qname,
+                                  " -> ".join(chain))))
+            if len(chain) >= _MAX_DEPTH:
+                continue
+            for call in fn.calls:
+                for target in self._resolve(call.callee, fn, program):
+                    if id(target) in seen or is_warm_named(target):
+                        continue
+                    seen.add(id(target))
+                    stack.append((target, chain + (target.name,)))
+        return out
+
+    @staticmethod
+    def _resolve(callee: str, caller: Function,
+                 program: Program) -> List[Function]:
+        if callee in ("schedule", "sample"):
+            return []  # already treated as sinks
+        same_class = program.methods_of(caller.cls, callee)
+        if same_class:
+            return same_class
+        defs = program.functions_by_name.get(callee, [])
+        if len(defs) == 1:
+            return defs
+        return []

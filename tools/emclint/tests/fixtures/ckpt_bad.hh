@@ -1,0 +1,24 @@
+// Fixture: ckpt-field (host address baked into a checkpoint) and
+// ckpt-coverage (member silently absent from ser()); a reason-less
+// ckpt-skip annotation is itself a finding.
+
+namespace fx
+{
+
+class Gadget
+{
+public:
+    template <class A> void ser(A &ar)
+    {
+        ar.io(count_);
+        ar.io(reinterpret_cast<std::uint64_t &>(token_));  // [expect: ckpt-field]
+    }
+
+private:
+    std::uint64_t count_ = 0;
+    std::uint64_t token_ = 0;
+    int lost_ = 0;  // [expect: ckpt-coverage]
+    int skipped_ = 0;  // ckpt-skip: [expect: lint-ok]
+};
+
+} // namespace fx

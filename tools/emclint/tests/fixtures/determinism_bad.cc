@@ -1,0 +1,52 @@
+// Fixture: determinism rules — rng, event-push, raw-new.
+// Each expect-marker names the finding its line must produce;
+// unmarked lines must stay clean.
+
+namespace fx
+{
+
+struct EventyThing
+{
+    void enqueueRaw()
+    {
+        events_.push(7);  // [expect: event-push]
+    }
+    void enqueueElsewhereOk()
+    {
+        other_.push(7);
+    }
+    Queue events_;
+    Queue other_;
+};
+
+struct RandomThing
+{
+    void seedBadly()
+    {
+        srand(42);  // [expect: rng]
+    }
+    int drawBadly()
+    {
+        return rand();  // [expect: rng]
+    }
+    void localEngine()
+    {
+        std::mt19937 gen(123);  // [expect: rng]
+        (void)gen;
+    }
+    std::mt19937 gen_;  // [expect: rng]
+};
+
+struct TxnFactory
+{
+    Transaction *leak()
+    {
+        return new Transaction();  // [expect: raw-new]
+    }
+    void drop(Transaction *txn)
+    {
+        delete txn;  // [expect: raw-new]
+    }
+};
+
+} // namespace fx

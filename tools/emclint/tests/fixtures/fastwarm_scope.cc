@@ -1,0 +1,26 @@
+// Fixture: the basename starts with "fastwarm", so every function in
+// this file is in scope for the depth-0 fastwarm-timing scan (regex
+// parity) even without a warm*/fastForward* name.  Only the *named*
+// contract seeds the transitive warm-contract walk, so no chain
+// findings originate here.
+
+namespace fx
+{
+
+struct FastwarmDriver
+{
+    unsigned long pendingEvents()
+    {
+        return events_.size();  // [expect: fastwarm-timing]
+    }
+
+    // Tag-only helpers in a fastwarm file stay clean.
+    unsigned long lineOf(unsigned long a)
+    {
+        return a >> 6;
+    }
+
+    EventQueue events_;
+};
+
+} // namespace fx

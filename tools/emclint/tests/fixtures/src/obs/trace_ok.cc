@@ -1,0 +1,17 @@
+// Fixture: lives under a src/obs/ path — the tracer implementation
+// itself may call record() directly; the trace-hook rule exempts it.
+
+namespace fx
+{
+
+struct Sink
+{
+    void flushOne(unsigned long addr)
+    {
+        tr_->record(addr);
+    }
+
+    Tracer *tr_ = nullptr;
+};
+
+} // namespace fx

@@ -1,0 +1,13 @@
+// Fixture: lives under a src/sweep/ path — the sweep coordinator owns
+// process management, so raw fork()/exec*() here is sanctioned and
+// must NOT be flagged.
+
+namespace fx
+{
+
+inline int spawnShard()
+{
+    return fork();
+}
+
+} // namespace fx

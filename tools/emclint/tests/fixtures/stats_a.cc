@@ -1,0 +1,18 @@
+// Fixture: stat-dup (same key twice in one file) and stat-registry
+// (naming schema, dynamic-prefix schema).  Cross-TU collision lives
+// in stats_b.cc.
+
+namespace fx
+{
+
+inline void registerStatsA(StatDump &d, int i)
+{
+    d.put("fixture.commits", 1);
+    d.put("fixture.commits", 2);  // [expect: stat-dup]
+    d.put("BadKey", 3);  // [expect: stat-registry]
+    d.put("Bad-" + std::to_string(i), 4);  // [expect: stat-registry]
+    d.put("fixture.core." + std::to_string(i), 5);
+    d.put("fixture.cycles", 6);
+}
+
+} // namespace fx

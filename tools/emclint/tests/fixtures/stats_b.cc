@@ -1,0 +1,15 @@
+// Fixture: stat-registry cross-TU collision — "fixture.commits" is
+// already registered by stats_a.cc; the later put() would silently
+// overwrite it in the flat StatDump map.  A per-file regex can never
+// see this.
+
+namespace fx
+{
+
+inline void registerStatsB(StatDump &d)
+{
+    d.put("fixture.commits", 9);  // [expect: stat-registry]
+    d.put("fixture.retires", 1);
+}
+
+} // namespace fx

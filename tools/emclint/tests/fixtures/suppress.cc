@@ -1,0 +1,34 @@
+// Fixture: the lint-ok suppression contract.  A justified suppression
+// silences the finding (same-line or line-above placement); a
+// reason-less or unknown-rule suppression is itself a "lint-ok"
+// finding — stale or vague suppressions are how contracts rot.
+
+namespace fx
+{
+
+struct Suppressed
+{
+    void seedJustified()
+    {
+        srand(1);  // lint-ok: rng (fixture: justified suppression is silent)
+    }
+
+    void seedAbove()
+    {
+        // lint-ok: rng (fixture: annotation on the line above)
+        srand(2);
+    }
+
+    void seedNoReason()
+    {
+        srand(3);  // lint-ok: rng [expect: lint-ok]
+    }
+
+    void unknownRule()
+    {
+        // lint-ok: not-a-rule (reason present, rule bogus) [expect: lint-ok]
+        seedJustified();
+    }
+};
+
+} // namespace fx

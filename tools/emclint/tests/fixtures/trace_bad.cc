@@ -1,0 +1,35 @@
+// Fixture: trace-hook — EMC_OBS_POINT arguments must be side-effect
+// free, and simulator code never calls Tracer::record directly.
+
+namespace fx
+{
+
+struct McTracer
+{
+    void hookWithIncrement(unsigned long addr)
+    {
+        EMC_OBS_POINT(tr_, mc_read, ++seq_, addr);  // [expect: trace-hook]
+    }
+
+    void hookWithMutatingCall(unsigned long addr)
+    {
+        EMC_OBS_POINT(tr_, mc_read, q_.pop(), addr);  // [expect: trace-hook]
+    }
+
+    // Pure reads in hook arguments are the sanctioned form.
+    void hookClean(unsigned long addr)
+    {
+        EMC_OBS_POINT(tr_, mc_read, addr, seq_);
+    }
+
+    void directRecord(unsigned long addr)
+    {
+        tr_->record(addr);  // [expect: trace-hook]
+    }
+
+    Tracer *tr_ = nullptr;
+    unsigned long seq_ = 0;
+    Queue q_;
+};
+
+} // namespace fx

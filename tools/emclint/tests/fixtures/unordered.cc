@@ -1,0 +1,76 @@
+// Fixture: unordered-iter — the range expression's type must be
+// resolved through members, `auto` locals, and type aliases.
+
+namespace fx
+{
+
+using Table = std::unordered_map<long, long>;
+
+struct Holder
+{
+    void iterateMemberDirectly()
+    {
+        for (auto &kv : map_) {  // [expect: unordered-iter]
+            (void)kv;
+        }
+    }
+
+    void iterateThroughAutoRef()
+    {
+        auto &ref = map_;
+        for (auto &kv : ref) {  // [expect: unordered-iter]
+            (void)kv;
+        }
+    }
+
+    void iterateThroughAlias()
+    {
+        for (auto &e : tbl_) {  // [expect: unordered-iter]
+            (void)e;
+        }
+    }
+
+    void iterateLocalDirectly()
+    {
+        std::unordered_set<int> seen;
+        for (int v : seen) {  // [expect: unordered-iter]
+            (void)v;
+        }
+    }
+
+    // Sorted-copy iteration is the sanctioned pattern.
+    void iterateSortedCopyOk()
+    {
+        std::vector<long> keys;
+        for (auto &kv : map_) {  // lint-ok: unordered-iter (keys are sorted below before use)
+            keys.push_back(kv.first);
+        }
+        std::sort(keys.begin(), keys.end());
+        for (long k : keys) {
+            (void)k;
+        }
+    }
+
+    // A call result is unknowable without overload resolution: the
+    // token frontend must stay silent rather than guess.
+    void iterateCallResultOk()
+    {
+        for (auto &k : sortedKeys()) {
+            (void)k;
+        }
+    }
+
+    std::unordered_map<int, int> map_;
+    Table tbl_;
+};
+
+// Iteration over *another* object's exposed unordered member resolves
+// through the repo-wide member-type fallback.
+inline void dumpOther(Holder &h)
+{
+    for (auto &kv : h.map_) {  // [expect: unordered-iter]
+        (void)kv;
+    }
+}
+
+} // namespace fx

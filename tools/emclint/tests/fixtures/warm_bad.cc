@@ -1,0 +1,35 @@
+// Fixture: fastwarm-timing (direct stat mention inside a warm-named
+// function) and warm-contract (sink reachable only transitively:
+// warmChain -> helperA -> helperB -> schedule()).
+
+namespace fx
+{
+
+struct Warmer
+{
+    void warmTouch(unsigned long a)
+    {
+        table_.touch(a);
+        ++stats_.hits;  // [expect: fastwarm-timing]
+    }
+
+    void warmChain(unsigned long a)
+    {
+        helperA(a);
+    }
+
+    void helperA(unsigned long a)
+    {
+        helperB(a);
+    }
+
+    void helperB(unsigned long a)
+    {
+        schedule(a + 3);  // [expect: warm-contract]
+    }
+
+    Table table_;
+    Stats stats_;
+};
+
+} // namespace fx

@@ -1,0 +1,35 @@
+// Fixture: warming known-good — tag-only warm functions stay clean,
+// warm-to-warm calls are each judged on their own merits, and
+// detailed-path code may schedule and count freely because no warm
+// entry reaches it.
+
+namespace fx
+{
+
+struct GoodWarmer
+{
+    // Tag-only: touches tables, never stats/events/hooks.
+    void warmFill(unsigned long a)
+    {
+        table_.touch(a);
+    }
+
+    // Calling another warm-named function is fine: the callee is its
+    // own entry point, checked separately.
+    void warmAll()
+    {
+        warmFill(0);
+    }
+
+    // Not reachable from any warm entry: free to do timing work.
+    void detailedAccess(unsigned long a)
+    {
+        ++stats_.hits;
+        schedule(a + 1);
+    }
+
+    Table table_;
+    Stats stats_;
+};
+
+} // namespace fx
