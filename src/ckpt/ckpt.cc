@@ -279,27 +279,55 @@ isCompressedImage(const std::vector<std::uint8_t> &bytes)
 }
 
 std::vector<std::uint8_t>
-compressImage(const std::vector<std::uint8_t> &raw)
+deflateBytes(const std::uint8_t *raw, std::size_t n)
 {
 #ifdef EMC_HAVE_ZLIB
-    uLongf zlen = compressBound(static_cast<uLong>(raw.size()));
-    std::vector<std::uint8_t> out(16 + zlen);
+    uLongf zlen = compressBound(static_cast<uLong>(n));
+    std::vector<std::uint8_t> out(zlen);
+    const int rc = compress2(out.data(), &zlen, raw,
+                             static_cast<uLong>(n),
+                             Z_DEFAULT_COMPRESSION);
+    if (rc != Z_OK)
+        throw Error("deflate failed");
+    out.resize(zlen);
+    return out;
+#else
+    (void)raw;
+    (void)n;
+    throw Error("compression unavailable: built without zlib");
+#endif
+}
+
+std::vector<std::uint8_t>
+inflateBytes(const std::uint8_t *z, std::size_t n, std::size_t raw_size)
+{
+#ifdef EMC_HAVE_ZLIB
+    std::vector<std::uint8_t> raw(raw_size);
+    uLongf got = static_cast<uLongf>(raw_size);
+    const int rc = uncompress(raw.data(), &got, z,
+                              static_cast<uLong>(n));
+    if (rc != Z_OK || got != raw_size)
+        throw Error("inflate failed (stream corrupt or truncated)");
+    return raw;
+#else
+    (void)z;
+    (void)n;
+    (void)raw_size;
+    throw Error("compressed data needs a zlib-enabled build");
+#endif
+}
+
+std::vector<std::uint8_t>
+compressImage(const std::vector<std::uint8_t> &raw)
+{
+    std::vector<std::uint8_t> z = deflateBytes(raw.data(), raw.size());
+    std::vector<std::uint8_t> out(16 + z.size());
     std::memcpy(out.data(), kZMagic, 8);
     const std::uint64_t rawlen = raw.size();
     for (unsigned i = 0; i < 8; ++i)
         out[8 + i] = static_cast<std::uint8_t>(rawlen >> (8 * i));
-    const int rc = compress2(out.data() + 16, &zlen, raw.data(),
-                             static_cast<uLong>(raw.size()),
-                             Z_DEFAULT_COMPRESSION);
-    if (rc != Z_OK)
-        throw Error("deflate of checkpoint image failed");
-    out.resize(16 + zlen);
+    std::memcpy(out.data() + 16, z.data(), z.size());
     return out;
-#else
-    (void)raw;
-    throw Error("checkpoint compression unavailable: built without "
-                "zlib");
-#endif
 }
 
 std::vector<std::uint8_t>
@@ -307,23 +335,16 @@ maybeDecompressImage(std::vector<std::uint8_t> bytes)
 {
     if (!isCompressedImage(bytes))
         return bytes;
-#ifdef EMC_HAVE_ZLIB
     std::uint64_t rawlen = 0;
     for (unsigned i = 0; i < 8; ++i)
         rawlen |= static_cast<std::uint64_t>(bytes[8 + i]) << (8 * i);
-    std::vector<std::uint8_t> raw(rawlen);
-    uLongf got = static_cast<uLongf>(rawlen);
-    const int rc =
-        uncompress(raw.data(), &got, bytes.data() + 16,
-                   static_cast<uLong>(bytes.size() - 16));
-    if (rc != Z_OK || got != rawlen) {
+    try {
+        return inflateBytes(bytes.data() + 16, bytes.size() - 16,
+                            rawlen);
+    } catch (const Error &) {
         throw Error("inflate of compressed checkpoint failed (file "
                     "corrupt or truncated)");
     }
-    return raw;
-#else
-    throw Error("compressed checkpoint needs a zlib-enabled build");
-#endif
 }
 
 void

@@ -148,6 +148,23 @@ std::vector<std::uint8_t> payloadOf(const std::vector<std::uint8_t> &file);
 /** True when this build can produce compressed images (zlib). */
 bool compressionAvailable();
 
+/**
+ * Deflate @p raw into a bare zlib stream (no container framing —
+ * callers that need self-description store the raw size themselves,
+ * as the EMCKPTZ container and the src/trace block format do). Throws
+ * ckpt::Error when the build lacks zlib (compressionAvailable()).
+ */
+std::vector<std::uint8_t>
+deflateBytes(const std::uint8_t *raw, std::size_t n);
+
+/**
+ * Inflate a bare zlib stream produced by deflateBytes() back into
+ * exactly @p raw_size bytes. Throws ckpt::Error on a corrupt stream,
+ * a size mismatch, or a zlib-less build.
+ */
+std::vector<std::uint8_t>
+inflateBytes(const std::uint8_t *z, std::size_t n, std::size_t raw_size);
+
 /** True when @p bytes carries the compressed-image outer magic. */
 bool isCompressedImage(const std::vector<std::uint8_t> &bytes);
 

@@ -9,6 +9,7 @@
 #include "emc/chain_codec.hh"
 #include "prefetch/stream.hh"
 #include "prefetch/stride.hh"
+#include "trace/record.hh"
 
 namespace emc
 {
@@ -109,19 +110,30 @@ System::System(const SystemConfig &cfg,
         std::unique_ptr<TraceSource> src;
         if (i < cfg.trace_files.size() && !cfg.trace_files[i].empty()) {
             // Replay a captured trace (looping so long runs and
-            // warmup never exhaust it).
-            src = std::make_unique<FileTrace>(cfg.trace_files[i], true);
+            // warmup never exhaust it). Dispatches on the container
+            // version: v2 gets the streaming trace::Reader, v1 the
+            // legacy FileTrace.
+            src = trace::openTraceFile(cfg.trace_files[i], true);
         } else {
             src = std::make_unique<SyntheticProgram>(
                 profileByName(benchmarks[i]), *memories_.back(),
-                cfg.seed * 977 + i * 131);
+                trace::generatorSeed(cfg.seed, i));
         }
         if (!cfg.capture_prefix.empty()) {
             auto inner = std::move(src);
-            auto cap = std::make_unique<CapturingTrace>(
-                inner.get(), cfg.capture_prefix + ".core"
-                                 + std::to_string(i) + ".emct");
+            trace::Provenance prov;
+            prov.workload = benchmarks[i];
+            prov.meta = "emcsim --capture";
+            prov.config_hash =
+                ckpt::fullConfigHash(cfg, benchmarks);
+            prov.seed = cfg.seed;
+            auto cap = std::make_unique<trace::Recorder>(
+                inner.get(),
+                cfg.capture_prefix + ".core" + std::to_string(i)
+                    + ".emct",
+                prov);
             capture_inner_.push_back(std::move(inner));
+            capture_recorders_.push_back(cap.get());
             src = std::move(cap);
         }
         programs_.push_back(std::move(src));
@@ -245,7 +257,21 @@ System::System(const SystemConfig &cfg,
     }
 }
 
-System::~System() = default;
+System::~System()
+{
+    // Finalize any capture files a completed run() has not already
+    // closed (close() is idempotent). Swallow I/O errors — destructors
+    // must not throw; an unfinalizable file is left with its
+    // index_offset 0 marker and readers reject it with a typed error.
+    for (trace::Recorder *rec : capture_recorders_) {
+        try {
+            rec->finish();
+        } catch (const trace::Error &e) {
+            emc_warn(std::string("trace capture finalize failed: ")
+                     + e.what());
+        }
+    }
+}
 
 // --------------------------------------------------------------------
 // Runtime invariant checking (DESIGN.md §5d)
@@ -1577,6 +1603,10 @@ System::run()
         streamer_->finish(now_, dump());
     if (tracer_)
         tracer_->finish(now_);
+    // Finalize capture files (write the seek index, patch counts) so
+    // the recorded traces are complete the moment the run ends.
+    for (trace::Recorder *rec : capture_recorders_)
+        rec->finish();
 }
 
 // --------------------------------------------------------------------

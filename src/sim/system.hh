@@ -34,6 +34,8 @@
 #include "sim/event_queue.hh"
 #include "sim/fastwarm.hh"
 #include "isa/trace_io.hh"
+#include "trace/reader.hh"
+#include "trace/writer.hh"
 #include "workload/synthetic.hh"
 
 namespace emc
@@ -534,6 +536,7 @@ class System : public CorePort
     std::vector<std::unique_ptr<PageTable>> page_tables_;
     std::vector<std::unique_ptr<TraceSource>> programs_;
     std::vector<std::unique_ptr<TraceSource>> capture_inner_;
+    std::vector<trace::Recorder *> capture_recorders_;  ///< owned by programs_
     std::vector<std::unique_ptr<Core>> cores_;
 
     // Interconnect.

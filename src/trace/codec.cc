@@ -1,0 +1,168 @@
+#include "trace/codec.hh"
+
+namespace emc::trace
+{
+
+Codec::Derived
+Codec::derive(const DynUop &d) const
+{
+    const std::uint64_t a =
+        d.uop.src1 == kNoReg ? 0 : regs_[d.uop.src1 % kArchRegs];
+    const std::uint64_t b =
+        d.uop.src2 == kNoReg ? 0 : regs_[d.uop.src2 % kArchRegs];
+
+    Derived out;
+    switch (d.uop.op) {
+      case Opcode::kLoad:
+        out.vaddr = effectiveAddr(a, d.uop.imm);
+        out.mem_value = 0;
+        out.mem_value_known = false;  // fresh data, always explicit
+        out.result = d.mem_value;     // loads define dst = mem value
+        break;
+      case Opcode::kStore:
+        out.vaddr = effectiveAddr(a, d.uop.imm);
+        out.mem_value = b;
+        out.mem_value_known = true;
+        out.result = 0;
+        break;
+      case Opcode::kBranch:
+        out.vaddr = kNoAddr;
+        out.mem_value = 0;
+        out.mem_value_known = true;
+        out.result = a;
+        break;
+      default:
+        out.vaddr = kNoAddr;
+        out.mem_value = 0;
+        out.mem_value_known = true;
+        out.result = evalAlu(d.uop.op, a, b, d.uop.imm);
+        break;
+    }
+    return out;
+}
+
+void
+Codec::update(const DynUop &d)
+{
+    // Mirror the generator's functional execution, but from the
+    // record's *actual* values so both codec directions stay in sync
+    // even when a field fell back to explicit encoding.
+    prev_pc_ = d.uop.pc;
+    if (isMem(d.uop.op))
+        prev_vaddr_ = d.vaddr;
+    if (isLoad(d.uop.op))
+        prev_load_ = d.mem_value;
+    if (d.uop.dst != kNoReg && !isStore(d.uop.op)
+        && !isBranch(d.uop.op)) {
+        regs_[d.uop.dst % kArchRegs] = d.result;
+    }
+}
+
+void
+Codec::encode(const DynUop &d, std::vector<std::uint8_t> &out)
+{
+    const Derived dv = derive(d);
+
+    std::uint8_t flags = 0;
+    if (d.taken)
+        flags |= kFlagTaken;
+    if (d.mispredicted)
+        flags |= kFlagMispredicted;
+    // For loads the result derivation (result == mem_value) is only
+    // usable once mem_value itself is decoded, which the decoder does
+    // first — the ordering below keeps that dependency acyclic.
+    if (d.result != dv.result)
+        flags |= kFlagExplicitResult;
+    if (d.vaddr != dv.vaddr)
+        flags |= kFlagExplicitVaddr;
+    const bool explicit_mem =
+        !dv.mem_value_known || d.mem_value != dv.mem_value;
+    if (explicit_mem)
+        flags |= kFlagExplicitMemValue;
+
+    out.push_back(static_cast<std::uint8_t>(d.uop.op));
+    out.push_back(flags);
+    out.push_back(d.uop.dst);
+    out.push_back(d.uop.src1);
+    out.push_back(d.uop.src2);
+    putZigzag(out, d.uop.imm);
+    putZigzag(out, static_cast<std::int64_t>(d.uop.pc - prev_pc_));
+    if (explicit_mem) {
+        // Loads delta well against the previous loaded value (pointer
+        // rings and table rows cluster); anything else is rare enough
+        // to take the same path.
+        putZigzag(out,
+                  static_cast<std::int64_t>(d.mem_value - prev_load_));
+    }
+    if (flags & kFlagExplicitResult)
+        putVarint(out, d.result);
+    if (flags & kFlagExplicitVaddr) {
+        putZigzag(out,
+                  static_cast<std::int64_t>(d.vaddr - prev_vaddr_));
+    }
+
+    update(d);
+}
+
+void
+Codec::decode(const std::uint8_t *buf, std::size_t size,
+              std::size_t &pos, std::uint64_t base, DynUop &out)
+{
+    if (pos + 5 > size)
+        throw Error("trace record truncated", base + pos);
+    out.uop.op = static_cast<Opcode>(buf[pos++]);
+    const std::uint8_t flags = buf[pos++];
+    out.uop.dst = buf[pos++];
+    out.uop.src1 = buf[pos++];
+    out.uop.src2 = buf[pos++];
+    out.uop.imm = getZigzag(buf, size, pos, base);
+    out.uop.pc =
+        prev_pc_
+        + static_cast<std::uint64_t>(getZigzag(buf, size, pos, base));
+
+    const Derived dv = derive(out);
+    out.taken = flags & kFlagTaken;
+    out.mispredicted = flags & kFlagMispredicted;
+    out.mem_value =
+        (flags & kFlagExplicitMemValue)
+            ? prev_load_ + static_cast<std::uint64_t>(
+                               getZigzag(buf, size, pos, base))
+            : dv.mem_value;
+    if (flags & kFlagExplicitResult) {
+        out.result = getVarint(buf, size, pos, base);
+    } else {
+        // The load-result derivation refers to the record's own
+        // mem_value, decoded just above.
+        out.result =
+            isLoad(out.uop.op) ? out.mem_value : dv.result;
+    }
+    out.vaddr =
+        (flags & kFlagExplicitVaddr)
+            ? prev_vaddr_ + static_cast<std::uint64_t>(
+                                getZigzag(buf, size, pos, base))
+            : dv.vaddr;
+
+    update(out);
+}
+
+void
+Codec::saveState(std::uint64_t (&words)[kCodecStateWords]) const
+{
+    for (unsigned i = 0; i < kArchRegs; ++i)
+        words[i] = regs_[i];
+    words[kArchRegs + 0] = prev_pc_;
+    words[kArchRegs + 1] = prev_vaddr_;
+    words[kArchRegs + 2] = prev_load_;
+}
+
+void
+Codec::loadState(const std::uint64_t (&words)[kCodecStateWords])
+{
+    for (unsigned i = 0; i < kArchRegs; ++i)
+        regs_[i] = words[i];
+    prev_pc_ = words[kArchRegs + 0];
+    prev_vaddr_ = words[kArchRegs + 1];
+    prev_load_ = words[kArchRegs + 2];
+}
+
+} // namespace emc::trace

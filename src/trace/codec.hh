@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Delta/varint record codec of the v2 trace container.
+ *
+ * The encoder exploits the fact that a DynUop's oracle annotations
+ * are mostly *re-derivable*: the generator produced them by
+ * functionally executing the uop against architectural register
+ * state, and the codec carries that same state (16 registers plus
+ * pc/vaddr/load-value history). Each side replays the uop's
+ * semantics — evalAlu for ALU results, effectiveAddr for memory
+ * addresses, the source-register value for branch results — and a
+ * field is written to the stream only when the record disagrees with
+ * the derivation (a flag bit marks it explicit). For generated
+ * streams nearly everything derives, so a record costs ~6–10 bytes
+ * before deflate versus 46 in the v1 fixed layout; for arbitrary
+ * records (fuzzed streams, foreign tools) every field falls back to
+ * explicit and the round trip is still bit-exact.
+ *
+ * Both sides update their register state from the record's *actual*
+ * values, so encoder and decoder stay in lockstep even across
+ * explicit-fallback records. Blocks snapshot this state in their
+ * payload header, which is what makes every block independently
+ * decodable (seekable).
+ */
+
+#ifndef EMC_TRACE_CODEC_HH
+#define EMC_TRACE_CODEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/trace.hh"
+#include "trace/format.hh"
+
+namespace emc::trace
+{
+
+/** Number of u64 words a block payload's entry-state snapshot holds. */
+constexpr std::size_t kCodecStateWords = kArchRegs + 3;
+
+/**
+ * The shared encode/decode state machine. One instance per stream
+ * direction; reset to a block's entry snapshot when seeking.
+ */
+class Codec
+{
+  public:
+    /** Append @p d's encoding to @p out and update the state. */
+    void encode(const DynUop &d, std::vector<std::uint8_t> &out);
+
+    /**
+     * Decode one record from @p buf at @p pos (advanced) and update
+     * the state. @p base is the file offset of buf[0] for error
+     * reporting. Throws Error on a truncated or malformed record.
+     */
+    void decode(const std::uint8_t *buf, std::size_t size,
+                std::size_t &pos, std::uint64_t base, DynUop &out);
+
+    /** Snapshot the state words (block payload entry header). */
+    void saveState(std::uint64_t (&words)[kCodecStateWords]) const;
+
+    /** Restore a snapshot taken by saveState(). */
+    void loadState(const std::uint64_t (&words)[kCodecStateWords]);
+
+  private:
+    /// Flag bits of the per-record flags byte.
+    static constexpr std::uint8_t kFlagTaken = 1u << 0;
+    static constexpr std::uint8_t kFlagMispredicted = 1u << 1;
+    static constexpr std::uint8_t kFlagExplicitResult = 1u << 2;
+    static constexpr std::uint8_t kFlagExplicitVaddr = 1u << 3;
+    static constexpr std::uint8_t kFlagExplicitMemValue = 1u << 4;
+
+    struct Derived
+    {
+        std::uint64_t result;
+        Addr vaddr;
+        std::uint64_t mem_value;
+        bool mem_value_known;  ///< false for loads (fresh data)
+    };
+
+    Derived derive(const DynUop &d) const;
+    void update(const DynUop &d);
+
+    std::uint64_t regs_[kArchRegs] = {};
+    std::uint64_t prev_pc_ = 0;
+    std::uint64_t prev_vaddr_ = 0;
+    std::uint64_t prev_load_ = 0;
+};
+
+} // namespace emc::trace
+
+#endif // EMC_TRACE_CODEC_HH

@@ -1,0 +1,43 @@
+#include "trace/record.hh"
+
+#include "ckpt/ckpt.hh"
+#include "mem/functional_memory.hh"
+#include "trace/writer.hh"
+#include "workload/profile.hh"
+#include "workload/synthetic.hh"
+
+namespace emc::trace
+{
+
+std::uint64_t
+recordProfile(const RecordSpec &spec)
+{
+    const BenchmarkProfile &prof = profileByName(spec.profile);
+    FunctionalMemory mem;
+    SyntheticProgram gen(prof, mem,
+                         generatorSeed(spec.base_seed, spec.core));
+
+    Provenance prov;
+    prov.workload = prof.name;
+    prov.meta = spec.meta;
+    prov.seed = spec.base_seed;
+    // Provenance hash over everything that determines the stream, so
+    // two traces with equal hashes decode to equal records.
+    std::uint64_t h = ckpt::fnv1a(
+        reinterpret_cast<const std::uint8_t *>(prof.name.data()),
+        prof.name.size());
+    const std::uint64_t fields[3] = {spec.base_seed, spec.core,
+                                     spec.uops};
+    prov.config_hash =
+        ckpt::fnv1a(reinterpret_cast<const std::uint8_t *>(fields),
+                    sizeof fields, h);
+
+    Writer w(spec.path, prov, spec.compress, spec.block_uops);
+    DynUop d;
+    for (std::uint64_t i = 0; i < spec.uops && gen.next(d); ++i)
+        w.append(d);
+    w.close();
+    return w.written();
+}
+
+} // namespace emc::trace

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Profile recording: run a synthetic benchmark generator standalone
+ * and stream its dynamic uops into a v2 trace container. Shared by
+ * `emctracegen record`, the record/replay identity tests, and the
+ * committed reference-trace recipes — one implementation so every
+ * producer derives the generator seed exactly the way the System
+ * does.
+ */
+
+#ifndef EMC_TRACE_RECORD_HH
+#define EMC_TRACE_RECORD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/format.hh"
+
+namespace emc::trace
+{
+
+/**
+ * The per-core generator seed the System derives from the global
+ * config seed. Recording with this (same base seed, same core index)
+ * makes the recorded stream bit-identical to what a live run's core
+ * @p core would have consumed — the foundation of the record/replay
+ * stat-identity guarantee.
+ */
+inline std::uint64_t
+generatorSeed(std::uint64_t base_seed, unsigned core)
+{
+    return base_seed * 977 + core * 131;
+}
+
+/** What to record; recordProfile() fills the container header. */
+struct RecordSpec
+{
+    std::string profile;        ///< benchmark profile name ("mcf", "bfs")
+    std::string path;           ///< output .emct file
+    std::uint64_t uops = 0;     ///< records to capture (must be > 0)
+    std::uint64_t base_seed = 0x5eed;  ///< global seed (emcsim --seed)
+    unsigned core = 0;          ///< core slot the trace will replay on
+    bool compress = true;       ///< deflate blocks when zlib is built in
+    std::uint32_t block_uops = kDefaultBlockUops;
+    std::string meta;           ///< free-form note stored in the header
+};
+
+/**
+ * Execute @p spec.uops iterations of the named profile's generator
+ * (fresh functional memory, System-equivalent seed) into a finalized
+ * v2 trace at @p spec.path. Returns the number of records written.
+ * Throws trace::Error on I/O failure and emc::FatalError on an
+ * unknown profile name.
+ */
+std::uint64_t recordProfile(const RecordSpec &spec);
+
+} // namespace emc::trace
+
+#endif // EMC_TRACE_RECORD_HH

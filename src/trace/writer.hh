@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Streaming v2 trace writer (format.hh has the container layout).
+ *
+ * Appends are O(1) memory: records accumulate into one block buffer,
+ * and a full block is delta/varint-encoded, deflate-compressed (when
+ * the build has zlib and compression is on) and flushed. close()
+ * writes the seek index and back-patches the header counts. All I/O
+ * failures throw trace::Error with the failing byte offset — a
+ * half-written file is recognizable (index_offset stays 0) but never
+ * takes the producing process down.
+ */
+
+#ifndef EMC_TRACE_WRITER_HH
+#define EMC_TRACE_WRITER_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/trace.hh"
+#include "trace/codec.hh"
+#include "trace/format.hh"
+
+namespace emc::trace
+{
+
+/** Streams dynamic uops into a v2 container file. */
+class Writer
+{
+  public:
+    /**
+     * Open @p path for writing (truncates) and write the header.
+     * @param prov workload provenance stored in the header
+     * @param compress deflate blocks (ignored in zlib-less builds)
+     * @param block_uops records per block (tests shrink this to force
+     *        block-boundary coverage)
+     */
+    explicit Writer(const std::string &path, Provenance prov = {},
+                    bool compress = true,
+                    std::uint32_t block_uops = kDefaultBlockUops);
+    ~Writer();
+
+    Writer(const Writer &) = delete;
+    Writer &operator=(const Writer &) = delete;
+
+    /** Append one dynamic uop. */
+    void append(const DynUop &d);
+
+    /** Flush the tail block, write the index, patch the header. */
+    void close();
+
+    std::uint64_t written() const { return count_; }
+
+  private:
+    void writeRaw(const void *bytes, std::size_t n);
+    void flushBlock();
+
+    std::FILE *file_ = nullptr;
+    std::string path_;
+    std::uint64_t offset_ = 0;  ///< current file write offset
+    bool compress_;
+    std::uint32_t block_uops_;
+
+    Codec codec_;
+    std::uint64_t block_entry_state_[kCodecStateWords] = {};
+    std::vector<std::uint8_t> block_;  ///< encoded records, current block
+    std::uint32_t block_count_uops_ = 0;
+
+    struct IndexEntry
+    {
+        std::uint64_t offset;
+        std::uint64_t first_uop;
+    };
+    std::vector<IndexEntry> index_;
+
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A pass-through TraceSource that records everything it forwards into
+ * a v2 trace — the capture path of `emcsim --capture` wraps each
+ * core's generator with one of these. finish() must be called before
+ * the file is complete (the System does so when the run ends).
+ */
+class Recorder : public TraceSource
+{
+  public:
+    Recorder(TraceSource *inner, const std::string &path,
+             Provenance prov, bool compress = true)
+        : inner_(inner), writer_(path, std::move(prov), compress)
+    {}
+
+    bool
+    next(DynUop &out) override
+    {
+        if (!inner_->next(out))
+            return false;
+        writer_.append(out);
+        return true;
+    }
+
+    std::uint64_t produced() const override
+    {
+        return inner_->produced();
+    }
+
+    void finish() { writer_.close(); }
+
+  private:
+    TraceSource *inner_;
+    Writer writer_;
+};
+
+} // namespace emc::trace
+
+#endif // EMC_TRACE_WRITER_HH

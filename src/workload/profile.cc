@@ -188,6 +188,77 @@ buildProfiles()
         add(p);
     }
 
+    // ---- irregular-workload trace library (DESIGN.md §11) ----
+    // Beyond the paper's SPEC set: kernel families whose dependent
+    // misses come from real data structures (CSR graphs, bucket
+    // chains, embedding tables) built and functionally executed at
+    // start-up, not from an abstract pointer ring.
+    {
+        BenchmarkProfile p;
+        p.name = "bfs";  // sparse frontier walk, few edges per vertex
+        p.mix_graph = 0.85;
+        p.mix_compute = 0.15;
+        p.ws_bytes = 1ull << 25;
+        p.graph_degree = 2;
+        p.store_frac = 0.05;
+        p.mispredict_rate = 0.08;  // data-dependent frontier tests
+        p.high_intensity = true;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "pagerank";  // denser rows + streaming rank updates
+        p.mix_graph = 0.70;
+        p.mix_stream = 0.20;
+        p.mix_compute = 0.10;
+        p.ws_bytes = 1ull << 25;
+        p.graph_degree = 6;
+        p.fp_frac = 0.30;
+        p.store_frac = 0.15;
+        p.mispredict_rate = 0.02;
+        p.high_intensity = true;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "hashjoin";  // probe-side bucket-chain walks
+        p.mix_hash = 0.80;
+        p.mix_stream = 0.10;  // build-side scan flavor
+        p.mix_compute = 0.10;
+        p.ws_bytes = 1ull << 25;
+        p.hash_chain = 4;
+        p.hash_node_fields = 1;
+        p.store_frac = 0.10;
+        p.mispredict_rate = 0.04;
+        p.high_intensity = true;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "btree";  // root-to-leaf probes, wide nodes
+        p.mix_hash = 0.70;
+        p.mix_compute = 0.30;
+        p.ws_bytes = 1ull << 24;
+        p.hash_chain = 3;        // tree levels per probe
+        p.hash_node_fields = 2;  // key comparisons within a node
+        p.mispredict_rate = 0.06;
+        p.high_intensity = true;
+        add(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "embed";  // embedding-table gathers, hot/cold skew
+        p.mix_gather = 0.85;
+        p.mix_compute = 0.15;
+        p.ws_bytes = 1ull << 25;
+        p.gather_lines = 2;
+        p.gather_hot_frac = 0.85;
+        p.fp_frac = 0.40;
+        p.mispredict_rate = 0.01;
+        p.high_intensity = true;
+        add(p);
+    }
+
     return v;
 }
 
@@ -234,6 +305,15 @@ lowIntensityNames()
         "gromacs", "gobmk", "dealII", "sjeng", "gcc", "hmmer",
         "h264ref", "bzip2", "astar", "xalancbmk", "zeusmp",
         "cactusADM", "wrf", "GemsFDTD", "leslie3d",
+    };
+    return v;
+}
+
+const std::vector<std::string> &
+irregularNames()
+{
+    static const std::vector<std::string> v = {
+        "bfs", "pagerank", "hashjoin", "btree", "embed",
     };
     return v;
 }

@@ -30,6 +30,12 @@ struct BenchmarkProfile
     double mix_random = 0.0;   ///< independent (data-independent) misses
     double mix_compute = 0.0;  ///< ILP-rich ALU work, few memory ops
 
+    // Irregular-workload kernels (the trace-library families; each is
+    // functionally executed against structures built at start-up).
+    double mix_graph = 0.0;   ///< CSR frontier walks (bfs, pagerank)
+    double mix_hash = 0.0;    ///< bucket-chain / B-tree probes
+    double mix_gather = 0.0;  ///< embedding-row gathers (hot/cold skew)
+
     std::uint64_t ws_bytes = 1ull << 22;  ///< working-set footprint
     unsigned chase_streams = 1;     ///< independent pointer chains (MLP)
     unsigned chase_interop = 3;     ///< ALU uops between indirections
@@ -40,6 +46,14 @@ struct BenchmarkProfile
     double mispredict_rate = 0.02;  ///< branch misprediction probability
     unsigned compute_ops = 8;       ///< uops per compute iteration
     bool high_intensity = false;    ///< paper Table 2 class
+
+    // Irregular-kernel shape knobs (ignored unless the matching mix
+    // weight is nonzero).
+    unsigned graph_degree = 4;      ///< edges visited per frontier vertex
+    unsigned hash_chain = 4;        ///< nodes walked per probe
+    unsigned hash_node_fields = 1;  ///< extra field loads per node
+    unsigned gather_lines = 2;      ///< lines fetched per embedding row
+    double gather_hot_frac = 0.8;   ///< index skew toward the hot rows
 };
 
 /** Look up a profile by SPEC-style name ("mcf", "lbm", ...). */
@@ -53,6 +67,12 @@ const std::vector<std::string> &highIntensityNames();
 
 /** The low-memory-intensity names (paper Table 2). */
 const std::vector<std::string> &lowIntensityNames();
+
+/**
+ * The irregular-workload trace-library families (beyond the paper's
+ * SPEC set): bfs, pagerank, hashjoin, btree, embed.
+ */
+const std::vector<std::string> &irregularNames();
 
 /** The paper's Table 3 quad-core workload mixes H1..H10. */
 const std::vector<std::vector<std::string>> &quadWorkloads();

@@ -28,6 +28,12 @@ SyntheticProgram::SyntheticProgram(const BenchmarkProfile &profile,
 
     if (profile.mix_chase > 0)
         buildChaseRing();
+    if (profile.mix_graph > 0)
+        buildGraph();
+    if (profile.mix_hash > 0)
+        buildHashTable();
+    if (profile.mix_gather > 0)
+        buildEmbedTable();
     emitInit();
 }
 
@@ -339,7 +345,9 @@ void
 SyntheticProgram::genIteration()
 {
     const double total = profile_.mix_chase + profile_.mix_stream
-                         + profile_.mix_random + profile_.mix_compute;
+                         + profile_.mix_random + profile_.mix_compute
+                         + profile_.mix_graph + profile_.mix_hash
+                         + profile_.mix_gather;
     emc_assert(total > 0, "profile has no kernel weights");
     double pick = rng_.uniform() * total;
     if ((pick -= profile_.mix_chase) < 0)
@@ -348,6 +356,12 @@ SyntheticProgram::genIteration()
         return genStream();
     if ((pick -= profile_.mix_random) < 0)
         return genRandom();
+    if ((pick -= profile_.mix_graph) < 0)
+        return genGraph();
+    if ((pick -= profile_.mix_hash) < 0)
+        return genHashProbe();
+    if ((pick -= profile_.mix_gather) < 0)
+        return genGather();
     genCompute();
 }
 
@@ -380,6 +394,7 @@ SyntheticProgram::ckptSer(ckpt::Ar &ar)
     ar.io(stream_pos_);
     ar.io(stack_pos_);
     ar.io(spill_slots_);
+    ar.io(embed_idx_pos_);
 }
 
 } // namespace emc

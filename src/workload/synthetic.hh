@@ -3,7 +3,7 @@
  * SyntheticProgram: a TraceSource that generates (and functionally
  * executes) a SPEC-flavored program on the fly.
  *
- * Four kernels, mixed per BenchmarkProfile weights:
+ * Seven kernels, mixed per BenchmarkProfile weights:
  *
  *  - chase:   walks a pre-built pointer ring through a large working
  *             set; every indirection is a potential dependent cache
@@ -12,7 +12,13 @@
  *  - stream:  sequential loads/stores over large arrays;
  *  - random:  loads whose addresses come from register-only LCG
  *             arithmetic — misses, but *independent* ones;
- *  - compute: ILP-rich integer/FP ALU work.
+ *  - compute: ILP-rich integer/FP ALU work;
+ *  - graph:   CSR frontier walks — row-pointer load, edge loads, then
+ *             vertex-value gathers (bfs, pagerank; irregular.cc);
+ *  - hash:    bucket-chain / B-tree probes — hashed bucket head, then
+ *             a serial next-pointer walk with key loads per node;
+ *  - gather:  embedding-row gathers through a skewed (hot/cold)
+ *             index array.
  *
  * The generator maintains architectural register values and a
  * FunctionalMemory, so every emitted DynUop carries oracle values that
@@ -61,6 +67,14 @@ class SyntheticProgram : public TraceSource
     static constexpr Addr kStreamBase = 0x20000000;
     static constexpr Addr kRandomBase = 0x30000000;
     static constexpr Addr kStackBase = 0x40000000;
+    // Irregular-kernel regions (irregular.cc).
+    static constexpr Addr kGraphRowBase = 0x50000000;   ///< CSR row ptrs
+    static constexpr Addr kGraphEdgeBase = 0x58000000;  ///< edge targets
+    static constexpr Addr kGraphValBase = 0x5c000000;   ///< vertex values
+    static constexpr Addr kHashBucketBase = 0x60000000; ///< bucket heads
+    static constexpr Addr kHashNodeBase = 0x68000000;   ///< chain nodes
+    static constexpr Addr kEmbedIdxBase = 0x70000000;   ///< lookup indices
+    static constexpr Addr kEmbedRowBase = 0x78000000;   ///< table rows
 
     // Architectural register conventions.
     static constexpr std::uint8_t kRegChasePtr = 1;
@@ -86,6 +100,14 @@ class SyntheticProgram : public TraceSource
     void genStream();
     void genRandom();
     void genCompute();
+    // Irregular kernels + their start-up structure builders
+    // (irregular.cc).
+    void buildGraph();
+    void buildHashTable();
+    void buildEmbedTable();
+    void genGraph();
+    void genHashProbe();
+    void genGather();
     void maybeSpill();
     void emitBranch(std::uint8_t cond_reg, bool force_predictable);
 
@@ -112,6 +134,14 @@ class SyntheticProgram : public TraceSource
     std::uint64_t random_mask_ = 0;
     std::uint64_t stack_pos_ = 0;
     std::vector<Addr> spill_slots_;  ///< outstanding spill addresses
+
+    // Irregular-kernel layout (powers of two; rebuilt by the ctor)
+    // and cursors (checkpointed).
+    std::uint64_t graph_verts_ = 0;
+    std::uint64_t hash_buckets_ = 0;
+    std::uint64_t embed_rows_ = 0;
+    std::uint64_t embed_idx_entries_ = 0;
+    std::uint64_t embed_idx_pos_ = 0;
 };
 
 } // namespace emc

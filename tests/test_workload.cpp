@@ -22,14 +22,19 @@ namespace
 
 TEST(ProfileTest, RegistryComplete)
 {
-    // Paper Table 2: 8 high + 21 low intensity benchmarks.
+    // Paper Table 2: 8 high + 21 low intensity benchmarks, plus the
+    // five irregular-kernel profiles (bfs/pagerank/hashjoin/btree/
+    // embed; DESIGN.md §11).
     EXPECT_EQ(highIntensityNames().size(), 8u);
     EXPECT_EQ(lowIntensityNames().size(), 21u);
-    EXPECT_EQ(allProfiles().size(), 29u);
+    EXPECT_EQ(irregularNames().size(), 5u);
+    EXPECT_EQ(allProfiles().size(), 34u);
     for (const auto &name : highIntensityNames())
         EXPECT_TRUE(profileByName(name).high_intensity) << name;
     for (const auto &name : lowIntensityNames())
         EXPECT_FALSE(profileByName(name).high_intensity) << name;
+    for (const auto &name : irregularNames())
+        EXPECT_NO_THROW(profileByName(name)) << name;
 }
 
 TEST(ProfileTest, QuadWorkloadsMatchTable3)
@@ -98,7 +103,9 @@ TEST(SyntheticTest, SeedsDiffer)
  */
 TEST(SyntheticTest, OracleSelfConsistent)
 {
-    for (const char *name : {"mcf", "libquantum", "soplex", "gcc"}) {
+    for (const char *name : {"mcf", "libquantum", "soplex", "gcc",
+                             "bfs", "pagerank", "hashjoin", "btree",
+                             "embed"}) {
         FunctionalMemory mem;
         SyntheticProgram prog(profileByName(name), mem, 7);
         std::uint64_t regs[kArchRegs] = {};
@@ -291,6 +298,112 @@ TEST(SyntheticTest, SpillFillPairsMatch)
         }
     }
     EXPECT_GT(pairs, 100);
+}
+
+// --------------------------------------------------------------------
+// Irregular kernels (irregular.cc): structure + kernel character
+// --------------------------------------------------------------------
+
+TEST(IrregularTest, GraphRowsPointIntoEdgeRegion)
+{
+    FunctionalMemory mem;
+    BenchmarkProfile p = profileByName("bfs");
+    p.ws_bytes = 1u << 20;
+    SyntheticProgram prog(p, mem, 29);
+    // Every row entry must hold a valid edge-array address, and every
+    // edge a valid vertex id.
+    const unsigned deg = p.graph_degree;
+    for (std::uint64_t v = 0; v < 64; ++v) {
+        const Addr row = mem.read(0x50000000 + v * 8);
+        ASSERT_GE(row, Addr(0x58000000));
+        ASSERT_EQ((row - 0x58000000) % (deg * 8), 0u);
+        for (unsigned e = 0; e < deg; ++e) {
+            const std::uint64_t target = mem.read(row + e * 8);
+            // Targets index the row array (power-of-two vertex count).
+            ASSERT_EQ(mem.read(0x50000000 + target * 8) % 8, 0u);
+        }
+    }
+}
+
+TEST(IrregularTest, HashChainsAreCyclicAndLineAligned)
+{
+    FunctionalMemory mem;
+    BenchmarkProfile p = profileByName("hashjoin");
+    p.ws_bytes = 1u << 20;
+    SyntheticProgram prog(p, mem, 31);
+    const unsigned chain = p.hash_chain;
+    for (std::uint64_t b = 0; b < 64; ++b) {
+        const Addr head = mem.read(0x60000000 + b * 8);
+        ASSERT_EQ(head % kLineBytes, 0u);
+        Addr node = head;
+        std::set<Addr> seen;
+        for (unsigned n = 0; n < chain; ++n) {
+            ASSERT_TRUE(seen.insert(node).second)
+                << "premature cycle in bucket " << b;
+            ASSERT_GE(node, Addr(0x68000000));
+            ASSERT_EQ(node % kLineBytes, 0u);
+            node = mem.read(node);
+        }
+        EXPECT_EQ(node, head) << "chain of bucket " << b
+                              << " does not close";
+    }
+}
+
+TEST(IrregularTest, EmbedIndexIsSkewedTowardHotRows)
+{
+    FunctionalMemory mem;
+    BenchmarkProfile p = profileByName("embed");
+    SyntheticProgram prog(p, mem, 37);
+    // Count index entries landing in the hot prefix (1/64th of the
+    // table): must be roughly gather_hot_frac of them.
+    std::uint64_t rows = 0, entries = 0;
+    {
+        // Recover layout the same way buildEmbedTable does.
+        const unsigned lines = p.gather_lines;
+        std::uint64_t pw = 64;
+        while (pw * 2 <= p.ws_bytes / (lines * kLineBytes)
+               && pw < (1ull << 20))
+            pw *= 2;
+        rows = pw;
+        entries = std::min<std::uint64_t>(
+            1ull << 16, std::max<std::uint64_t>(64, rows / 4));
+    }
+    const Addr hot_end =
+        0x78000000
+        + std::max<std::uint64_t>(1, rows / 64) * p.gather_lines
+              * kLineBytes;
+    std::uint64_t hot = 0;
+    for (std::uint64_t i = 0; i < entries; ++i) {
+        const Addr row = mem.read(0x70000000 + i * 8);
+        ASSERT_GE(row, Addr(0x78000000));
+        if (row < hot_end)
+            ++hot;
+    }
+    const double frac = static_cast<double>(hot) / entries;
+    EXPECT_NEAR(frac, p.gather_hot_frac, 0.05);
+}
+
+TEST(IrregularTest, KernelsEmitDependentLoadChains)
+{
+    // Every irregular profile must emit load-to-load address
+    // dependences (the dependent-miss pattern the EMC targets):
+    // a load whose address register was produced by an earlier load.
+    for (const auto &name : irregularNames()) {
+        FunctionalMemory mem;
+        SyntheticProgram prog(profileByName(name), mem, 41);
+        std::uint8_t last_load_dst = kNoReg;
+        int dependent = 0;
+        for (int i = 0; i < 20000; ++i) {
+            DynUop d;
+            prog.next(d);
+            if (!isLoad(d.uop.op))
+                continue;
+            if (d.uop.src1 == last_load_dst)
+                ++dependent;
+            last_load_dst = d.uop.dst;
+        }
+        EXPECT_GT(dependent, 500) << name;
+    }
 }
 
 } // namespace

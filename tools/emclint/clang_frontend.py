@@ -267,7 +267,8 @@ class _Lowerer:
                     if first.kind == CK.MEMBER_REF_EXPR:
                         recv = first.spelling
                 arg_text = ""
-                if c.spelling in ("put", "ckptSave", "ckptLoad"):
+                if c.spelling in ("put", "ckptSave", "ckptLoad",
+                                  "fopen", "fread", "fwrite"):
                     arg_text = " ".join(
                         t.spelling for t in c.get_tokens())
                 fn.calls.append(CallSite(

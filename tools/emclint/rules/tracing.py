@@ -78,3 +78,51 @@ class TraceHookRule(Rule):
                             "evaluate them"
                             % m.group(0).rstrip(" (")))
         return out
+
+
+#: The only code allowed to touch trace-container bytes directly.
+_RAW_IO_EXEMPT = ("src/trace/", "src/isa/trace_io")
+
+
+@register
+class TraceRawIoRule(Rule):
+    name = "trace-raw-io"
+    description = ("Trace-container bytes are parsed only by "
+                   "src/trace/ (and the legacy v1 reader in "
+                   "src/isa/trace_io): everything else goes through "
+                   "trace::openTraceFile / probeFile, so version "
+                   "checks, checksums and typed errors cannot be "
+                   "bypassed.")
+
+    def check_tu(self, tu: TranslationUnit,
+                 program: Program) -> List[Finding]:
+        rel = tu.path.replace("\\", "/")
+        if any(e in rel for e in _RAW_IO_EXEMPT):
+            return []
+        out: List[Finding] = []
+        for fn in tu.functions:
+            for call in fn.calls:
+                if call.callee == "fopen" \
+                        and ".emct" in call.arg_text:
+                    out.append(Finding(
+                        tu.path, call.line, self.name,
+                        "fopen() of a trace container; open traces "
+                        "via trace::openTraceFile / probeFile "
+                        "(src/trace/reader.hh)"))
+                elif call.callee in ("fread", "fwrite") \
+                        and "DynUop" in call.arg_text:
+                    out.append(Finding(
+                        tu.path, call.line, self.name,
+                        "raw %s() of trace records; DynUop streams "
+                        "are (de)serialized only by src/trace/"
+                        % call.callee))
+        # Hand-rolled container parsing announces itself by testing
+        # the magic string.
+        for lineno, text in enumerate(tu.lines, start=1):
+            if '"EMCT"' in text:
+                out.append(Finding(
+                    tu.path, lineno, self.name,
+                    'trace magic "EMCT" referenced outside '
+                    "src/trace/; use trace::probeFile for version "
+                    "dispatch"))
+        return out

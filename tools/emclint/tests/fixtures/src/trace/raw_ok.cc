@@ -1,0 +1,26 @@
+// Fixture: trace-raw-io exemption — src/trace/ is the sanctioned
+// owner of the container bytes, so raw I/O and the magic literal are
+// legal here (this models src/trace/reader.cc itself).
+
+namespace fx
+{
+
+struct SanctionedReader
+{
+    bool open(const char *path)
+    {
+        f_ = fopen(path, "rb");
+        char head[4];
+        fread(head, 1, 4, f_);
+        return memcmp(head, "EMCT", 4) == 0;
+    }
+
+    void append(const DynUop &d)
+    {
+        fwrite(&d, sizeof(DynUop), 1, f_);
+    }
+
+    FILE *f_ = nullptr;
+};
+
+} // namespace fx

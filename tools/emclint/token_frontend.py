@@ -554,7 +554,7 @@ def _member_from_decl(toks: List[Token], type_hint: str = ""
 # ---- function body mining ----------------------------------------------
 
 _RECV_CALLEES = {"EMC_OBS_POINT", "put", "ckptSave", "ckptLoad",
-                 "record"}
+                 "record", "fopen", "fread", "fwrite"}
 
 
 class _BodyScanner:

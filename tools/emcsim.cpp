@@ -16,11 +16,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ckpt/ckpt.hh"
 #include "sim/system.hh"
+#include "trace/format.hh"
 #include "workload/profile.hh"
 
 namespace
@@ -59,7 +61,10 @@ usage()
         " 50000)\n"
         "  --capture PREFIX       record uop streams to"
         " PREFIX.coreN.emct\n"
-        "  --replay f1,f2,...     replay captured uop-stream files\n"
+        "  --trace-in f1,f2,...   replay v2 trace containers; workload\n"
+        "                         names come from their headers\n"
+        "  --replay f1,f2,...     replay uop-stream files (legacy v1\n"
+        "                         path; needs an explicit --workload)\n"
         "  --warmup N             warmup uops (default uops/2)\n"
         "  --seed N               RNG seed\n"
         "\n"
@@ -145,6 +150,9 @@ listWorkloads()
     std::printf("\nlow-intensity benchmarks:\n ");
     for (const auto &n : lowIntensityNames())
         std::printf(" %s", n.c_str());
+    std::printf("\nirregular-workload families (trace library):\n ");
+    for (const auto &n : irregularNames())
+        std::printf(" %s", n.c_str());
     std::printf("\nmixes (Table 3):\n");
     for (std::size_t h = 0; h < quadWorkloads().size(); ++h) {
         std::printf("  %-4s", quadWorkloadName(h).c_str());
@@ -180,6 +188,7 @@ main(int argc, char **argv)
     bool fastwarm_validate = false;
     std::uint64_t sample_period = 0;
     std::uint64_t sample_detail = 0;
+    bool trace_in = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -274,6 +283,9 @@ main(int argc, char **argv)
             cfg.capture_prefix = need("--capture");
         } else if (a == "--replay") {
             cfg.trace_files = splitCommas(need("--replay"));
+        } else if (a == "--trace-in") {
+            cfg.trace_files = splitCommas(need("--trace-in"));
+            trace_in = true;
         } else if (a == "--save-ckpt") {
             save_ckpt = need("--save-ckpt");
         } else if (a == "--restore-ckpt") {
@@ -320,8 +332,43 @@ main(int argc, char **argv)
         }
     }
 
-    if (workload.empty() && !cfg.trace_files.empty())
-        workload.assign(cfg.trace_files.size(), "mcf");
+    if (trace_in) {
+        // Workload names come from the container headers, recorded at
+        // capture time — never guessed.
+        if (!workload.empty()) {
+            std::fprintf(stderr,
+                         "--trace-in derives workload names from the"
+                         " trace headers; drop --workload/--mix\n");
+            return 2;
+        }
+        for (const auto &path : cfg.trace_files) {
+            try {
+                const trace::Info info = trace::probeFile(path);
+                if (info.version < 2
+                    || info.provenance.workload.empty()) {
+                    std::fprintf(stderr,
+                                 "%s: v%u trace carries no workload"
+                                 " provenance; replay it with --replay"
+                                 " and an explicit --workload\n",
+                                 path.c_str(), info.version);
+                    return 2;
+                }
+                workload.push_back(info.provenance.workload);
+            } catch (const trace::Error &e) {
+                std::fprintf(stderr, "trace error: %s\n", e.what());
+                return 1;
+            }
+        }
+    } else if (workload.empty() && !cfg.trace_files.empty()) {
+        // The v1 dump has no provenance and nothing here guesses:
+        // replayed runs used to be silently labeled "mcf".
+        std::fprintf(stderr,
+                     "--replay needs --workload (one name per file) —"
+                     " v1 traces carry no workload provenance;"
+                     " re-record with emctracegen or --capture for"
+                     " self-describing v2 traces\n");
+        return 2;
+    }
     if (workload.empty()) {
         usage();
         return 2;
@@ -427,7 +474,14 @@ main(int argc, char **argv)
         }
     }
 
-    System sys(cfg, workload);
+    std::unique_ptr<System> sys_p;
+    try {
+        sys_p = std::make_unique<System>(cfg, workload);
+    } catch (const trace::Error &e) {
+        std::fprintf(stderr, "trace error: %s\n", e.what());
+        return 1;
+    }
+    System &sys = *sys_p;
     sys.setCkptCompress(ckpt_compress);
     try {
         if (!restore_ckpt.empty())
@@ -471,6 +525,9 @@ main(int argc, char **argv)
         }
     } catch (const ckpt::Error &e) {
         std::fprintf(stderr, "checkpoint error: %s\n", e.what());
+        return 1;
+    } catch (const trace::Error &e) {
+        std::fprintf(stderr, "trace error: %s\n", e.what());
         return 1;
     }
     const StatDump d = sys.dump();
