@@ -68,6 +68,9 @@ main(int argc, char **argv)
         double lat_emc;        ///< avg EMC-issued latency, EMC run
         double emc_share;      ///< fraction of dep misses EMC issues
         double speedup;        ///< relPerf(EMC) / relPerf(base)
+        double pred_acc;       ///< bypass predictor accuracy (EMC run)
+        double pred_cov;       ///< bypass predictor coverage (EMC run)
+        double pred_trainings; ///< LLC outcomes the predictor saw
     };
     std::vector<Row> rows;
 
@@ -94,6 +97,9 @@ main(int argc, char **argv)
         const double es = with.get("lat.emc_samples");
         r.emc_share = (cs + es) > 0 ? es / (cs + es) : 0;
         r.speedup = relPerf(with, base, 1);
+        r.pred_acc = with.get("pred.emc.accuracy");
+        r.pred_cov = with.get("pred.emc.coverage");
+        r.pred_trainings = with.get("pred.emc.trainings");
         rows.push_back(r);
 
         std::printf("%-9s %-7s %7.1f%% %10.1f %10.1f %7.1f%% %8.3f\n",
@@ -107,6 +113,19 @@ main(int argc, char **argv)
     note("         prior miss (the chains the EMC targets)");
     note("emc(cyc) latency of EMC-issued dependent misses; compare");
     note("         base(cyc), the same misses issued from the core");
+    note("");
+    note("bypass-predictor view (pred.emc.*, DESIGN.md §13):");
+    for (const Row &r : rows) {
+        std::printf("  %-9s accuracy %5.1f%%  coverage %5.1f%%  "
+                    "trainings %8.0f\n",
+                    r.name.c_str(), 100 * r.pred_acc, 100 * r.pred_cov,
+                    r.pred_trainings);
+    }
+    note("a zero emcshare with healthy predictor coverage (embed)");
+    note("means the misses were predictable but the chains halt at");
+    note("the EMC before issuing a load: the gather's scattered");
+    note("pages never fit the 32-entry EMC TLB (emc.halts_tlb), so");
+    note("every chain bounces back to the core on translation");
     std::vector<std::pair<std::string, std::vector<double>>> chart;
     for (const Row &r : rows)
         chart.push_back({r.name, {r.lat_base, r.lat_emc}});
@@ -125,10 +144,14 @@ main(int argc, char **argv)
                      "\"dep_miss_frac\": %.4f, "
                      "\"lat_base\": %.2f, \"lat_core\": %.2f, "
                      "\"lat_emc\": %.2f, \"emc_share\": %.4f, "
-                     "\"rel_perf\": %.4f}%s\n",
+                     "\"rel_perf\": %.4f, "
+                     "\"pred_accuracy\": %.4f, "
+                     "\"pred_coverage\": %.4f, "
+                     "\"pred_trainings\": %.0f}%s\n",
                      r.name.c_str(), r.family.c_str(), r.dep_frac,
                      r.lat_base, r.lat_core, r.lat_emc, r.emc_share,
-                     r.speedup, i + 1 < rows.size() ? "," : "");
+                     r.speedup, r.pred_acc, r.pred_cov,
+                     r.pred_trainings, i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -71,6 +71,20 @@ class HashAcc
 };
 
 void
+hashPred(HashAcc &a, const pred::PredConfig &p)
+{
+    a.u(static_cast<std::uint64_t>(p.kind));
+    a.u(p.table_entries);
+    a.u(p.table_threshold);
+    a.u(p.perc_entries);
+    a.u(static_cast<std::uint64_t>(p.perc_weight_min));
+    a.u(static_cast<std::uint64_t>(p.perc_weight_max));
+    a.u(static_cast<std::uint64_t>(p.perc_activation));
+    a.u(static_cast<std::uint64_t>(p.perc_training_threshold));
+    a.u(p.history_len);
+}
+
+void
 hashCore(HashAcc &a, const CoreConfig &c)
 {
     a.u(c.fetch_width);
@@ -92,6 +106,8 @@ hashCore(HashAcc &a, const CoreConfig &c)
     a.u(c.runahead_enabled);
     a.u(c.runahead_max_uops);
     a.u(c.emc_enabled);
+    a.u(c.hermes_enabled);
+    hashPred(a, c.hermes_pred);
     a.u(c.chain_max_uops);
     a.u(c.chain_max_indirection);
 }
@@ -133,6 +149,7 @@ hashEmc(HashAcc &a, const EmcConfig &e)
     a.u(e.miss_pred_threshold);
     a.u(e.direct_dram);
     a.u(e.miss_predictor_enabled);
+    hashPred(a, e.pred);
 }
 
 } // namespace

@@ -26,7 +26,10 @@ Core::Core(CoreId id, const CoreConfig &cfg, TraceSource *trace,
       prf_(cfg.phys_regs), rat_(kArchRegs),
       l1d_(cfg.l1d_bytes, cfg.l1d_ways, "l1d"),
       mshrs_(cfg.l1_mshrs),
-      tlb_(cfg.tlb_entries, cfg.tlb_walk_latency)
+      tlb_(cfg.tlb_entries, cfg.tlb_walk_latency),
+      hermes_(cfg.hermes_enabled
+                  ? pred::makePredictor(cfg.hermes_pred, 1)
+                  : nullptr)
 {
     emc_assert(cfg.phys_regs > kArchRegs + cfg.rob_size / 2,
                "too few physical registers");
@@ -495,7 +498,29 @@ Core::tryExecuteLoad(RobEntry &e)
     mshrs_.allocate(line, e.seq);
     e.mem_outstanding = true;
     ++stats_.uops_executed;
+    maybeHermesProbe(line, e.d.uop.pc, vaddr);
     return true;
+}
+
+void
+Core::maybeHermesProbe(Addr paddr_line, Addr pc, Addr vaddr)
+{
+    if (!hermes_)
+        return;
+    // One prediction per in-flight line: a secondary access rides the
+    // first access's probe (and its training outcome).
+    if (hermes_pending_.count(paddr_line))
+        return;
+    pred::PredFeatures f;
+    f.core = 0;  // per-core predictor instance
+    f.pc = pc;
+    f.line = paddr_line;
+    f.vaddr = vaddr;
+    const bool predicted = hermes_->predict(f);
+    hermes_pending_.emplace(paddr_line,
+                            HermesPending{pc, vaddr, predicted});
+    if (predicted)
+        port_->hermesProbe(id_, paddr_line, pc);
 }
 
 void
@@ -1029,6 +1054,21 @@ Core::unOffloadChain(const ChainRequest &chain)
 void
 Core::fillArrived(Addr paddr_line, bool was_llc_miss)
 {
+    // Train the Hermes predictor on the ground-truth LLC outcome with
+    // the exact feature bundle recorded at predict time.
+    auto hp = hermes_pending_.find(paddr_line);
+    if (hp != hermes_pending_.end()) {
+        if (hermes_) {
+            pred::PredFeatures f;
+            f.core = 0;
+            f.pc = hp->second.pc;
+            f.line = paddr_line;
+            f.vaddr = hp->second.vaddr;
+            hermes_->train(f, was_llc_miss);
+        }
+        hermes_pending_.erase(hp);
+    }
+
     // Fill into the L1 (write-through L1 lines are never dirty).
     if (l1d_.peek(paddr_line) == nullptr)
         l1d_.insert(paddr_line);

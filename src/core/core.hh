@@ -19,6 +19,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -33,6 +35,7 @@
 #include "emc/chain.hh"
 #include "isa/trace.hh"
 #include "obs/obs.hh"
+#include "pred/predictor.hh"
 #include "vm/page_table.hh"
 #include "vm/tlb.hh"
 
@@ -67,6 +70,15 @@ struct CoreConfig
     bool runahead_enabled = false;
     unsigned runahead_max_uops = 512;  ///< per-episode budget
     bool emc_enabled = false;
+    /// Hermes-style off-chip prediction at the core (DESIGN.md §13):
+    /// every demand load consults an off-chip predictor at dispatch
+    /// and, when predicted to miss the LLC, launches a speculative
+    /// DRAM probe in parallel with the L1→ring→LLC walk. Independent
+    /// of (and composable with) EMC chain offload.
+    bool hermes_enabled = false;
+    /// Predictor engine driving the core-side probes (perceptron by
+    /// default, matching Hermes; kTable gives a PC-hash baseline).
+    pred::PredConfig hermes_pred = pred::PredConfig::perceptron();
     unsigned chain_max_uops = kChainMaxUops;
     /// New cache lines a chain may chase beyond its sources. Deeper
     /// chains hold an EMC context through more serialized DRAM trips
@@ -264,7 +276,13 @@ class Core
     CoreStats &mutableStats() { return stats_; }
 
     /** Zero the statistics (post-warmup measurement start). */
-    void resetStats() { stats_ = CoreStats{}; }
+    void
+    resetStats()
+    {
+        stats_ = CoreStats{};
+        if (hermes_)
+            hermes_->resetStats();
+    }
     std::uint64_t retired() const { return stats_.retired_uops; }
     bool fullWindowStalled() const { return full_window_stall_; }
     CoreId id() const { return id_; }
@@ -283,6 +301,16 @@ class Core
 
     /** The hybrid branch predictor (tests / stats). */
     const HybridBranchPredictor &branchPredictor() const { return bp_; }
+
+    /**
+     * The core-side Hermes off-chip predictor (stats / tests); null
+     * unless cfg.hermes_enabled.
+     */
+    const pred::OffchipPredictor *
+    hermesPredictor() const
+    {
+        return hermes_.get();
+    }
 
     /**
      * Attach the invariant-check registry (null detaches). Observation
@@ -362,6 +390,12 @@ class Core
         ar.io(last_chain_source_seq_);
         ar.io(source_dep_seen_);
         ar.io(offload_chain_source_);
+        // Predictor tables ride full-level images so a restored run
+        // replays bit-identical probe decisions (null iff disabled,
+        // which is part of the config hash).
+        if (hermes_)
+            ar.io(*hermes_);
+        ar.io(hermes_pending_);
         ar.io(stats_);
     }
 
@@ -408,7 +442,8 @@ class Core
         return rob_.empty() && sq_.empty() && store_buffer_.empty()
                && replay_q_.empty() && counter_updates_.empty()
                && mshrs_.size() == 0 && !in_runahead_
-               && !chain_in_progress_ && !fetch_blocked_;
+               && !chain_in_progress_ && !fetch_blocked_
+               && hermes_pending_.empty();
     }
 
     /**
@@ -551,6 +586,32 @@ class Core
     bool buildChain(RobEntry &source, ChainRequest &chain);
     void unOffloadChain(const ChainRequest &chain);
 
+    // ---- Hermes off-chip prediction (DESIGN.md §13) ----
+
+    /**
+     * A demand load left the core: consult the off-chip predictor,
+     * record the outcome for training at fill time, and launch a
+     * speculative DRAM probe when a miss is predicted.
+     */
+    void maybeHermesProbe(Addr paddr_line, Addr pc, Addr vaddr);
+
+    /** Feature bundle recorded at predict so train sees it verbatim. */
+    struct HermesPending
+    {
+        Addr pc = 0;
+        Addr vaddr = kNoAddr;
+        bool predicted = false;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(pc);
+            ar.io(vaddr);
+            ar.io(predicted);
+        }
+    };
+
     CoreId id_;       // ckpt-skip: (identity is config)
     CoreConfig cfg_;  // ckpt-skip: (config, not state)
     TraceSource *trace_;
@@ -611,6 +672,11 @@ class Core
     ChainRequest pending_chain_;
     std::uint64_t next_chain_id_ = 1;
     std::uint64_t last_chain_source_seq_ = 0;
+
+    /// Core-side off-chip predictor; null unless cfg.hermes_enabled.
+    std::unique_ptr<pred::OffchipPredictor> hermes_;
+    /// line paddr -> features recorded at predict, trained at fill
+    std::map<Addr, HermesPending> hermes_pending_;
 
     /// source-miss seq -> saw a dependent miss (for the 3-bit counter)
     std::unordered_map<std::uint64_t, bool> source_dep_seen_;

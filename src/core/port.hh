@@ -46,6 +46,26 @@ class CorePort
     virtual void storeThrough(CoreId core, Addr paddr_line) = 0;
 
     /**
+     * Launch a speculative DRAM probe for a load the core-side
+     * off-chip predictor expects to miss the LLC (Hermes, DESIGN.md
+     * §13). Fire-and-forget and off the critical path: the demand
+     * request issued via requestLine() proceeds unchanged and merges
+     * with the probe's fill at the memory controller if the
+     * prediction was right. Default no-op so simple harnesses and
+     * tests need not care.
+     *
+     * @param core probing core
+     * @param paddr_line line-aligned physical address of the load
+     * @param pc static PC of the load (predictor training key)
+     */
+    virtual void hermesProbe(CoreId core, Addr paddr_line, Addr pc)
+    {
+        (void)core;
+        (void)paddr_line;
+        (void)pc;
+    }
+
+    /**
      * Offer a generated dependence chain to the EMC.
      * @retval false no free EMC context (or EMC disabled); the core
      *               abandons this generation attempt

@@ -21,14 +21,27 @@ traceOn()
     return on;
 }
 
+/**
+ * The EMC's legacy table knobs (miss_pred_entries/threshold) override
+ * the generic predictor config so pre-zoo configurations and the
+ * ablation sweeps keep selecting the exact same table.
+ */
+pred::PredConfig
+emcPredConfig(const EmcConfig &cfg)
+{
+    pred::PredConfig p = cfg.pred;
+    p.table_entries = cfg.miss_pred_entries;
+    p.table_threshold = cfg.miss_pred_threshold;
+    return p;
+}
+
 } // namespace
 
 Emc::Emc(const EmcConfig &cfg, unsigned num_cores, EmcPort *port)
     : cfg_(cfg), num_cores_(num_cores), port_(port),
       contexts_(cfg.contexts),
       dcache_(cfg.dcache_bytes, cfg.dcache_ways, "emc_dcache"),
-      miss_pred_(num_cores,
-                 std::vector<std::uint8_t>(cfg.miss_pred_entries, 0))
+      pred_(pred::makePredictor(emcPredConfig(cfg), num_cores))
 {
     for (unsigned c = 0; c < num_cores; ++c)
         tlbs_.emplace_back(cfg.tlb_entries);
@@ -173,23 +186,30 @@ Emc::uopReady(const Context &c, unsigned idx, std::uint64_t &a,
     return sourceReady(c, cu, true, a) && sourceReady(c, cu, false, b);
 }
 
-unsigned
-Emc::predictorIndex(Addr pc) const
+void
+Emc::missPredUpdate(CoreId core, Addr pc, Addr paddr_line,
+                    bool was_miss)
 {
-    return static_cast<unsigned>((pc * 0x9e3779b97f4a7c15ULL) >> 40)
-           % cfg_.miss_pred_entries;
+    emc_assert(core < num_cores_,
+               "missPredUpdate: core id out of range");
+    pred::PredFeatures f;
+    f.core = core;
+    f.pc = pc;
+    f.line = paddr_line;
+    pred_->train(f, was_miss);
 }
 
 void
-Emc::missPredUpdate(CoreId core, Addr pc, bool was_miss)
+Emc::warmMissPredUpdate(CoreId core, Addr pc, Addr paddr_line,
+                        bool was_miss)
 {
-    std::uint8_t &ctr = miss_pred_[core % num_cores_][predictorIndex(pc)];
-    if (was_miss) {
-        if (ctr < 7)
-            ++ctr;
-    } else if (ctr > 0) {
-        --ctr;
-    }
+    emc_assert(core < num_cores_,
+               "warmMissPredUpdate: core id out of range");
+    pred::PredFeatures f;
+    f.core = core;
+    f.pc = pc;
+    f.line = paddr_line;
+    pred_->warmTrain(f, was_miss);
 }
 
 bool
@@ -267,11 +287,17 @@ Emc::issueUop(unsigned ctx_idx, unsigned uop_idx)
         }
 
         // Predict LLC hit/miss to pick the path (Section 4.3).
+        // predict() mutates nothing but its counters, so the
+        // backpressure retry below may simply re-predict next cycle.
         bool predict_miss = false;
         if (cfg_.miss_predictor_enabled && cfg_.direct_dram) {
-            const std::uint8_t ctr =
-                miss_pred_[c.chain.core][predictorIndex(cu.d.uop.pc)];
-            predict_miss = ctr > cfg_.miss_pred_threshold;
+            emc_assert(c.chain.core < num_cores_,
+                       "chain core id out of range");
+            pred::PredFeatures f;
+            f.core = c.chain.core;
+            f.pc = cu.d.uop.pc;
+            f.line = line;
+            predict_miss = pred_->predict(f);
         }
 
         const std::uint64_t token = next_token_++;

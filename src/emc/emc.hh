@@ -7,15 +7,17 @@
  * Per context it holds a 16-entry uop buffer, a 16-entry physical
  * register file and a live-in vector; the shared back-end is 2-wide
  * with an 8-entry reservation station, a small LSQ, a 4 KB data cache,
- * a 32-entry per-core TLB and a PC-hashed 3-bit LLC hit/miss predictor
- * that lets predicted-miss loads bypass the LLC and go straight to
- * DRAM.
+ * a 32-entry per-core TLB and a pluggable LLC hit/miss predictor
+ * (src/pred, DESIGN.md §13; the paper's PC-hashed 3-bit table by
+ * default) that lets predicted-miss loads bypass the LLC and go
+ * straight to DRAM.
  */
 
 #ifndef EMC_EMC_EMC_HH
 #define EMC_EMC_EMC_HH
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +27,7 @@
 #include "common/types.hh"
 #include "emc/chain.hh"
 #include "obs/obs.hh"
+#include "pred/predictor.hh"
 #include "vm/tlb.hh"
 
 namespace emc
@@ -45,6 +48,10 @@ struct EmcConfig
     unsigned miss_pred_threshold = 3;  ///< counter > t => predict miss
     bool direct_dram = true;        ///< bypass LLC on predicted miss
     bool miss_predictor_enabled = true;
+    /// Off-chip prediction engine (DESIGN.md §13). The table knobs
+    /// above override pred.table_entries/table_threshold so existing
+    /// ablation sweeps keep working unchanged.
+    pred::PredConfig pred;
 };
 
 /** EMC statistics (Figures 15, 17, 22 and Section 6.5). */
@@ -194,7 +201,15 @@ class Emc
     bool tlbResident(CoreId core, Addr vpage) const;
 
     /** Train the LLC hit/miss predictor (Section 4.3, [47]). */
-    void missPredUpdate(CoreId core, Addr pc, bool was_miss);
+    void missPredUpdate(CoreId core, Addr pc, Addr paddr_line,
+                        bool was_miss);
+
+    /** Stat-free missPredUpdate() for the functional-warming path. */
+    void warmMissPredUpdate(CoreId core, Addr pc, Addr paddr_line,
+                            bool was_miss);
+
+    /** The off-chip predictor gating the LLC-bypass path. */
+    const pred::OffchipPredictor &predictor() const { return *pred_; }
 
     /**
      * True when no context holds a chain: tick() is then a guaranteed
@@ -212,7 +227,12 @@ class Emc
     const EmcStats &stats() const { return stats_; }
 
     /** Zero the statistics (post-warmup measurement start). */
-    void resetStats() { stats_ = EmcStats{}; }
+    void
+    resetStats()
+    {
+        stats_ = EmcStats{};
+        pred_->resetStats();
+    }
     const Cache &dcache() const { return dcache_; }
     const EmcConfig &config() const { return cfg_; }
 
@@ -250,7 +270,7 @@ class Emc
         ar.io(contexts_);
         ar.io(dcache_);
         ar.io(tlbs_);
-        ar.io(miss_pred_);
+        ar.io(*pred_);
         ar.io(tokens_);
         ar.io(line_waiters_);
         ar.io(next_token_);
@@ -370,7 +390,6 @@ class Emc
     void completeUop(Context &c, unsigned idx, std::uint64_t value);
     void finishContext(unsigned ctx_idx);
     void haltContext(unsigned ctx_idx, ChainOutcome reason);
-    unsigned predictorIndex(Addr pc) const;
 
     EmcConfig cfg_;       // ckpt-skip: (config, not state)
     unsigned num_cores_;  // ckpt-skip: (config, not state)
@@ -379,7 +398,8 @@ class Emc
     std::vector<Context> contexts_;
     Cache dcache_;
     std::vector<EmcTlb> tlbs_;                   ///< per core
-    std::vector<std::vector<std::uint8_t>> miss_pred_;  ///< per core
+    /// Off-chip predictor gating the LLC-bypass path (DESIGN.md §13).
+    std::unique_ptr<pred::OffchipPredictor> pred_;
     std::unordered_map<std::uint64_t, TokenInfo> tokens_;
     /// line -> loads merged onto an outstanding request (MSHR-style)
     std::unordered_map<Addr, std::vector<TokenInfo>> line_waiters_;

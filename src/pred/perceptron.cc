@@ -1,0 +1,101 @@
+#include "pred/perceptron.hh"
+
+#include <cstdlib>
+
+namespace emc::pred
+{
+
+namespace
+{
+
+constexpr std::uint64_t kHashMul = 0x9e3779b97f4a7c15ULL;
+
+} // namespace
+
+PerceptronPredictor::PerceptronPredictor(const PredConfig &cfg,
+                                         unsigned num_cores)
+    : OffchipPredictor(cfg, num_cores),
+      weights_(kNumFeatures,
+               std::vector<std::int16_t>(cfg.perc_entries, 0))
+{}
+
+std::uint64_t
+PerceptronPredictor::featureVal(unsigned feat,
+                                const PredFeatures &f) const
+{
+    const std::uint64_t page = pageNum(f.line);
+    const std::uint64_t line_off = (f.line >> kLineShift)
+                                   & ((kPageBytes >> kLineShift) - 1);
+    const std::uint64_t byte_off =
+        f.vaddr != kNoAddr ? (f.vaddr & (kLineBytes - 1)) : 0;
+    switch (feat) {
+      case kFeatPc:
+        return f.pc;
+      case kFeatPcPage:
+        return f.pc ^ (page * kHashMul);
+      case kFeatPcOffset:
+        return (f.pc << 6) ^ line_off;
+      case kFeatHist:
+        return f.hist_hash;
+      case kFeatFirst:
+        return (f.pc << 7) ^ (byte_off << 1)
+               ^ (f.first_access ? 1 : 0);
+    }
+    return 0;
+}
+
+unsigned
+PerceptronPredictor::row(unsigned feat, const PredFeatures &f) const
+{
+    const std::uint64_t h =
+        (featureVal(feat, f) + feat * 0x100000001b3ULL + f.core)
+        * kHashMul;
+    return static_cast<unsigned>(h >> 32) % cfg_.perc_entries;
+}
+
+int
+PerceptronPredictor::weightSum(const PredFeatures &f) const
+{
+    int sum = 0;
+    for (unsigned feat = 0; feat < kNumFeatures; ++feat)
+        sum += weights_[feat][row(feat, f)];
+    return sum;
+}
+
+bool
+PerceptronPredictor::predictRaw(const PredFeatures &f) const
+{
+    return weightSum(f) >= cfg_.perc_activation;
+}
+
+void
+PerceptronPredictor::update(const PredFeatures &f, bool was_offchip)
+{
+    const int sum = weightSum(f);
+    const bool guessed = sum >= cfg_.perc_activation;
+    // Perceptron training rule: adjust on a mispredict, or when the
+    // sum sits inside the low-confidence band around the activation
+    // threshold.
+    if (guessed == was_offchip
+        && std::abs(sum - cfg_.perc_activation)
+               > cfg_.perc_training_threshold) {
+        return;
+    }
+    const int delta = was_offchip ? 1 : -1;
+    for (unsigned feat = 0; feat < kNumFeatures; ++feat) {
+        std::int16_t &w = weights_[feat][row(feat, f)];
+        const int next = w + delta;
+        if (next < cfg_.perc_weight_min || next > cfg_.perc_weight_max)
+            continue;
+        w = static_cast<std::int16_t>(next);
+    }
+}
+
+void
+PerceptronPredictor::ser(ckpt::Ar &ar)
+{
+    OffchipPredictor::ser(ar);
+    ar.io(weights_);
+}
+
+} // namespace emc::pred

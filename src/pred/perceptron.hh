@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Hermes-style multi-feature hashed perceptron off-chip predictor
+ * (Bera et al., MICRO 2022, arXiv 2209.00188; hashing idiom after
+ * Virtuoso's hashed_perceptron_branch_predictor).
+ *
+ * Each feature hashes into its own table of saturating integer
+ * weights; the prediction is the sign of the weight sum against an
+ * activation threshold, and training nudges every selected weight
+ * toward the observed outcome when the prediction was wrong or the
+ * sum fell inside the low-confidence band.
+ */
+
+#ifndef EMC_PRED_PERCEPTRON_HH
+#define EMC_PRED_PERCEPTRON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pred/predictor.hh"
+
+namespace emc::pred
+{
+
+/** Multi-feature hashed perceptron (per-feature weight tables). */
+class PerceptronPredictor final : public OffchipPredictor
+{
+  public:
+    PerceptronPredictor(const PredConfig &cfg, unsigned num_cores);
+
+    const char *name() const override { return "perceptron"; }
+
+    void ser(ckpt::Ar &ar) override;
+
+    /** Weight sum for a derived bundle (test/debug hook). */
+    int weightSum(const PredFeatures &f) const;
+
+  protected:
+    bool predictRaw(const PredFeatures &f) const override;
+    void update(const PredFeatures &f, bool was_offchip) override;
+
+  private:
+    /** The hashed features, one weight table each. */
+    enum Feature : unsigned
+    {
+        kFeatPc = 0,       ///< load PC
+        kFeatPcPage,       ///< PC x physical page of the line
+        kFeatPcOffset,     ///< PC x cacheline offset within the page
+        kFeatHist,         ///< hash of the last-N trained PCs
+        kFeatFirst,        ///< PC x first-access bit (x byte offset)
+        kNumFeatures
+    };
+
+    std::uint64_t featureVal(unsigned feat,
+                             const PredFeatures &f) const;
+    unsigned row(unsigned feat, const PredFeatures &f) const;
+
+    std::vector<std::vector<std::int16_t>> weights_;  ///< per feature
+};
+
+} // namespace emc::pred
+
+#endif // EMC_PRED_PERCEPTRON_HH

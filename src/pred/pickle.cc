@@ -1,0 +1,69 @@
+#include "pred/pickle.hh"
+
+namespace emc::pred
+{
+
+PicklePrefetcher::PicklePrefetcher(unsigned num_cores,
+                                   const PredConfig &cfg,
+                                   std::size_t table_entries)
+    : pred_(makePredictor(cfg, num_cores)),
+      table_(table_entries)
+{}
+
+std::size_t
+PicklePrefetcher::slot(Addr line) const
+{
+    return static_cast<std::size_t>(
+               (lineNum(line) * 0x9e3779b97f4a7c15ULL) >> 24)
+           % table_.size();
+}
+
+void
+PicklePrefetcher::observe(CoreId core, Addr line_addr, Addr pc,
+                          bool miss, unsigned degree)
+{
+    // Train on every LLC outcome, then ask whether this access is
+    // part of the off-chip stream worth correlating/prefetching.
+    PredFeatures ft;
+    ft.core = core;
+    ft.pc = pc;
+    ft.line = line_addr;
+    pred_->train(ft, miss);
+
+    PredFeatures fp;
+    fp.core = core;
+    fp.pc = pc;
+    fp.line = line_addr;
+    if (!pred_->predict(fp))
+        return;
+
+    // Record the predicted-miss successor chain (line A was followed
+    // by line B, touched by core C — possibly a different core).
+    if (have_last_ && last_line_ != line_addr)
+        table_[slot(last_line_)] = {line_addr, core, true};
+    have_last_ = true;
+    last_line_ = line_addr;
+
+    // Push the recorded successors of this line, bounded by the FDP
+    // degree; each lands in the LLC on behalf of its recorded core.
+    Addr cur = line_addr;
+    for (unsigned i = 0; i < degree; ++i) {
+        const Succ &s = table_[slot(cur)];
+        if (!s.valid || s.line == cur)
+            break;
+        emit(s.core, s.line);
+        cur = s.line;
+    }
+}
+
+void
+PicklePrefetcher::ckptSer(ckpt::Ar &ar)
+{
+    serQueue(ar);
+    pred_->ser(ar);
+    ar.io(table_);
+    ar.io(last_line_);
+    ar.io(have_last_);
+}
+
+} // namespace emc::pred

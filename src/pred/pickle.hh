@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Pickle-style cross-core LLC prefetcher (Nguyen et al., arXiv
+ * 2511.19973): an off-chip predictor watches the LLC access stream,
+ * and the addresses it flags as off-chip form a correlated stream —
+ * consecutive predicted-miss lines are recorded in a successor table
+ * together with the core that touched them, so a later predicted
+ * miss on the first line pushes the successors into the LLC on
+ * behalf of whichever core historically needed them (a cross-core
+ * push when the recorded core differs from the trigger).
+ */
+
+#ifndef EMC_PRED_PICKLE_HH
+#define EMC_PRED_PICKLE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pred/predictor.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace emc::pred
+{
+
+/** Predicted-miss-driven cross-core LLC prefetcher. */
+class PicklePrefetcher final : public Prefetcher
+{
+  public:
+    /**
+     * @param num_cores cores sharing the LLC
+     * @param cfg engine for the internal off-chip predictor
+     *        (defaults to the Hermes-style perceptron)
+     * @param table_entries successor-table capacity
+     */
+    explicit PicklePrefetcher(
+        unsigned num_cores,
+        const PredConfig &cfg = PredConfig::perceptron(),
+        std::size_t table_entries = 4096);
+
+    void observe(CoreId core, Addr line_addr, Addr pc, bool miss,
+                 unsigned degree) override;
+
+    const char *name() const override { return "pickle"; }
+
+    void ckptSer(ckpt::Ar &ar) override;
+
+    /** The internal predictor (accuracy/coverage counters). */
+    const OffchipPredictor &predictor() const { return *pred_; }
+
+  private:
+    /** Successor-table entry: the line+core that followed a key. */
+    struct Succ
+    {
+        std::uint64_t line = 0;
+        CoreId core = 0;
+        bool valid = false;
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(line);
+            ar.io(core);
+            ar.io(valid);
+        }
+    };
+
+    std::size_t slot(Addr line) const;
+
+    std::unique_ptr<OffchipPredictor> pred_;
+    std::vector<Succ> table_;
+    std::uint64_t last_line_ = 0;
+    bool have_last_ = false;
+};
+
+} // namespace emc::pred
+
+#endif // EMC_PRED_PICKLE_HH

@@ -1,0 +1,146 @@
+#include "pred/predictor.hh"
+
+#include "common/log.hh"
+#include "pred/perceptron.hh"
+#include "pred/table.hh"
+
+namespace emc::pred
+{
+
+namespace
+{
+
+/// Fibonacci-hash multiplier shared by every engine (same constant
+/// the original EMC table used, so the table lift stays bit-exact).
+constexpr std::uint64_t kHashMul = 0x9e3779b97f4a7c15ULL;
+
+/// Hashed-page filter size for the first-access bit (per core).
+constexpr unsigned kPageFilterEntries = 4096;
+
+} // namespace
+
+const char *
+predKindName(PredKind k)
+{
+    switch (k) {
+      case PredKind::kTable: return "table";
+      case PredKind::kPerceptron: return "perceptron";
+    }
+    return "?";
+}
+
+OffchipPredictor::OffchipPredictor(const PredConfig &cfg,
+                                   unsigned num_cores)
+    : cfg_(cfg), num_cores_(num_cores),
+      history_(num_cores, std::vector<std::uint64_t>(
+                              cfg.history_len > 0 ? cfg.history_len : 1,
+                              0)),
+      hist_pos_(num_cores, 0),
+      page_seen_(num_cores,
+                 std::vector<std::uint8_t>(kPageFilterEntries, 0))
+{
+    emc_assert(num_cores > 0, "predictor needs at least one core");
+}
+
+unsigned
+OffchipPredictor::pageIndex(Addr line) const
+{
+    return static_cast<unsigned>((pageNum(line) * kHashMul) >> 40)
+           % kPageFilterEntries;
+}
+
+std::uint64_t
+OffchipPredictor::histHash(CoreId core) const
+{
+    // Fold the ring oldest-first so the hash is position-sensitive
+    // and independent of where the write cursor currently points.
+    const std::vector<std::uint64_t> &ring = history_[core];
+    const std::uint32_t pos = hist_pos_[core];
+    std::uint64_t h = 0;
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+        const std::uint64_t pc = ring[(pos + i) % ring.size()];
+        h = (h ^ pc) * kHashMul;
+    }
+    return h;
+}
+
+void
+OffchipPredictor::fillDerived(PredFeatures &f) const
+{
+    emc_assert(f.core < num_cores_,
+               "predictor feature bundle: core id out of range");
+    f.hist_hash = histHash(f.core);
+    f.first_access = page_seen_[f.core][pageIndex(f.line)] == 0;
+}
+
+bool
+OffchipPredictor::predict(PredFeatures &f)
+{
+    fillDerived(f);
+    const bool offchip = predictRaw(f);
+    ++stats_.predictions;
+    if (offchip)
+        ++stats_.predicted_offchip;
+    return offchip;
+}
+
+void
+OffchipPredictor::train(PredFeatures &f, bool was_offchip)
+{
+    // Classify against the predictor's current opinion before the
+    // update below shifts it.
+    fillDerived(f);
+    const bool guessed = predictRaw(f);
+    ++stats_.trainings;
+    if (guessed && was_offchip)
+        ++stats_.true_pos;
+    else if (guessed)
+        ++stats_.false_pos;
+    else if (was_offchip)
+        ++stats_.false_neg;
+    else
+        ++stats_.true_neg;
+    applyTrain(f, was_offchip);
+}
+
+void
+OffchipPredictor::warmTrain(PredFeatures &f, bool was_offchip)
+{
+    applyTrain(f, was_offchip);
+}
+
+void
+OffchipPredictor::applyTrain(PredFeatures &f, bool was_offchip)
+{
+    fillDerived(f);
+    update(f, was_offchip);
+    std::vector<std::uint64_t> &ring = history_[f.core];
+    ring[hist_pos_[f.core]] = f.pc;
+    hist_pos_[f.core] =
+        static_cast<std::uint32_t>((hist_pos_[f.core] + 1) % ring.size());
+    page_seen_[f.core][pageIndex(f.line)] = 1;
+}
+
+void
+OffchipPredictor::ser(ckpt::Ar &ar)
+{
+    ar.io(history_);
+    ar.io(hist_pos_);
+    ar.io(page_seen_);
+    ar.io(stats_);
+}
+
+std::unique_ptr<OffchipPredictor>
+makePredictor(const PredConfig &cfg, unsigned num_cores)
+{
+    switch (cfg.kind) {
+      case PredKind::kTable:
+        return std::make_unique<TablePredictor>(cfg, num_cores);
+      case PredKind::kPerceptron:
+        return std::make_unique<PerceptronPredictor>(cfg, num_cores);
+    }
+    emc_fatal("unknown predictor kind");
+    return nullptr;
+}
+
+} // namespace emc::pred

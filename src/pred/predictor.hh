@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Pluggable off-chip (LLC hit/miss) prediction subsystem
+ * (DESIGN.md §13).
+ *
+ * The paper's EMC gates its LLC-bypass path on a PC-hashed 3-bit
+ * table (Section 4.3). This interface lifts that decision behind a
+ * common OffchipPredictor so alternative engines — notably a
+ * Hermes-style multi-feature hashed perceptron (Bera et al., MICRO
+ * 2022) — plug into the same attach points: the EMC's bypass choice,
+ * a core-side speculative DRAM probe at load dispatch, and the
+ * Pickle-style cross-core prefetcher.
+ *
+ * Contract:
+ *  - predict() is state-pure apart from the prediction counters: it
+ *    never touches tables, history or the first-access filter, so a
+ *    caller that hits backpressure may simply re-predict next cycle.
+ *  - train() classifies the outcome against the predictor's *current*
+ *    opinion (true/false positive/negative counters), then applies
+ *    the engine update and the shared feature bookkeeping.
+ *  - warmTrain() applies exactly the same table/history/filter
+ *    mutations as train() but touches no statistics, so the
+ *    functional-warming path (DESIGN.md §8) produces byte-identical
+ *    predictor state without violating the warming contract.
+ *  - An attach point must present the same feature availability at
+ *    predict and train time (e.g. the core records the vaddr of an
+ *    in-flight line and replays it when the fill trains; the EMC
+ *    supplies no vaddr at either site). Mixing availability would
+ *    train different weight rows than the ones predictions read.
+ */
+
+#ifndef EMC_PRED_PREDICTOR_HH
+#define EMC_PRED_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ckpt/serial.hh"
+#include "common/types.hh"
+
+namespace emc::pred
+{
+
+/**
+ * The feature bundle a prediction or training event is made from.
+ * Callers fill core/pc/line (and vaddr when the attach point has it
+ * at both predict and train time); the predictor base derives
+ * hist_hash and first_access from its own per-core tracking.
+ */
+struct PredFeatures
+{
+    CoreId core = 0;         ///< index into per-core tracking state
+    Addr pc = 0;             ///< static PC of the load
+    Addr line = 0;           ///< physical line address
+    Addr vaddr = kNoAddr;    ///< virtual address (kNoAddr if unknown)
+    std::uint64_t hist_hash = 0;  ///< derived: last-N trained-PC hash
+    bool first_access = false;    ///< derived: first touch of the page
+};
+
+/** Accuracy/coverage counters every predictor maintains. */
+struct PredStats
+{
+    std::uint64_t predictions = 0;       ///< predict() calls
+    std::uint64_t predicted_offchip = 0; ///< predictions that said miss
+    std::uint64_t trainings = 0;         ///< train() calls
+    std::uint64_t true_pos = 0;   ///< said off-chip, was off-chip
+    std::uint64_t false_pos = 0;  ///< said off-chip, was a hit
+    std::uint64_t true_neg = 0;   ///< said hit, was a hit
+    std::uint64_t false_neg = 0;  ///< said hit, was off-chip
+
+    /** Fraction of training outcomes the predictor called right. */
+    double
+    accuracy() const
+    {
+        const double n = static_cast<double>(trainings);
+        return n > 0 ? (true_pos + true_neg) / n : 0.0;
+    }
+
+    /** Fraction of actual off-chip misses it predicted off-chip. */
+    double
+    coverage() const
+    {
+        const double misses =
+            static_cast<double>(true_pos + false_neg);
+        return misses > 0 ? true_pos / misses : 0.0;
+    }
+
+    template <class A>
+    void
+    ser(A &ar)
+    {
+        ar.io(predictions);
+        ar.io(predicted_offchip);
+        ar.io(trainings);
+        ar.io(true_pos);
+        ar.io(false_pos);
+        ar.io(true_neg);
+        ar.io(false_neg);
+    }
+};
+
+/** Available prediction engines. */
+enum class PredKind : std::uint8_t
+{
+    kTable,       ///< the paper's PC-hashed 3-bit table (Section 4.3)
+    kPerceptron,  ///< Hermes-style multi-feature hashed perceptron
+};
+
+const char *predKindName(PredKind k);
+
+/** Configuration for any engine (unused knobs are ignored). */
+struct PredConfig
+{
+    PredKind kind = PredKind::kTable;
+
+    // Table engine (defaults mirror EmcConfig's predictor knobs).
+    unsigned table_entries = 1024;
+    unsigned table_threshold = 3;  ///< counter > t => predict off-chip
+
+    // Perceptron engine.
+    unsigned perc_entries = 2048;   ///< rows per feature table
+    int perc_weight_min = -32;      ///< saturating weight floor
+    int perc_weight_max = 31;       ///< saturating weight ceiling
+    int perc_activation = 2;        ///< sum >= tau_act => off-chip
+    int perc_training_threshold = 16;  ///< train when |sum-tau| <= theta
+
+    // Shared feature derivation.
+    unsigned history_len = 4;  ///< last-N trained PCs in hist_hash
+
+    /** Convenience: a config selecting the perceptron engine. */
+    static PredConfig
+    perceptron()
+    {
+        PredConfig c;
+        c.kind = PredKind::kPerceptron;
+        return c;
+    }
+};
+
+/** Base class: shared feature derivation, stats and training flow. */
+class OffchipPredictor
+{
+  public:
+    OffchipPredictor(const PredConfig &cfg, unsigned num_cores);
+    virtual ~OffchipPredictor() = default;
+
+    /**
+     * Predict whether the load described by @p f goes off-chip.
+     * Fills the derived fields of @p f; mutates nothing but the
+     * prediction counters (safe to call again on a retry).
+     */
+    bool predict(PredFeatures &f);
+
+    /** Train on the actual LLC outcome (@p was_offchip = LLC miss). */
+    void train(PredFeatures &f, bool was_offchip);
+
+    /** Stat-free train() for the functional-warming path. */
+    void warmTrain(PredFeatures &f, bool was_offchip);
+
+    const PredStats &stats() const { return stats_; }
+    void resetStats() { stats_ = PredStats{}; }
+
+    virtual const char *name() const = 0;
+    PredKind kind() const { return cfg_.kind; }
+    const PredConfig &config() const { return cfg_; }
+
+    /** Checkpoint the shared tracking state plus the engine tables. */
+    virtual void ser(ckpt::Ar &ar);
+
+  protected:
+    /** Engine decision on a fully derived feature bundle. */
+    virtual bool predictRaw(const PredFeatures &f) const = 0;
+
+    /** Engine table update on a fully derived feature bundle. */
+    virtual void update(const PredFeatures &f, bool was_offchip) = 0;
+
+    const PredConfig cfg_;
+    const unsigned num_cores_;
+
+  private:
+    void fillDerived(PredFeatures &f) const;
+    void applyTrain(PredFeatures &f, bool was_offchip);
+    std::uint64_t histHash(CoreId core) const;
+    unsigned pageIndex(Addr line) const;
+
+    /// Per-core ring of the last history_len trained PCs.
+    std::vector<std::vector<std::uint64_t>> history_;
+    std::vector<std::uint32_t> hist_pos_;
+    /// Per-core hashed page filter backing the first-access bit.
+    std::vector<std::vector<std::uint8_t>> page_seen_;
+
+    PredStats stats_;
+};
+
+/** Build the engine selected by @p cfg. */
+std::unique_ptr<OffchipPredictor> makePredictor(const PredConfig &cfg,
+                                                unsigned num_cores);
+
+} // namespace emc::pred
+
+#endif // EMC_PRED_PREDICTOR_HH

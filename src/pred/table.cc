@@ -1,0 +1,51 @@
+#include "pred/table.hh"
+
+namespace emc::pred
+{
+
+TablePredictor::TablePredictor(const PredConfig &cfg,
+                               unsigned num_cores)
+    : OffchipPredictor(cfg, num_cores),
+      table_(num_cores,
+             std::vector<std::uint8_t>(cfg.table_entries, 0))
+{}
+
+unsigned
+TablePredictor::index(Addr pc) const
+{
+    return static_cast<unsigned>((pc * 0x9e3779b97f4a7c15ULL) >> 40)
+           % cfg_.table_entries;
+}
+
+std::uint8_t
+TablePredictor::counter(CoreId core, Addr pc) const
+{
+    return table_[core][index(pc)];
+}
+
+bool
+TablePredictor::predictRaw(const PredFeatures &f) const
+{
+    return table_[f.core][index(f.pc)] > cfg_.table_threshold;
+}
+
+void
+TablePredictor::update(const PredFeatures &f, bool was_offchip)
+{
+    std::uint8_t &ctr = table_[f.core][index(f.pc)];
+    if (was_offchip) {
+        if (ctr < 7)
+            ++ctr;
+    } else if (ctr > 0) {
+        --ctr;
+    }
+}
+
+void
+TablePredictor::ser(ckpt::Ar &ar)
+{
+    OffchipPredictor::ser(ar);
+    ar.io(table_);
+}
+
+} // namespace emc::pred

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The paper's LLC hit/miss predictor (Section 4.3, after [47]):
+ * per-core PC-hashed tables of 3-bit saturating counters,
+ * incremented on an LLC miss and decremented on a hit; a load whose
+ * counter exceeds the threshold is predicted off-chip. This is the
+ * exact logic previously embedded in Emc, lifted behind the
+ * OffchipPredictor interface bit-identically (same hash, same
+ * saturation, same threshold compare).
+ */
+
+#ifndef EMC_PRED_TABLE_HH
+#define EMC_PRED_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pred/predictor.hh"
+
+namespace emc::pred
+{
+
+/** PC-hashed 3-bit saturating-counter hit/miss table. */
+class TablePredictor final : public OffchipPredictor
+{
+  public:
+    TablePredictor(const PredConfig &cfg, unsigned num_cores);
+
+    const char *name() const override { return "table"; }
+
+    void ser(ckpt::Ar &ar) override;
+
+    /** Current counter for @p pc on @p core (test/debug hook). */
+    std::uint8_t counter(CoreId core, Addr pc) const;
+
+  protected:
+    bool predictRaw(const PredFeatures &f) const override;
+    void update(const PredFeatures &f, bool was_offchip) override;
+
+  private:
+    unsigned index(Addr pc) const;
+
+    std::vector<std::vector<std::uint8_t>> table_;  ///< per core
+};
+
+} // namespace emc::pred
+
+#endif // EMC_PRED_TABLE_HH

@@ -28,6 +28,7 @@ enum class PrefetchConfig : std::uint8_t
     kStream,        ///< POWER4-style stream
     kMarkovStream,  ///< Markov + stream (always paired, Section 5)
     kStride,        ///< PC-indexed stride (extra baseline, [6] class)
+    kPickle,        ///< predicted-miss cross-core correlator (§13)
 };
 
 const char *prefetchConfigName(PrefetchConfig p);

@@ -69,10 +69,11 @@ System::warmLineAtLlc(CoreId core, Addr paddr_line, Addr pc,
     const bool hit = meta != nullptr;
 
     // The EMC hit/miss predictor trains on non-store demand lookups
-    // (observeAtLlc); keep its training stream identical.
+    // (observeAtLlc); keep its training stream identical. The warm
+    // variant applies the same table/history mutations stat-free.
     if (!is_store && !emcs_.empty()) {
         for (auto &e : emcs_)
-            e->missPredUpdate(core, pc, !hit);
+            e->warmMissPredUpdate(core, pc, paddr_line, !hit);
     }
 
     if (hit) {

@@ -7,6 +7,7 @@
 #include "prefetch/ghb.hh"
 #include "prefetch/markov.hh"
 #include "emc/chain_codec.hh"
+#include "pred/pickle.hh"
 #include "prefetch/stream.hh"
 #include "prefetch/stride.hh"
 #include "trace/record.hh"
@@ -23,6 +24,7 @@ prefetchConfigName(PrefetchConfig p)
       case PrefetchConfig::kStream: return "stream";
       case PrefetchConfig::kMarkovStream: return "markov+stream";
       case PrefetchConfig::kStride: return "stride";
+      case PrefetchConfig::kPickle: return "pickle";
     }
     return "?";
 }
@@ -194,6 +196,10 @@ System::System(const SystemConfig &cfg,
       case PrefetchConfig::kStride:
         prefetchers_.push_back(
             std::make_unique<StridePrefetcher>(cfg.num_cores));
+        break;
+      case PrefetchConfig::kPickle:
+        prefetchers_.push_back(
+            std::make_unique<pred::PicklePrefetcher>(cfg.num_cores));
         break;
     }
 
@@ -472,7 +478,8 @@ System::retireTxn(Txn &txn)
     // tools/emctrace applies to the trace ("has a fill annotation"),
     // which is what keeps `emctrace summarize` exact against these
     // histograms.
-    if (!txn.is_prefetch && !txn.for_store && txn.t_fill != kNoCycle) {
+    if (!txn.is_prefetch && !txn.is_hermes && !txn.for_store
+        && txn.t_fill != kNoCycle) {
         obs::PhaseTimes t;
         t.created = txn.t_start;
         t.llc_miss = txn.t_llc_miss == kNoCycle ? 0 : txn.t_llc_miss;
@@ -599,6 +606,51 @@ System::requestLine(CoreId core, Addr paddr_line, Addr pc, bool for_store,
     routeControl(stopOfCore(core), stopOfCore(slice), MsgType::kMemRead,
                  txn.id, EvType::kSliceArrive);
     return true;
+}
+
+void
+System::hermesProbe(CoreId core, Addr paddr_line, Addr pc)
+{
+    ++hermes_probes_issued_;
+
+    // A fill for the line is already in flight (demand, prefetch, EMC
+    // or an earlier probe): the probe adds nothing, drop it.
+    if (pending_fills_.count(paddr_line)) {
+        ++hermes_probes_suppressed_;
+        return;
+    }
+
+    // Off-critical-path inclusive-LLC presence filter (the same cheap
+    // peek the EMC bypass uses): a resident line means the prediction
+    // was wrong and the demand will hit — no DRAM traffic.
+    const unsigned slice = sliceOf(paddr_line);
+    if (slices_[slice]->peek(paddr_line) != nullptr) {
+        ++hermes_probes_llc_hit_;
+        return;
+    }
+
+    Txn txn;
+    txn.id = next_txn_++;
+    txn.core = core;
+    txn.line = paddr_line;
+    txn.pc = pc;
+    txn.is_hermes = true;
+    txn.llc_missed = true;
+    txn.t_start = now_;
+    txn.t_llc_miss = now_;
+    txns_.create(txn.id) = txn;
+    if (ck_txns_)
+        ck_txns_->onCreate(*check_, txn.id);
+    EMC_OBS_POINT(tracer_.get(), obs::TracePoint::kCreated, now_,
+                  txn.id, trackOf(txn), txn.line, txnFlags(txn));
+
+    // Open the cross-agent MSHR window so the demand merges onto this
+    // probe's fill at the slice, and head straight for the home MC —
+    // the whole point is skipping the ring+LLC walk.
+    hermes_probe_lines_[paddr_line] = HermesProbe{now_, false};
+    pending_fills_[paddr_line];
+    routeControl(stopOfCore(core), stopOfMc(mcOfLine(paddr_line)),
+                 MsgType::kControlMisc, txn.id, EvType::kMcEnqueue);
 }
 
 void
@@ -790,7 +842,7 @@ System::observeAtLlc(Txn &txn, bool hit)
             pf->observe(txn.core, txn.line, txn.pc, !hit, fdp_.degree());
         if (!emcs_.empty() && !txn.for_store) {
             for (auto &e : emcs_)
-                e->missPredUpdate(txn.core, txn.pc, !hit);
+                e->missPredUpdate(txn.core, txn.pc, txn.line, !hit);
         }
     }
     if (hit && fdp_.isPendingPrefetch(txn.line)) {
@@ -841,8 +893,18 @@ System::handleSliceLookup(std::uint64_t token)
         fdp_.lateHit(txn.line);  // useful but untimely
     cores_[txn.core]->llcMissDetermined(txn.line);
 
-    if (tryMergeFill(txn))
+    if (tryMergeFill(txn)) {
+        // Merged onto an in-flight Hermes probe: the demand inherits
+        // the probe's DRAM head start (launched at dispatch, before
+        // the ring+LLC walk this request just finished).
+        auto hp = hermes_probe_lines_.find(txn.line);
+        if (hp != hermes_probe_lines_.end()) {
+            hp->second.used = true;
+            ++hermes_merged_demands_;
+            hermes_saved_cycles_ += now_ - hp->second.start;
+        }
         return;
+    }
     pending_fills_[txn.line];
     routeControl(stopOfCore(slice), stopOfMc(mcOfLine(txn.line)),
                  MsgType::kLlcMissToMc, token, EvType::kMcEnqueue);
@@ -921,11 +983,17 @@ System::handleMcEnqueue(std::uint64_t token)
                   txn.id, trackOf(txn), txn.line);
     if (ck_txns_)
         ck_txns_->onIssue(*check_, txn.id);
-    switch (req.origin) {
-      case ReqOrigin::kCoreDemand: ++traffic_.core_demand; break;
-      case ReqOrigin::kEmcDemand: ++traffic_.emc_demand; break;
-      case ReqOrigin::kPrefetch: ++traffic_.prefetch; break;
-      case ReqOrigin::kWriteback: ++traffic_.writeback; break;
+    if (txn.is_hermes) {
+        // Rides the core-demand DRAM priority class but is accounted
+        // separately: probe traffic is the cost knob of Hermes.
+        ++traffic_.hermes;
+    } else {
+        switch (req.origin) {
+          case ReqOrigin::kCoreDemand: ++traffic_.core_demand; break;
+          case ReqOrigin::kEmcDemand: ++traffic_.emc_demand; break;
+          case ReqOrigin::kPrefetch: ++traffic_.prefetch; break;
+          case ReqOrigin::kWriteback: ++traffic_.writeback; break;
+        }
     }
 }
 
@@ -1103,6 +1171,22 @@ System::handleFillAtSlice(std::uint64_t token)
             return;
     }
 
+    if (txn.is_hermes) {
+        // The probe's work is done once the line is in the LLC and
+        // every merged demand has been dispatched above. Classify it:
+        // a demand merged onto the fill (useful) or nothing wanted the
+        // line before it arrived (useless — mispredicted or too late).
+        auto hp = hermes_probe_lines_.find(txn.line);
+        if (hp != hermes_probe_lines_.end()) {
+            if (hp->second.used)
+                ++hermes_probes_useful_;
+            else
+                ++hermes_probes_useless_;
+            hermes_probe_lines_.erase(hp);
+        }
+        retireTxn(txn);
+        return;
+    }
     if (txn.is_prefetch) {
         outstanding_prefetch_lines_.erase(txn.line);
         fdp_.issued(txn.line);
@@ -1200,10 +1284,23 @@ System::handleChainArrive(std::uint64_t token)
     // The context must arm when the source fill crosses the MC. If
     // every transaction for the line has already passed DRAM (or none
     // exists), that observeFill has fired — possibly while this chain
-    // was still on the ring — so arm immediately.
+    // was still on the ring — so arm immediately. Transactions merged
+    // onto another agent's in-flight fill (cross-agent MSHR waiters,
+    // e.g. a demand riding a Hermes probe) never pass DRAM themselves
+    // and must not keep the chain waiting for a fill that already
+    // crossed the controller.
+    const auto pend = pending_fills_.find(chain.source_paddr_line);
     const bool source_arrived = !txns_.anyOf([&](const Txn &t) {
-        return t.line == chain.source_paddr_line && !t.is_prefetch
-               && t.t_dram_data == kNoCycle;
+        if (t.line != chain.source_paddr_line || t.is_prefetch
+            || t.t_dram_data != kNoCycle || t.t_fill != kNoCycle)
+            return false;
+        if (pend != pending_fills_.end()) {
+            const auto &waiters = pend->second;
+            if (std::find(waiters.begin(), waiters.end(), t.id)
+                != waiters.end())
+                return false;
+        }
+        return true;
     });
 
     if (!emcs_[mc]->acceptChain(chain, source_arrived)) {
@@ -1499,6 +1596,13 @@ System::resetMeasurement()
     emc_bypass_wrong_ = 0;
     llc_total_accesses_ = 0;
     ideal_dep_hits_granted_ = 0;
+    hermes_probes_issued_ = 0;
+    hermes_probes_suppressed_ = 0;
+    hermes_probes_llc_hit_ = 0;
+    hermes_probes_useful_ = 0;
+    hermes_probes_useless_ = 0;
+    hermes_merged_demands_ = 0;
+    hermes_saved_cycles_ = 0;
     warmup_end_cycle_ = now_;
 }
 
@@ -1758,6 +1862,7 @@ System::dump() const
     d.put("traffic.emc_demand", static_cast<double>(traffic_.emc_demand));
     d.put("traffic.prefetch", static_cast<double>(traffic_.prefetch));
     d.put("traffic.writeback", static_cast<double>(traffic_.writeback));
+    d.put("traffic.hermes", static_cast<double>(traffic_.hermes));
     d.put("traffic.total", static_cast<double>(traffic_.total()));
 
     // Latency attribution.
@@ -1846,6 +1951,92 @@ System::dump() const
 
         ev.emc_uops = agg.uops_executed;
         ev.emc_dcache_accesses = agg.dcache_hits + agg.dcache_misses;
+
+        // Off-chip predictor quality at the EMC (src/pred; DESIGN.md
+        // §13). Aggregated over EMCs like the emc.* block above.
+        pred::PredStats ps;
+        for (const auto &e : emcs_) {
+            const pred::PredStats &s = e->predictor().stats();
+            ps.predictions += s.predictions;
+            ps.predicted_offchip += s.predicted_offchip;
+            ps.trainings += s.trainings;
+            ps.true_pos += s.true_pos;
+            ps.false_pos += s.false_pos;
+            ps.true_neg += s.true_neg;
+            ps.false_neg += s.false_neg;
+        }
+        d.put("pred.emc.engine",
+              static_cast<double>(
+                  static_cast<unsigned>(emcs_[0]->predictor().kind())));
+        d.put("pred.emc.predictions",
+              static_cast<double>(ps.predictions));
+        d.put("pred.emc.predicted_offchip",
+              static_cast<double>(ps.predicted_offchip));
+        d.put("pred.emc.trainings", static_cast<double>(ps.trainings));
+        d.put("pred.emc.true_pos", static_cast<double>(ps.true_pos));
+        d.put("pred.emc.false_pos", static_cast<double>(ps.false_pos));
+        d.put("pred.emc.true_neg", static_cast<double>(ps.true_neg));
+        d.put("pred.emc.false_neg", static_cast<double>(ps.false_neg));
+        d.put("pred.emc.accuracy", ps.accuracy());
+        d.put("pred.emc.coverage", ps.coverage());
+        // Each correct LLC bypass skips the slice lookup on the miss
+        // path — the latency win the 3-bit table buys (Section 4.3).
+        const double bypass_right =
+            static_cast<double>(agg.direct_dram_loads)
+            - static_cast<double>(emc_bypass_wrong_);
+        d.put("pred.emc.bypass_cycles_saved",
+              std::max(0.0, bypass_right)
+                  * static_cast<double>(cfg_.llc_latency));
+    }
+
+    // Core-side Hermes probes (DESIGN.md §13).
+    if (cfg_.core.hermes_enabled) {
+        pred::PredStats ps;
+        for (const auto &c : cores_) {
+            if (const pred::OffchipPredictor *hp = c->hermesPredictor()) {
+                const pred::PredStats &s = hp->stats();
+                ps.predictions += s.predictions;
+                ps.predicted_offchip += s.predicted_offchip;
+                ps.trainings += s.trainings;
+                ps.true_pos += s.true_pos;
+                ps.false_pos += s.false_pos;
+                ps.true_neg += s.true_neg;
+                ps.false_neg += s.false_neg;
+            }
+        }
+        d.put("pred.hermes.predictions",
+              static_cast<double>(ps.predictions));
+        d.put("pred.hermes.predicted_offchip",
+              static_cast<double>(ps.predicted_offchip));
+        d.put("pred.hermes.trainings",
+              static_cast<double>(ps.trainings));
+        d.put("pred.hermes.true_pos", static_cast<double>(ps.true_pos));
+        d.put("pred.hermes.false_pos",
+              static_cast<double>(ps.false_pos));
+        d.put("pred.hermes.true_neg", static_cast<double>(ps.true_neg));
+        d.put("pred.hermes.false_neg",
+              static_cast<double>(ps.false_neg));
+        d.put("pred.hermes.accuracy", ps.accuracy());
+        d.put("pred.hermes.coverage", ps.coverage());
+        d.put("hermes.probes_issued",
+              static_cast<double>(hermes_probes_issued_));
+        d.put("hermes.probes_suppressed",
+              static_cast<double>(hermes_probes_suppressed_));
+        d.put("hermes.probes_llc_hit",
+              static_cast<double>(hermes_probes_llc_hit_));
+        d.put("hermes.probes_useful",
+              static_cast<double>(hermes_probes_useful_));
+        d.put("hermes.probes_useless",
+              static_cast<double>(hermes_probes_useless_));
+        d.put("hermes.merged_demands",
+              static_cast<double>(hermes_merged_demands_));
+        d.put("hermes.saved_cycles",
+              static_cast<double>(hermes_saved_cycles_));
+        d.put("hermes.avg_head_start",
+              hermes_merged_demands_
+                  ? static_cast<double>(hermes_saved_cycles_)
+                        / hermes_merged_demands_
+                  : 0.0);
     }
 
     // Ring aggregates (Section 6.5).

@@ -12,6 +12,7 @@
 #define EMC_SIM_SYSTEM_HH
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <unordered_map>
@@ -48,11 +49,12 @@ struct TrafficStats
     std::uint64_t emc_demand = 0;
     std::uint64_t prefetch = 0;
     std::uint64_t writeback = 0;
+    std::uint64_t hermes = 0;   ///< core-side speculative DRAM probes
 
     std::uint64_t
     total() const
     {
-        return core_demand + emc_demand + prefetch + writeback;
+        return core_demand + emc_demand + prefetch + writeback + hermes;
     }
 
     template <class A>
@@ -63,6 +65,7 @@ struct TrafficStats
         ar.io(emc_demand);
         ar.io(prefetch);
         ar.io(writeback);
+        ar.io(hermes);
     }
 };
 
@@ -134,6 +137,7 @@ class System : public CorePort
     // ---- CorePort ----
     bool requestLine(CoreId core, Addr paddr_line, Addr pc,
                      bool for_store, bool addr_tainted) override;
+    void hermesProbe(CoreId core, Addr paddr_line, Addr pc) override;
     void storeThrough(CoreId core, Addr paddr_line) override;
     bool offloadChain(const ChainRequest &chain) override;
     bool emcTlbResident(CoreId core, Addr vpage) override;
@@ -344,6 +348,7 @@ class System : public CorePort
         bool for_store = false;
         bool addr_tainted = false;
         bool is_prefetch = false;
+        bool is_hermes = false;     ///< core-side speculative DRAM probe
         bool is_emc = false;        ///< issued by an EMC
         bool emc_via_llc = false;   ///< EMC predicted-hit query path
         bool emc_llc_fill_only = false;  ///< remaining work: LLC fill
@@ -370,6 +375,7 @@ class System : public CorePort
             ar.io(for_store);
             ar.io(addr_tainted);
             ar.io(is_prefetch);
+            ar.io(is_hermes);
             ar.io(is_emc);
             ar.io(emc_via_llc);
             ar.io(emc_llc_fill_only);
@@ -588,6 +594,35 @@ class System : public CorePort
     /** Register @p txn against an in-flight fill. @retval true merged. */
     bool tryMergeFill(Txn &txn);
     void dispatchMergedFill(std::uint64_t token, unsigned slice);
+
+    // Hermes core-side probes (DESIGN.md §13). A probe opens the
+    // cross-agent MSHR window for its line, so the demand walking the
+    // L1->ring->LLC path merges onto the probe's fill at the slice and
+    // inherits its DRAM head start. Ordered map: checkpoint images and
+    // drain order must not depend on hashing.
+
+    /** One in-flight speculative probe. */
+    struct HermesProbe
+    {
+        Cycle start = 0;    ///< probe launch (head-start accounting)
+        bool used = false;  ///< a demand merged onto this probe's fill
+
+        template <class A>
+        void
+        ser(A &ar)
+        {
+            ar.io(start);
+            ar.io(used);
+        }
+    };
+    std::map<Addr, HermesProbe> hermes_probe_lines_;
+    std::uint64_t hermes_probes_issued_ = 0;
+    std::uint64_t hermes_probes_suppressed_ = 0;  ///< fill in flight
+    std::uint64_t hermes_probes_llc_hit_ = 0;     ///< filtered by peek
+    std::uint64_t hermes_probes_useful_ = 0;
+    std::uint64_t hermes_probes_useless_ = 0;
+    std::uint64_t hermes_merged_demands_ = 0;
+    std::uint64_t hermes_saved_cycles_ = 0;  ///< head start of merges
 
     // Bookkeeping for benches. The line sets are ordered: benches
     // iterate them when producing output, and iteration order must not

@@ -98,6 +98,14 @@ System::ckptPayload(ckpt::Ar &ar, ckpt::Level level,
         ar.io(emc_bypass_wrong_);
         ar.io(llc_total_accesses_);
         ar.io(ideal_dep_hits_granted_);
+        ar.io(hermes_probe_lines_);
+        ar.io(hermes_probes_issued_);
+        ar.io(hermes_probes_suppressed_);
+        ar.io(hermes_probes_llc_hit_);
+        ar.io(hermes_probes_useful_);
+        ar.io(hermes_probes_useless_);
+        ar.io(hermes_merged_demands_);
+        ar.io(hermes_saved_cycles_);
     });
     section("workload", workload);
     section("cores", [&] {

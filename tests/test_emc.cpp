@@ -285,7 +285,7 @@ TEST(EmcTest, MissPredictorLearnsAndBypassesLlc)
     EmcHarness h(cfg);
     // Train: misses at this PC.
     for (int i = 0; i < 8; ++i)
-        h.emc.missPredUpdate(0, 0x208, true);
+        h.emc.missPredUpdate(0, 0x208, lineAlign(0x208008), true);
 
     // Warm the TLB, then run a chain whose dependent load carries the
     // trained PC.
@@ -312,7 +312,7 @@ TEST(EmcTest, MissPredictorDisabledAblation)
     cfg.miss_predictor_enabled = false;
     EmcHarness h(cfg);
     for (int i = 0; i < 8; ++i)
-        h.emc.missPredUpdate(0, 0x208, true);
+        h.emc.missPredUpdate(0, 0x208, lineAlign(0x208008), true);
     ChainRequest warm = pointerChain(0x208000, 0x100000, 0);
     warm.id = 99;
     warm.source_pte = pte(pageNum(0x208008));

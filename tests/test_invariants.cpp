@@ -17,6 +17,7 @@
 
 #include "check/check.hh"
 #include "check/checkers.hh"
+#include "emc/emc.hh"
 #include "sim/system.hh"
 
 namespace emc::check
@@ -292,6 +293,44 @@ TEST(ValidateChainTest, UnmappedSourceEprFires)
     chain.source_epr = 9;  // no source uop writes EPR 9
     EXPECT_GT(validateChain(chain, c.reg, "test"), 0u);
     EXPECT_TRUE(c.sawMessage("not the destination of any source uop"));
+}
+
+// --------------------------------------------------------------------
+// EMC predictor-path bounds (core ids index per-core tables)
+// --------------------------------------------------------------------
+
+/** Null chip services: the bounds check fires before any port call. */
+class NullEmcPort : public EmcPort
+{
+  public:
+    bool
+    emcDirectDram(CoreId, Addr, std::uint64_t) override
+    {
+        return true;
+    }
+    bool
+    emcLlcQuery(CoreId, Addr, std::uint64_t, Addr) override
+    {
+        return true;
+    }
+    void
+    emcLsqPopulate(CoreId, std::uint64_t, Addr, std::uint64_t) override
+    {}
+    void emcChainResult(const ChainResult &, unsigned) override {}
+    Cycle now() const override { return 0; }
+};
+
+TEST(EmcPredBoundsTest, OutOfRangeCoreInMissPredUpdateAborts)
+{
+    // The train path once masked bad ids with core % num_cores_,
+    // silently training the wrong core's table; now it must abort.
+    NullEmcPort port;
+    EmcConfig cfg;
+    Emc emc(cfg, /*num_cores=*/2, &port);
+    EXPECT_DEATH(emc.missPredUpdate(2, 0x100, 0x4000, true),
+                 "core id out of range");
+    EXPECT_DEATH(emc.warmMissPredUpdate(7, 0x100, 0x4000, false),
+                 "core id out of range");
 }
 
 // --------------------------------------------------------------------

@@ -1,0 +1,482 @@
+/**
+ * @file
+ * Unit tests for the pluggable off-chip prediction subsystem
+ * (src/pred, DESIGN.md §13): the table engine's bit-exact lift of the
+ * paper's 3-bit PC-hashed logic, predict() retry purity, the
+ * accuracy/coverage classification counters, perceptron learning and
+ * its confidence-band training filter, warmTrain() state equivalence,
+ * checkpoint round-trips that resume to identical predictions, the
+ * factory, and the Pickle cross-core prefetcher built on top.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ckpt/serial.hh"
+#include "pred/perceptron.hh"
+#include "pred/pickle.hh"
+#include "pred/predictor.hh"
+#include "pred/table.hh"
+
+namespace emc::pred
+{
+namespace
+{
+
+PredFeatures
+feat(CoreId core, Addr pc, Addr line, Addr vaddr = kNoAddr)
+{
+    PredFeatures f;
+    f.core = core;
+    f.pc = pc;
+    f.line = line;
+    f.vaddr = vaddr;
+    return f;
+}
+
+// --------------------------------------------------------------------
+// Table engine: the paper's 3-bit saturating-counter logic, bit-exact
+// --------------------------------------------------------------------
+
+TEST(TablePredictorTest, SaturatesAtSevenAndFloorsAtZero)
+{
+    PredConfig cfg;  // kTable, 1024 entries, threshold 3
+    TablePredictor p(cfg, 1);
+    const Addr pc = 0x401000;
+
+    for (int i = 0; i < 10; ++i) {
+        PredFeatures f = feat(0, pc, 0x1000 + 64 * i);
+        p.train(f, /*was_offchip=*/true);
+    }
+    EXPECT_EQ(p.counter(0, pc), 7u);  // saturated, not 10
+
+    for (int i = 0; i < 20; ++i) {
+        PredFeatures f = feat(0, pc, 0x1000 + 64 * i);
+        p.train(f, /*was_offchip=*/false);
+    }
+    EXPECT_EQ(p.counter(0, pc), 0u);  // floored, not negative
+}
+
+TEST(TablePredictorTest, PredictsOffchipOnlyAboveThreshold)
+{
+    PredConfig cfg;
+    TablePredictor p(cfg, 1);
+    const Addr pc = 0x401000;
+
+    // Counter 0..3: at or below the threshold, predicted on-chip.
+    for (int i = 0; i < 4; ++i) {
+        PredFeatures f = feat(0, pc, 0x1000);
+        EXPECT_FALSE(p.predict(f)) << "counter " << i;
+        p.train(f, true);
+    }
+    // Counter 4 > 3: off-chip from here on.
+    PredFeatures f = feat(0, pc, 0x1000);
+    EXPECT_EQ(p.counter(0, pc), 4u);
+    EXPECT_TRUE(p.predict(f));
+}
+
+TEST(TablePredictorTest, CoresTrainIndependently)
+{
+    PredConfig cfg;
+    TablePredictor p(cfg, 2);
+    const Addr pc = 0x88;
+    for (int i = 0; i < 5; ++i) {
+        PredFeatures f = feat(0, pc, 0x2000);
+        p.train(f, true);
+    }
+    EXPECT_EQ(p.counter(0, pc), 5u);
+    EXPECT_EQ(p.counter(1, pc), 0u);
+    PredFeatures f0 = feat(0, pc, 0x2000);
+    PredFeatures f1 = feat(1, pc, 0x2000);
+    EXPECT_TRUE(p.predict(f0));
+    EXPECT_FALSE(p.predict(f1));
+}
+
+// --------------------------------------------------------------------
+// Shared base-class contract
+// --------------------------------------------------------------------
+
+TEST(OffchipPredictorTest, PredictIsRetrySafe)
+{
+    PredConfig cfg;
+    TablePredictor p(cfg, 1);
+    PredFeatures t = feat(0, 0x10, 0x3000);
+    p.train(t, true);
+
+    // A caller blocked on backpressure re-predicts every cycle: the
+    // answer and the engine tables must not move, only the counters.
+    const std::uint8_t ctr_before = p.counter(0, 0x10);
+    for (int i = 0; i < 8; ++i) {
+        PredFeatures f = feat(0, 0x10, 0x3000);
+        EXPECT_FALSE(p.predict(f));
+    }
+    EXPECT_EQ(p.counter(0, 0x10), ctr_before);
+    EXPECT_EQ(p.stats().predictions, 8u);
+    EXPECT_EQ(p.stats().predicted_offchip, 0u);
+
+    // Same purity for the perceptron's weights.
+    PerceptronPredictor q(PredConfig::perceptron(), 1);
+    PredFeatures qt = feat(0, 0x10, 0x3000);
+    q.train(qt, true);
+    PredFeatures probe = feat(0, 0x10, 0x3000);
+    q.predict(probe);
+    const int sum_before = q.weightSum(probe);
+    for (int i = 0; i < 8; ++i) {
+        PredFeatures f = feat(0, 0x10, 0x3000);
+        q.predict(f);
+    }
+    EXPECT_EQ(q.weightSum(probe), sum_before);
+}
+
+TEST(OffchipPredictorTest, TrainClassifiesAgainstCurrentOpinion)
+{
+    PredConfig cfg;
+    TablePredictor p(cfg, 1);
+    const Addr pc = 0x20;
+
+    // Counter at 0 predicts on-chip; four off-chip outcomes are all
+    // false negatives while the counter climbs 0->4.
+    for (int i = 0; i < 4; ++i) {
+        PredFeatures f = feat(0, pc, 0x4000);
+        p.train(f, true);
+    }
+    EXPECT_EQ(p.stats().false_neg, 4u);
+
+    // Counter 4 predicts off-chip: one true positive, then a hit
+    // outcome is a false positive.
+    PredFeatures f = feat(0, pc, 0x4000);
+    p.train(f, true);
+    EXPECT_EQ(p.stats().true_pos, 1u);
+    f = feat(0, pc, 0x4000);
+    p.train(f, false);
+    EXPECT_EQ(p.stats().false_pos, 1u);
+
+    // Back at 4 after the decrement... still off-chip; drive it down
+    // to 3 and below and hits become true negatives.
+    f = feat(0, pc, 0x4000);
+    p.train(f, false);  // 4 -> 3, classified false_pos (ctr was 4)
+    f = feat(0, pc, 0x4000);
+    p.train(f, false);  // ctr 3 predicts on-chip: true_neg
+    EXPECT_EQ(p.stats().true_neg, 1u);
+    EXPECT_EQ(p.stats().trainings, 8u);
+
+    const PredStats &s = p.stats();
+    EXPECT_DOUBLE_EQ(s.accuracy(), 2.0 / 8.0);   // 1 TP + 1 TN of 8
+    EXPECT_DOUBLE_EQ(s.coverage(), 1.0 / 5.0);   // 1 TP of 5 misses
+}
+
+TEST(OffchipPredictorTest, DerivedFeaturesTrackPagesAndHistory)
+{
+    PredConfig cfg;
+    TablePredictor p(cfg, 1);
+
+    PredFeatures f = feat(0, 0x30, 0x10000);
+    p.predict(f);
+    EXPECT_TRUE(f.first_access);  // nothing trained yet
+
+    PredFeatures t = feat(0, 0x30, 0x10040);  // same 4 KB page
+    p.train(t, true);
+
+    PredFeatures g = feat(0, 0x30, 0x10080);
+    p.predict(g);
+    EXPECT_FALSE(g.first_access);  // page now in the filter
+    EXPECT_NE(g.hist_hash, f.hist_hash);  // history ring advanced
+}
+
+TEST(OffchipPredictorTest, WarmTrainMatchesTrainWithoutStats)
+{
+    const PredConfig cfg = PredConfig::perceptron();
+    PerceptronPredictor hot(cfg, 1);
+    PerceptronPredictor warm(cfg, 1);
+
+    // Identical mixed stream through train() and warmTrain().
+    for (int i = 0; i < 200; ++i) {
+        const Addr pc = 0x100 + (i % 7) * 8;
+        const Addr line = 0x20000 + static_cast<Addr>(i) * 64;
+        const bool miss = (i % 3) != 0;
+        PredFeatures a = feat(0, pc, line);
+        PredFeatures b = feat(0, pc, line);
+        hot.train(a, miss);
+        warm.warmTrain(b, miss);
+    }
+    EXPECT_EQ(warm.stats().trainings, 0u);  // warming contract
+    EXPECT_GT(hot.stats().trainings, 0u);
+
+    // Byte-identical predictor state => identical predictions.
+    for (int i = 0; i < 50; ++i) {
+        PredFeatures a = feat(0, 0x100 + (i % 7) * 8, 0x90000 + i * 64);
+        PredFeatures b = a;
+        EXPECT_EQ(hot.predict(a), warm.predict(b)) << "probe " << i;
+    }
+}
+
+TEST(OffchipPredictorTest, OutOfRangeCoreAborts)
+{
+    PredConfig cfg;
+    TablePredictor p(cfg, 2);
+    PredFeatures f = feat(2, 0x10, 0x1000);  // one past the last core
+    EXPECT_DEATH(p.predict(f), "core id out of range");
+}
+
+// --------------------------------------------------------------------
+// Perceptron engine
+// --------------------------------------------------------------------
+
+TEST(PerceptronPredictorTest, LearnsAnOffchipStreamAndUnlearnsIt)
+{
+    PerceptronPredictor p(PredConfig::perceptron(), 1);
+    const Addr pc = 0x700;
+
+    PredFeatures probe = feat(0, pc, 0x50000);
+    EXPECT_FALSE(p.predict(probe));  // zero weights: on-chip
+
+    for (int i = 0; i < 30; ++i) {
+        PredFeatures f = feat(0, pc, 0x50000 + i * 64);
+        p.train(f, true);
+    }
+    probe = feat(0, pc, 0x50000 + 30 * 64);
+    EXPECT_TRUE(p.predict(probe));
+
+    for (int i = 0; i < 60; ++i) {
+        PredFeatures f = feat(0, pc, 0x50000 + i * 64);
+        p.train(f, false);
+    }
+    probe = feat(0, pc, 0x50000);
+    EXPECT_FALSE(p.predict(probe));
+}
+
+TEST(PerceptronPredictorTest, ConfidenceBandStopsTraining)
+{
+    PredConfig cfg = PredConfig::perceptron();
+    cfg.perc_training_threshold = 4;
+    PerceptronPredictor p(cfg, 1);
+
+    // Hammer one bundle with the same outcome: weights climb only
+    // until the sum clears the confidence band, then freeze.
+    PredFeatures probe = feat(0, 0x800, 0x60000);
+    p.predict(probe);  // derive hist/first bits for weightSum
+    int last = p.weightSum(probe);
+    int frozen_at = -1;
+    for (int i = 0; i < 40; ++i) {
+        PredFeatures f = feat(0, 0x800, 0x60000);
+        p.train(f, true);
+        PredFeatures q = feat(0, 0x800, 0x60000);
+        p.predict(q);
+        const int sum = p.weightSum(q);
+        if (sum == last && frozen_at < 0)
+            frozen_at = i;
+        last = sum;
+    }
+    ASSERT_GE(frozen_at, 0) << "weights never froze";
+    EXPECT_GT(last, cfg.perc_activation + cfg.perc_training_threshold);
+    // Well below the per-weight saturation ceiling: the band, not the
+    // clamp, stopped training.
+    EXPECT_LT(last, 5 * cfg.perc_weight_max);
+}
+
+TEST(PerceptronPredictorTest, WeightsSaturateAtConfiguredBounds)
+{
+    PredConfig cfg = PredConfig::perceptron();
+    cfg.perc_weight_max = 3;
+    cfg.perc_weight_min = -3;
+    cfg.perc_training_threshold = 1000;  // band never stops training
+    PerceptronPredictor p(cfg, 1);
+
+    for (int i = 0; i < 50; ++i) {
+        PredFeatures f = feat(0, 0x900, 0x70000);
+        p.train(f, true);
+    }
+    PredFeatures probe = feat(0, 0x900, 0x70000);
+    p.predict(probe);
+    EXPECT_LE(p.weightSum(probe), 5 * 3);  // five features, each <= 3
+}
+
+// --------------------------------------------------------------------
+// Checkpoint round-trips (satellite: save -> restore -> identical
+// subsequent predictions)
+// --------------------------------------------------------------------
+
+/** Train @p n mixed events into @p p (deterministic stream). */
+void
+trainStream(OffchipPredictor &p, int n, unsigned cores)
+{
+    for (int i = 0; i < n; ++i) {
+        PredFeatures f = feat(static_cast<CoreId>(i % cores),
+                              0x1000 + (i % 11) * 4,
+                              0x80000 + static_cast<Addr>(i) * 64,
+                              (i % 2) ? 0x80000 + i * 64 + 8 : kNoAddr);
+        p.train(f, (i % 5) < 3);
+    }
+}
+
+/** Round-trip @p a into @p b and require identical behavior after. */
+void
+expectResumeIdentical(OffchipPredictor &a, OffchipPredictor &b,
+                      unsigned cores)
+{
+    ckpt::Ar saver = ckpt::Ar::saver();
+    a.ser(saver);
+    ckpt::Ar loader = ckpt::Ar::loader(saver.takeBytes());
+    b.ser(loader);
+    EXPECT_TRUE(loader.exhausted());
+
+    // Same continued train/predict stream through both: every
+    // prediction and the final counters must agree.
+    for (int i = 0; i < 300; ++i) {
+        const CoreId core = static_cast<CoreId>(i % cores);
+        const Addr pc = 0x1000 + (i % 13) * 4;
+        const Addr line = 0xc0000 + static_cast<Addr>(i) * 64;
+        PredFeatures fa = feat(core, pc, line);
+        PredFeatures fb = feat(core, pc, line);
+        ASSERT_EQ(a.predict(fa), b.predict(fb)) << "probe " << i;
+        fa = feat(core, pc, line);
+        fb = feat(core, pc, line);
+        a.train(fa, (i % 4) == 0);
+        b.train(fb, (i % 4) == 0);
+    }
+    EXPECT_EQ(a.stats().true_pos, b.stats().true_pos);
+    EXPECT_EQ(a.stats().false_pos, b.stats().false_pos);
+    EXPECT_EQ(a.stats().true_neg, b.stats().true_neg);
+    EXPECT_EQ(a.stats().false_neg, b.stats().false_neg);
+}
+
+TEST(PredCkptTest, TableRoundTripResumesIdentically)
+{
+    PredConfig cfg;
+    TablePredictor a(cfg, 2);
+    trainStream(a, 500, 2);
+    TablePredictor b(cfg, 2);
+    expectResumeIdentical(a, b, 2);
+    EXPECT_EQ(a.counter(0, 0x1000), b.counter(0, 0x1000));
+}
+
+TEST(PredCkptTest, PerceptronRoundTripResumesIdentically)
+{
+    const PredConfig cfg = PredConfig::perceptron();
+    PerceptronPredictor a(cfg, 2);
+    trainStream(a, 500, 2);
+    PerceptronPredictor b(cfg, 2);
+    expectResumeIdentical(a, b, 2);
+    PredFeatures fa = feat(0, 0x1000, 0xd0000);
+    PredFeatures fb = fa;
+    a.predict(fa);
+    b.predict(fb);
+    EXPECT_EQ(a.weightSum(fa), b.weightSum(fb));
+}
+
+TEST(PredCkptTest, StatsSurviveTheRoundTrip)
+{
+    PredConfig cfg;
+    TablePredictor a(cfg, 1);
+    trainStream(a, 100, 1);
+    ckpt::Ar saver = ckpt::Ar::saver();
+    a.ser(saver);
+    TablePredictor b(cfg, 1);
+    ckpt::Ar loader = ckpt::Ar::loader(saver.takeBytes());
+    b.ser(loader);
+    EXPECT_EQ(a.stats().trainings, b.stats().trainings);
+    EXPECT_EQ(a.stats().predictions, b.stats().predictions);
+    EXPECT_DOUBLE_EQ(a.stats().accuracy(), b.stats().accuracy());
+}
+
+// --------------------------------------------------------------------
+// Factory
+// --------------------------------------------------------------------
+
+TEST(PredFactoryTest, BuildsTheSelectedEngine)
+{
+    PredConfig t;
+    auto table = makePredictor(t, 4);
+    EXPECT_EQ(table->kind(), PredKind::kTable);
+    EXPECT_STREQ(table->name(), "table");
+
+    auto perc = makePredictor(PredConfig::perceptron(), 4);
+    EXPECT_EQ(perc->kind(), PredKind::kPerceptron);
+    EXPECT_STREQ(perc->name(), "perceptron");
+
+    EXPECT_STREQ(predKindName(PredKind::kTable), "table");
+    EXPECT_STREQ(predKindName(PredKind::kPerceptron), "perceptron");
+}
+
+// --------------------------------------------------------------------
+// Pickle cross-core prefetcher
+// --------------------------------------------------------------------
+
+TEST(PicklePrefetcherTest, PushesRecordedSuccessorsForTheirCores)
+{
+    // Table engine for a deterministic warm-up: four miss trainings
+    // flip a PC to predicted-off-chip.
+    PredConfig cfg;  // kTable
+    PicklePrefetcher p(/*num_cores=*/2, cfg);
+    const Addr pc = 0x500;
+    const Addr line_a = 0x100000;
+    const Addr line_b = 0x200000;
+
+    // Warm the internal predictor's per-core tables to counter 3:
+    // still at the threshold, so nothing is recorded or emitted yet.
+    for (int i = 0; i < 3; ++i) {
+        p.observe(0, line_a, pc, /*miss=*/true, /*degree=*/4);
+        p.observe(1, line_b, pc, /*miss=*/true, /*degree=*/4);
+    }
+    EXPECT_EQ(p.queued(), 0u);
+
+    // Counter 4: A joins the off-chip stream (no successors yet).
+    p.observe(0, line_a, pc, true, 4);
+    EXPECT_EQ(p.queued(), 0u);
+
+    // Core 1 touches B right after A: successor A->B recorded.
+    p.observe(1, line_b, pc, true, 4);
+    EXPECT_EQ(p.queued(), 0u);  // B has no successors yet
+
+    // A again: push B on behalf of core 1 (cross-core), then B's
+    // recorded successor A for core 0 — bounded by the degree.
+    p.observe(0, line_a, pc, true, 2);
+    PrefetchCandidate c;
+    ASSERT_TRUE(p.nextCandidate(c));
+    EXPECT_EQ(c.line_addr, line_b);
+    EXPECT_EQ(c.core, 1u);
+    ASSERT_TRUE(p.nextCandidate(c));
+    EXPECT_EQ(c.line_addr, line_a);
+    EXPECT_EQ(c.core, 0u);
+    EXPECT_FALSE(p.nextCandidate(c));
+
+    EXPECT_STREQ(p.name(), "pickle");
+    EXPECT_GT(p.predictor().stats().trainings, 0u);
+}
+
+TEST(PicklePrefetcherTest, CkptRoundTripPreservesTablesAndQueue)
+{
+    PredConfig cfg;
+    PicklePrefetcher a(1, cfg);
+    const Addr pc = 0x600;
+    for (int i = 0; i < 6; ++i)
+        a.observe(0, 0x300000 + static_cast<Addr>(i % 3) * 0x1000,
+                  pc, true, 2);
+
+    ckpt::Ar saver = ckpt::Ar::saver();
+    a.ckptSer(saver);
+    PicklePrefetcher b(1, cfg);
+    ckpt::Ar loader = ckpt::Ar::loader(saver.takeBytes());
+    b.ckptSer(loader);
+    EXPECT_TRUE(loader.exhausted());
+    EXPECT_EQ(a.queued(), b.queued());
+
+    // Identical continued streams stay in lockstep.
+    for (int i = 0; i < 10; ++i) {
+        const Addr line = 0x300000 + static_cast<Addr>(i % 3) * 0x1000;
+        a.observe(0, line, pc, true, 2);
+        b.observe(0, line, pc, true, 2);
+    }
+    PrefetchCandidate ca, cb;
+    while (a.nextCandidate(ca)) {
+        ASSERT_TRUE(b.nextCandidate(cb));
+        EXPECT_EQ(ca.line_addr, cb.line_addr);
+        EXPECT_EQ(ca.core, cb.core);
+    }
+    EXPECT_FALSE(b.nextCandidate(cb));
+}
+
+} // namespace
+} // namespace emc::pred

@@ -45,10 +45,28 @@ usage()
         "configuration:\n"
         "  --cores N              core count (default 4; 8 supported)\n"
         "  --dual-mc              two memory controllers (8-core)\n"
-        "  --pf none|ghb|stream|markov|stride  prefetcher\n"
+        "  --pf none|ghb|stream|markov|stride|pickle  prefetcher\n"
         "  --emc                  enable the Enhanced Memory"
         " Controller\n"
         "  --runahead             enable runahead execution\n"
+        "\n"
+        "off-chip prediction (DESIGN.md §13):\n"
+        "  --predictor table|perceptron\n"
+        "                         EMC LLC-bypass predictor engine\n"
+        "                         (default table, the paper's 3-bit"
+        " PC\n"
+        "                         hash; perceptron is Hermes-style)\n"
+        "  --hermes               core-side off-chip prediction:"
+        " loads\n"
+        "                         predicted to miss launch"
+        " speculative\n"
+        "                         DRAM probes at dispatch\n"
+        "  --perc-entries N       perceptron weight rows per feature\n"
+        "                         (default 2048)\n"
+        "  --perc-activation N    perceptron activation threshold\n"
+        "                         (default 2)\n"
+        "  --perc-theta N         perceptron training threshold\n"
+        "                         (default 16)\n"
         "  --ideal-dep-hits       Figure 2 idealization\n"
         "  --channels N --ranks N DRAM geometry\n"
         "  --sched batch|frfcfs   memory scheduler (default batch)\n"
@@ -236,6 +254,8 @@ main(int argc, char **argv)
                 cfg.prefetch = PrefetchConfig::kMarkovStream;
             else if (p == "stride")
                 cfg.prefetch = PrefetchConfig::kStride;
+            else if (p == "pickle")
+                cfg.prefetch = PrefetchConfig::kPickle;
             else {
                 std::fprintf(stderr, "unknown prefetcher %s\n",
                              p.c_str());
@@ -243,6 +263,38 @@ main(int argc, char **argv)
             }
         } else if (a == "--emc") {
             cfg.emc_enabled = true;
+        } else if (a == "--predictor") {
+            const std::string p = need("--predictor");
+            if (p == "table")
+                cfg.emc.pred.kind = pred::PredKind::kTable;
+            else if (p == "perceptron")
+                cfg.emc.pred.kind = pred::PredKind::kPerceptron;
+            else {
+                std::fprintf(stderr, "unknown predictor %s\n",
+                             p.c_str());
+                return 2;
+            }
+        } else if (a == "--hermes") {
+            cfg.core.hermes_enabled = true;
+        } else if (a == "--perc-entries") {
+            std::uint64_t v;
+            if (!parseU64(need("--perc-entries"), v)) return 2;
+            cfg.emc.pred.perc_entries = static_cast<unsigned>(v);
+            cfg.core.hermes_pred.perc_entries =
+                static_cast<unsigned>(v);
+        } else if (a == "--perc-activation") {
+            std::uint64_t v;
+            if (!parseU64(need("--perc-activation"), v)) return 2;
+            cfg.emc.pred.perc_activation = static_cast<int>(v);
+            cfg.core.hermes_pred.perc_activation =
+                static_cast<int>(v);
+        } else if (a == "--perc-theta") {
+            std::uint64_t v;
+            if (!parseU64(need("--perc-theta"), v)) return 2;
+            cfg.emc.pred.perc_training_threshold =
+                static_cast<int>(v);
+            cfg.core.hermes_pred.perc_training_threshold =
+                static_cast<int>(v);
         } else if (a == "--runahead") {
             cfg.core.runahead_enabled = true;
         } else if (a == "--ideal-dep-hits") {
